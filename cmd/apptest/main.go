@@ -1,0 +1,54 @@
+// Command apptest runs application-based testing: one or all of the
+// 26 synthetic workloads on the heterogeneous system, reporting the
+// coverage and cost the paper compares the tester against.
+//
+// Usage:
+//
+//	apptest [-app Square|...|all] [-scale 1.0] [-wfs 16] [-lanes 4]
+//	        [-seed 1] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drftest/internal/apps"
+	"drftest/internal/harness"
+)
+
+func main() {
+	app := flag.String("app", "all", "application name, or 'all' for the suite")
+	scale := flag.Float64("scale", 1.0, "test-length scale factor")
+	wfs := flag.Int("wfs", 16, "wavefronts")
+	lanes := flag.Int("lanes", 4, "threads per wavefront")
+	seed := flag.Uint64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list applications and exit")
+	flag.Parse()
+
+	if *list {
+		harness.RenderTableIV(os.Stdout)
+		return
+	}
+
+	opts := harness.AppSuiteOptions{Seed: *seed, Scale: *scale, NumWFs: *wfs, Lanes: *lanes}
+	if *app != "all" {
+		p := apps.ByName(*app)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "unknown application %q (use -list)\n", *app)
+			os.Exit(2)
+		}
+		opts.Profiles = []apps.Profile{*p}
+	}
+
+	res := harness.RunAppSuite(opts)
+	harness.RenderFig6(os.Stdout, res)
+	fmt.Println()
+	harness.RenderFig9(os.Stdout, res)
+	fmt.Printf("\ndirectory: %s\n", res.UnionDirSum)
+	if res.Faults > 0 {
+		fmt.Printf("FAIL: %d protocol fault(s) during application runs\n", res.Faults)
+		os.Exit(1)
+	}
+	fmt.Println("all applications completed without protocol faults")
+}

@@ -1,0 +1,214 @@
+// Command gputester runs the autonomous DRF GPU tester against a
+// VIPER memory system, the core workflow of the paper.
+//
+// Usage:
+//
+//	gputester [-caches small|large|mixed|default] [-cus 8]
+//	          [-wfs 16] [-lanes 4] [-episodes 10] [-actions 100]
+//	          [-syncvars 10] [-datavars 100000] [-seed 1]
+//	          [-bug lostwrite|nonatomic|dropack|staleacquire]
+//	          [-heatmap] [-grid] [-v]
+//
+// Exit status is 0 when the protocol passes, 1 when bugs are detected.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"drftest/internal/checker"
+
+	"drftest/internal/core"
+	"drftest/internal/coverage"
+	"drftest/internal/harness"
+	"drftest/internal/sim"
+	"drftest/internal/viper"
+)
+
+func main() {
+	caches := flag.String("caches", "small", "cache sizing: small|large|mixed|default")
+	protocolName := flag.String("protocol", "wt", "L2 protocol: wt (write-through VIPER) | wb (write-back VIPER-WB)")
+	slices := flag.Int("l2slices", 1, "number of banked L2 slices")
+	cus := flag.Int("cus", 8, "number of compute units")
+	wfs := flag.Int("wfs", 16, "number of wavefronts")
+	lanes := flag.Int("lanes", 4, "threads per wavefront (lockstep lanes)")
+	episodes := flag.Int("episodes", 10, "episodes per wavefront thread")
+	actions := flag.Int("actions", 100, "actions per episode (incl. acquire/release)")
+	syncVars := flag.Int("syncvars", 10, "synchronization (atomic) locations")
+	dataVars := flag.Int("datavars", 100_000, "regular data locations")
+	seed := flag.Uint64("seed", 1, "random seed (same seed = identical run)")
+	bug := flag.String("bug", "", "inject a protocol bug: lostwrite|nonatomic|dropack|staleacquire")
+	heatmap := flag.Bool("heatmap", false, "print transition hit-frequency heat maps")
+	grid := flag.Bool("grid", false, "print transition classification grids")
+	verbose := flag.Bool("v", false, "print request latencies and the transaction log tail")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+	axioms := flag.Bool("axiomcheck", false, "record the full trace and re-verify it with the independent axiomatic checker")
+	flag.Parse()
+
+	var sysCfg viper.Config
+	switch *caches {
+	case "small":
+		sysCfg = viper.SmallCacheConfig()
+	case "large":
+		sysCfg = viper.LargeCacheConfig()
+	case "mixed":
+		sysCfg = viper.MixedCacheConfig()
+	case "default":
+		sysCfg = viper.DefaultConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown cache config %q\n", *caches)
+		os.Exit(2)
+	}
+	sysCfg.NumCUs = *cus
+	sysCfg.NumL2Slices = *slices
+	switch *protocolName {
+	case "wt":
+	case "wb":
+		sysCfg.WriteBackL2 = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocolName)
+		os.Exit(2)
+	}
+
+	switch *bug {
+	case "":
+	case "lostwrite":
+		sysCfg.Bugs.LostWriteRace = true
+	case "nonatomic":
+		sysCfg.Bugs.NonAtomicRMW = true
+	case "dropack":
+		sysCfg.Bugs.DropWBAckEvery = 20
+	case "staleacquire":
+		sysCfg.Bugs.StaleAcquire = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown bug %q\n", *bug)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumWavefronts = *wfs
+	cfg.ThreadsPerWF = *lanes
+	cfg.EpisodesPerWF = *episodes
+	cfg.ActionsPerEpisode = *actions
+	cfg.NumSyncVars = *syncVars
+	cfg.NumDataVars = *dataVars
+	cfg.RecordTrace = *axioms
+
+	k := sim.NewKernel()
+	col := coverage.NewCollector(viper.NewTCPSpec(), viper.NewTCCSpec(), viper.NewTCCWBSpec())
+	sys := viper.NewSystem(k, sysCfg, col)
+	tester := core.New(k, sys, cfg)
+	rep := tester.Run()
+
+	if *jsonOut {
+		emitJSON(sysCfg, cfg, rep, col)
+		if !rep.Passed() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("gputester: seed=%d protocol=%s caches=%s cus=%d wfs=%d lanes=%d episodes=%d actions=%d\n",
+		*seed, *protocolName, *caches, *cus, *wfs, *lanes, *episodes, *actions)
+	fmt.Printf("  ops issued     %d (episodes retired %d, false-shared lines %d)\n",
+		rep.OpsIssued, rep.EpisodesRetired, rep.FalseSharedLines)
+	fmt.Printf("  sim ticks      %d (kernel events %d)\n", rep.SimTicks, rep.EventsExecuted)
+	fmt.Printf("  wall time      %s\n", rep.WallTime)
+
+	impsb := harness.TCCImpossibleGPUOnly()
+	l2Name := "GPU-L2"
+	if sysCfg.WriteBackL2 {
+		l2Name = "GPU-L2WB"
+		impsb = harness.TCCWBImpossible()
+	}
+	l1 := col.Matrix("GPU-L1")
+	l2 := col.Matrix(l2Name)
+	fmt.Printf("  %s\n  %s\n", l1.Summarize(nil), l2.Summarize(impsb))
+	if in := l1.InactiveCells(nil); len(in) > 0 {
+		fmt.Printf("  L1 inactive: %v\n", in)
+	}
+	if in := l2.InactiveCells(impsb); len(in) > 0 {
+		fmt.Printf("  L2 inactive: %v\n", in)
+	}
+
+	if *heatmap {
+		l1.RenderHeatmap(os.Stdout, nil)
+		l2.RenderHeatmap(os.Stdout, impsb)
+	}
+	if *grid {
+		l1.RenderClassGrid(os.Stdout, nil)
+		l2.RenderClassGrid(os.Stdout, impsb)
+	}
+	if *verbose {
+		fmt.Println("request latencies (ticks):")
+		for _, h := range sys.Latencies().All() {
+			fmt.Printf("  %s\n", h)
+		}
+		fmt.Println("last transactions:")
+		fmt.Print(core.Dump(tester.Log().Recent(32)))
+	}
+
+	axiomViolations := 0
+	if *axioms && rep.Trace != nil {
+		vs := checker.Verify(rep.Trace)
+		axiomViolations = len(vs)
+		fmt.Printf("  axiomatic re-verification: %d ops, %d episodes, %d violation(s)\n",
+			len(rep.Trace.Ops), len(rep.Trace.Episodes), len(vs))
+		for i, v := range vs {
+			if i == 4 {
+				fmt.Printf("    ... %d more\n", len(vs)-4)
+				break
+			}
+			fmt.Printf("    %s\n", v)
+		}
+	}
+
+	if !rep.Passed() || axiomViolations > 0 {
+		fmt.Printf("\nFAIL: %d bug(s) detected online, %d axiom violation(s)\n", len(rep.Failures), axiomViolations)
+		for _, f := range rep.Failures {
+			fmt.Println(f.TableV())
+		}
+		os.Exit(1)
+	}
+	fmt.Println("PASS: no coherence violations detected")
+}
+
+// emitJSON writes a machine-readable run report for CI consumption.
+func emitJSON(sysCfg viper.Config, cfg core.Config, rep *core.Report, col *coverage.Collector) {
+	l2Name := "GPU-L2"
+	if sysCfg.WriteBackL2 {
+		l2Name = "GPU-L2WB"
+	}
+	failures := make([]map[string]any, 0, len(rep.Failures))
+	for _, f := range rep.Failures {
+		failures = append(failures, map[string]any{
+			"kind":    f.Kind.String(),
+			"tick":    f.Tick,
+			"addr":    uint64(f.Addr),
+			"message": f.Message,
+		})
+	}
+	out := map[string]any{
+		"passed":           rep.Passed(),
+		"seed":             cfg.Seed,
+		"opsIssued":        rep.OpsIssued,
+		"opsCompleted":     rep.OpsCompleted,
+		"episodesRetired":  rep.EpisodesRetired,
+		"simTicks":         rep.SimTicks,
+		"kernelEvents":     rep.EventsExecuted,
+		"falseSharedLines": rep.FalseSharedLines,
+		"wallSeconds":      rep.WallTime.Seconds(),
+		"l1":               col.Matrix("GPU-L1"),
+		"l2":               col.Matrix(l2Name),
+		"failures":         failures,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

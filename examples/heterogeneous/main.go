@@ -1,0 +1,50 @@
+// Heterogeneous: reproduce the §IV.C workflow — run the GPU tester
+// over the shared CPU–GPU system directory, run the CPU tester
+// separately, and take the union of their directory coverage (the
+// paper's Fig. 10(c)).
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"drftest"
+)
+
+func main() {
+	// GPU tester with the VIPER L2 sitting on the system directory.
+	gpuCfg := drftest.DefaultTesterConfig()
+	gpuCfg.Seed = 3
+	gpuCfg.EpisodesPerWF = 8
+	gpuCfg.ActionsPerEpisode = 60
+	gpuRes := drftest.RunGPUTesterHetero(drftest.SmallCaches(), gpuCfg)
+	if !gpuRes.Report.Passed() {
+		fmt.Println("GPU tester failed:", gpuRes.Report.Failures[0])
+		os.Exit(1)
+	}
+	gpuDir := gpuRes.Directory.Summarize(nil)
+	fmt.Printf("GPU tester alone:  %s\n", gpuDir)
+
+	// CPU tester on its own system, as the paper runs it.
+	cpuCfg := drftest.DefaultCPUTesterConfig()
+	cpuCfg.Seed = 5
+	cpuCfg.OpsPerCPU = 5000
+	cpuRes := drftest.RunCPUTester(8, cpuCfg)
+	if !cpuRes.Report.Passed() {
+		fmt.Println("CPU tester failed:", cpuRes.Report.Failures[0])
+		os.Exit(1)
+	}
+	fmt.Printf("CPU tester alone:  %s\n", cpuRes.Directory.Summarize(nil))
+	fmt.Printf("                   %s\n", cpuRes.CPUL1)
+
+	// The union: each tester activates directory transitions the other
+	// cannot reach (GPU events vs CPU fills, upgrades, probes and
+	// write-backs).
+	union := gpuRes.Directory.Clone()
+	union.Merge(cpuRes.Directory)
+	fmt.Printf("testers union:     %s\n", union.Summarize(nil))
+	fmt.Println("\nremaining inactive directory cells (DMA-related ones need application runs):")
+	fmt.Printf("  %v\n", union.InactiveCells(nil))
+}

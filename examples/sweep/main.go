@@ -1,0 +1,57 @@
+// Sweep: explore the tester configuration space (the paper's §IV.A) —
+// different cache sizes stress different transition subsets, and only
+// the union of several configurations reaches full coverage.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+
+	"drftest"
+)
+
+func main() {
+	systems := []struct {
+		name string
+		cfg  drftest.SystemConfig
+	}{
+		{"small  (256B L1 / 1KB L2)", drftest.SmallCaches()},
+		{"large  (256KB L1 / 1MB L2)", drftest.LargeCaches()},
+		{"mixed  (256B L1 / 1MB L2)", drftest.MixedCaches()},
+	}
+
+	var unionL1, unionL2 *drftest.CoverageMatrix
+	fmt.Println("per-configuration coverage (same test length, same seed):")
+	for _, s := range systems {
+		cfg := drftest.DefaultTesterConfig()
+		cfg.Seed = 7
+		cfg.EpisodesPerWF = 10
+		cfg.ActionsPerEpisode = 100
+
+		res := drftest.RunGPUTester(s.cfg, cfg)
+		if !res.Report.Passed() {
+			fmt.Printf("  %s: FAILED (%d bugs)\n", s.name, len(res.Report.Failures))
+			continue
+		}
+		fmt.Printf("  %-28s L1 %5.1f%%  L2 %5.1f%%  (%d ops, %d cycles)\n",
+			s.name, 100*res.L1.Coverage(), 100*res.L2.Coverage(),
+			res.Report.OpsIssued, res.Report.SimTicks)
+
+		if unionL1 == nil {
+			unionL1, unionL2 = res.L1Matrix.Clone(), res.L2Matrix.Clone()
+		} else {
+			unionL1.Merge(res.L1Matrix)
+			unionL2.Merge(res.L2Matrix)
+		}
+	}
+
+	fmt.Println("\nunion across configurations:")
+	fmt.Printf("  %s\n", unionL1.Summarize(nil))
+	fmt.Printf("  %s\n", unionL2.Summarize(drftest.L2ImpossibleGPUOnly()))
+	if inactive := unionL1.InactiveCells(nil); len(inactive) > 0 {
+		fmt.Printf("  still inactive in L1: %v — add a config that stresses these\n", inactive)
+	} else {
+		fmt.Println("  every reachable L1 transition activated")
+	}
+}

@@ -1,0 +1,3 @@
+module drftest
+
+go 1.22

@@ -1,0 +1,118 @@
+package apps
+
+import "drftest/internal/mem"
+
+// LocalityClass is Koo et al.'s cache-line reuse classification used
+// by the paper's Fig. 6.
+type LocalityClass uint8
+
+const (
+	// ClassStreaming lines are never reused.
+	ClassStreaming LocalityClass = iota
+	// ClassIntraWF lines are reused only within one wavefront.
+	ClassIntraWF
+	// ClassInterWF lines are used by several wavefronts, once each.
+	ClassInterWF
+	// ClassMixWF lines see both intra- and inter-wavefront reuse.
+	ClassMixWF
+)
+
+func (c LocalityClass) String() string {
+	switch c {
+	case ClassStreaming:
+		return "streaming"
+	case ClassIntraWF:
+		return "intraWF"
+	case ClassInterWF:
+		return "interWF"
+	case ClassMixWF:
+		return "mixWF"
+	}
+	return "?"
+}
+
+type lineUse struct {
+	total int
+	perWF map[int]int
+}
+
+// LocalityTracker profiles cache-line usage across wavefronts.
+type LocalityTracker struct {
+	lineSize int
+	lines    map[mem.Addr]*lineUse
+}
+
+// NewLocalityTracker creates a tracker for the given line size.
+func NewLocalityTracker(lineSize int) *LocalityTracker {
+	return &LocalityTracker{lineSize: lineSize, lines: make(map[mem.Addr]*lineUse)}
+}
+
+// Access records that wavefront wf touched addr.
+func (t *LocalityTracker) Access(wf int, addr mem.Addr) {
+	line := mem.LineAddr(addr, t.lineSize)
+	u, ok := t.lines[line]
+	if !ok {
+		u = &lineUse{perWF: make(map[int]int)}
+		t.lines[line] = u
+	}
+	u.total++
+	u.perWF[wf]++
+}
+
+// classify buckets one line.
+func (u *lineUse) classify() LocalityClass {
+	if u.total == 1 {
+		return ClassStreaming
+	}
+	if len(u.perWF) == 1 {
+		return ClassIntraWF
+	}
+	for _, n := range u.perWF {
+		if n > 1 {
+			return ClassMixWF
+		}
+	}
+	return ClassInterWF
+}
+
+// Breakdown returns the fraction of lines in each class, indexed by
+// LocalityClass (Fig. 6's stacked bars).
+func (t *LocalityTracker) Breakdown() [4]float64 {
+	var counts [4]int
+	for _, u := range t.lines {
+		counts[u.classify()]++
+	}
+	var out [4]float64
+	if len(t.lines) == 0 {
+		return out
+	}
+	for i, n := range counts {
+		out[i] = float64(n) / float64(len(t.lines))
+	}
+	return out
+}
+
+// BreakdownByAccess returns the fraction of line *uses* falling in
+// each class — each line weighted by how often it was touched. This is
+// the view that characterizes an application's traffic (a handful of
+// hot shared lines can dominate a kernel that also streams through
+// thousands of cold ones) and is what our Fig. 6 reproduction reports.
+func (t *LocalityTracker) BreakdownByAccess() [4]float64 {
+	var counts [4]int
+	total := 0
+	for _, u := range t.lines {
+		counts[u.classify()] += u.total
+		total += u.total
+	}
+	var out [4]float64
+	if total == 0 {
+		return out
+	}
+	for i, n := range counts {
+		out[i] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// Lines returns the number of distinct lines touched.
+func (t *LocalityTracker) Lines() int { return len(t.lines) }

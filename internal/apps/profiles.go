@@ -1,0 +1,120 @@
+// Package apps provides the application-based-testing baseline: 26
+// synthetic GPU workloads standing in for the paper's suite (AMD
+// compute apps, HCC samples, HeteroSync, and the MI benchmarks
+// DNNMark / DeepBench / MIOpen — Table IV).
+//
+// The real applications are unavailable here (no ROCm toolchain, no
+// GPU ISA), so each is replaced by a trace generator with the property
+// the paper actually measures: its cache-line reuse mix across
+// wavefronts (streaming / intra-WF / inter-WF / mixed-WF, Fig. 6,
+// following Koo et al.'s classification) and its atomic intensity.
+// The workloads run through the detailed gpucore pipeline, so their
+// simulation cost scales with instruction count exactly as
+// application-based testing's does in gem5.
+package apps
+
+// Profile describes one synthetic application.
+type Profile struct {
+	Name  string
+	Suite string
+	Desc  string
+
+	// Locality mix: probability that a memory access targets each
+	// reuse class. Should sum to ~1.
+	Streaming float64
+	IntraWF   float64
+	InterWF   float64
+	MixWF     float64
+
+	// AtomicFrac is the fraction of memory ops that are atomics on
+	// shared synchronization words (HeteroSync-style apps are high).
+	AtomicFrac float64
+	// StoreFrac is the store probability among plain accesses.
+	StoreFrac float64
+	// ALUPerMem is the mean ALU instructions between memory ops — the
+	// detailed-model cost the tester avoids paying.
+	ALUPerMem int
+	// MemOpsPerLane is each lane's memory op count (test length).
+	MemOpsPerLane int
+	// SharedLines / PrivateLines size the inter-WF shared and per-WF
+	// private working sets, in cache lines.
+	SharedLines  int
+	PrivateLines int
+}
+
+// Profiles lists the 26 applications of Table IV. Locality mixes are
+// chosen to span the space of Fig. 6: pure streaming kernels, heavily
+// intra-WF compute kernels, inter-WF reduction/sharing kernels, and the
+// two atomic-heavy outliers (Interac, CM) that dominate the
+// application suite's union coverage in Fig. 9.
+var Profiles = []Profile{
+	// --- AMD compute apps / HCC samples ---
+	{Name: "HACC", Suite: "compute", Desc: "cosmology particle short-range force kernel",
+		Streaming: 0.35, IntraWF: 0.45, InterWF: 0.10, MixWF: 0.10, AtomicFrac: 0.002, StoreFrac: 0.30, ALUPerMem: 28, MemOpsPerLane: 1280, SharedLines: 256, PrivateLines: 24},
+	{Name: "Square", Suite: "compute", Desc: "elementwise square (bandwidth microkernel)",
+		Streaming: 0.96, IntraWF: 0.02, InterWF: 0.01, MixWF: 0.01, AtomicFrac: 0, StoreFrac: 0.50, ALUPerMem: 6, MemOpsPerLane: 1120, SharedLines: 64, PrivateLines: 8},
+	{Name: "FFT", Suite: "compute", Desc: "radix-2 fast Fourier transform stages",
+		Streaming: 0.20, IntraWF: 0.40, InterWF: 0.25, MixWF: 0.15, AtomicFrac: 0, StoreFrac: 0.45, ALUPerMem: 22, MemOpsPerLane: 1200, SharedLines: 192, PrivateLines: 16},
+	{Name: "MatMul", Suite: "compute", Desc: "tiled dense matrix multiply",
+		Streaming: 0.15, IntraWF: 0.60, InterWF: 0.15, MixWF: 0.10, AtomicFrac: 0, StoreFrac: 0.20, ALUPerMem: 30, MemOpsPerLane: 1360, SharedLines: 160, PrivateLines: 32},
+	{Name: "Histogram", Suite: "compute", Desc: "binned histogram with atomic increments",
+		Streaming: 0.55, IntraWF: 0.15, InterWF: 0.20, MixWF: 0.10, AtomicFrac: 0.08, StoreFrac: 0.25, ALUPerMem: 12, MemOpsPerLane: 1120, SharedLines: 48, PrivateLines: 8},
+	{Name: "Reduction", Suite: "compute", Desc: "tree reduction over a large array",
+		Streaming: 0.45, IntraWF: 0.20, InterWF: 0.25, MixWF: 0.10, AtomicFrac: 0.03, StoreFrac: 0.30, ALUPerMem: 10, MemOpsPerLane: 1040, SharedLines: 96, PrivateLines: 8},
+	{Name: "ScanLargeArrays", Suite: "compute", Desc: "work-efficient prefix scan",
+		Streaming: 0.50, IntraWF: 0.25, InterWF: 0.15, MixWF: 0.10, AtomicFrac: 0.01, StoreFrac: 0.40, ALUPerMem: 14, MemOpsPerLane: 1120, SharedLines: 128, PrivateLines: 12},
+	{Name: "BitonicSort", Suite: "compute", Desc: "bitonic sorting network passes",
+		Streaming: 0.25, IntraWF: 0.30, InterWF: 0.30, MixWF: 0.15, AtomicFrac: 0, StoreFrac: 0.50, ALUPerMem: 16, MemOpsPerLane: 1200, SharedLines: 224, PrivateLines: 16},
+	{Name: "DCT", Suite: "compute", Desc: "8x8 block discrete cosine transform",
+		Streaming: 0.40, IntraWF: 0.50, InterWF: 0.05, MixWF: 0.05, AtomicFrac: 0, StoreFrac: 0.35, ALUPerMem: 26, MemOpsPerLane: 1200, SharedLines: 96, PrivateLines: 24},
+	{Name: "FloydWarshall", Suite: "compute", Desc: "all-pairs shortest paths",
+		Streaming: 0.10, IntraWF: 0.35, InterWF: 0.40, MixWF: 0.15, AtomicFrac: 0, StoreFrac: 0.35, ALUPerMem: 18, MemOpsPerLane: 1280, SharedLines: 320, PrivateLines: 16},
+	{Name: "FastWalsh", Suite: "compute", Desc: "fast Walsh-Hadamard transform",
+		Streaming: 0.30, IntraWF: 0.40, InterWF: 0.20, MixWF: 0.10, AtomicFrac: 0, StoreFrac: 0.45, ALUPerMem: 18, MemOpsPerLane: 1120, SharedLines: 160, PrivateLines: 16},
+	{Name: "BinarySearch", Suite: "compute", Desc: "batched binary searches over a sorted table",
+		Streaming: 0.15, IntraWF: 0.20, InterWF: 0.50, MixWF: 0.15, AtomicFrac: 0, StoreFrac: 0.05, ALUPerMem: 10, MemOpsPerLane: 960, SharedLines: 384, PrivateLines: 8},
+	{Name: "NBody", Suite: "compute", Desc: "direct N-body force accumulation",
+		Streaming: 0.20, IntraWF: 0.30, InterWF: 0.40, MixWF: 0.10, AtomicFrac: 0.002, StoreFrac: 0.15, ALUPerMem: 34, MemOpsPerLane: 1360, SharedLines: 192, PrivateLines: 16},
+	{Name: "Stencil2D", Suite: "compute", Desc: "5-point Jacobi stencil sweeps",
+		Streaming: 0.40, IntraWF: 0.30, InterWF: 0.15, MixWF: 0.15, AtomicFrac: 0, StoreFrac: 0.40, ALUPerMem: 14, MemOpsPerLane: 1200, SharedLines: 256, PrivateLines: 16},
+
+	// --- HeteroSync (fine-grained synchronization) ---
+	{Name: "SpinMutex", Suite: "heterosync", Desc: "spin-lock mutex acquire/release stress",
+		Streaming: 0.05, IntraWF: 0.25, InterWF: 0.45, MixWF: 0.25, AtomicFrac: 0.30, StoreFrac: 0.50, ALUPerMem: 8, MemOpsPerLane: 960, SharedLines: 24, PrivateLines: 4},
+	{Name: "EBOMutex", Suite: "heterosync", Desc: "exponential-backoff mutex",
+		Streaming: 0.05, IntraWF: 0.30, InterWF: 0.40, MixWF: 0.25, AtomicFrac: 0.22, StoreFrac: 0.50, ALUPerMem: 12, MemOpsPerLane: 960, SharedLines: 24, PrivateLines: 4},
+	{Name: "SleepMutex", Suite: "heterosync", Desc: "sleeping mutex with wait queues",
+		Streaming: 0.05, IntraWF: 0.30, InterWF: 0.40, MixWF: 0.25, AtomicFrac: 0.18, StoreFrac: 0.45, ALUPerMem: 14, MemOpsPerLane: 960, SharedLines: 32, PrivateLines: 4},
+	{Name: "FABarrier", Suite: "heterosync", Desc: "fetch-add global barrier",
+		Streaming: 0.05, IntraWF: 0.35, InterWF: 0.40, MixWF: 0.20, AtomicFrac: 0.25, StoreFrac: 0.40, ALUPerMem: 10, MemOpsPerLane: 880, SharedLines: 16, PrivateLines: 4},
+	{Name: "TreeBarrier", Suite: "heterosync", Desc: "tree-combining barrier",
+		Streaming: 0.05, IntraWF: 0.35, InterWF: 0.35, MixWF: 0.25, AtomicFrac: 0.20, StoreFrac: 0.40, ALUPerMem: 12, MemOpsPerLane: 880, SharedLines: 48, PrivateLines: 4},
+	{Name: "Semaphore", Suite: "heterosync", Desc: "counting semaphore stress",
+		Streaming: 0.05, IntraWF: 0.30, InterWF: 0.40, MixWF: 0.25, AtomicFrac: 0.24, StoreFrac: 0.45, ALUPerMem: 10, MemOpsPerLane: 880, SharedLines: 24, PrivateLines: 4},
+
+	// --- MI / ML benchmarks ---
+	{Name: "DNNMark_Conv", Suite: "mi", Desc: "convolution layer forward pass",
+		Streaming: 0.45, IntraWF: 0.40, InterWF: 0.10, MixWF: 0.05, AtomicFrac: 0, StoreFrac: 0.25, ALUPerMem: 32, MemOpsPerLane: 1360, SharedLines: 256, PrivateLines: 32},
+	{Name: "DNNMark_Pool", Suite: "mi", Desc: "max-pooling layer",
+		Streaming: 0.60, IntraWF: 0.30, InterWF: 0.05, MixWF: 0.05, AtomicFrac: 0, StoreFrac: 0.30, ALUPerMem: 10, MemOpsPerLane: 1040, SharedLines: 128, PrivateLines: 16},
+	{Name: "DeepBench_GEMM", Suite: "mi", Desc: "deep-learning GEMM shapes",
+		Streaming: 0.20, IntraWF: 0.55, InterWF: 0.15, MixWF: 0.10, AtomicFrac: 0, StoreFrac: 0.20, ALUPerMem: 30, MemOpsPerLane: 1360, SharedLines: 192, PrivateLines: 32},
+	{Name: "DeepBench_RNN", Suite: "mi", Desc: "recurrent cell time-step loop",
+		Streaming: 0.25, IntraWF: 0.40, InterWF: 0.25, MixWF: 0.10, AtomicFrac: 0.01, StoreFrac: 0.30, ALUPerMem: 24, MemOpsPerLane: 1200, SharedLines: 160, PrivateLines: 16},
+
+	// --- the two atomic-heavy outliers that dominate Fig. 9 ---
+	{Name: "Interac", Suite: "mi", Desc: "irregular graph interaction kernel, atomic-heavy",
+		Streaming: 0.10, IntraWF: 0.20, InterWF: 0.45, MixWF: 0.25, AtomicFrac: 0.28, StoreFrac: 0.50, ALUPerMem: 8, MemOpsPerLane: 1200, SharedLines: 64, PrivateLines: 8},
+	{Name: "CM", Suite: "mi", Desc: "contention microkernel: concurrent counters and flags",
+		Streaming: 0.05, IntraWF: 0.15, InterWF: 0.50, MixWF: 0.30, AtomicFrac: 0.35, StoreFrac: 0.55, ALUPerMem: 6, MemOpsPerLane: 1120, SharedLines: 16, PrivateLines: 4},
+}
+
+// ByName returns the profile with the given name, or nil.
+func ByName(name string) *Profile {
+	for i := range Profiles {
+		if Profiles[i].Name == name {
+			return &Profiles[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package apps
+
+import (
+	"time"
+
+	"drftest/internal/gpucore"
+	"drftest/internal/sim"
+	"drftest/internal/viper"
+)
+
+// RunResult summarizes one application run.
+type RunResult struct {
+	App            string
+	Suite          string
+	SimTicks       uint64
+	Events         uint64 // kernel events executed — the simulation-work measure
+	Instructions   uint64
+	MemOps         uint64
+	WallTime       time.Duration
+	Locality       [4]float64 // access-weighted, indexed by LocalityClass
+	LocalityByLine [4]float64
+	LinesTouched   int
+	Faults         int
+	Completed      bool
+}
+
+// Run executes prof on sys with numWFs wavefronts of `lanes` threads,
+// using the detailed gpucore pipeline. maxTicks bounds runaway runs
+// (0 = unbounded).
+func Run(k *sim.Kernel, sys *viper.System, prof Profile, seed uint64, numWFs, lanes int, maxTicks sim.Tick) *RunResult {
+	w := NewWorkload(prof, seed, sys.Cfg.L1.LineSize, lanes, numWFs)
+
+	wfsLeft := numWFs
+	cores := make([]*gpucore.Core, len(sys.Seqs))
+	for cu := range cores {
+		cores[cu] = gpucore.New(k, gpucore.DefaultConfig(), sys.Seqs[cu], func() { wfsLeft-- })
+	}
+	for wf := 0; wf < numWFs; wf++ {
+		cores[wf%len(cores)].AddWavefront(w.Program(wf))
+	}
+
+	startEvents := k.Executed()
+	start := time.Now()
+	for _, c := range cores {
+		c.Start()
+	}
+	if maxTicks == 0 {
+		k.RunUntilIdle()
+	} else {
+		k.Run(k.Now() + maxTicks)
+	}
+	wall := time.Since(start)
+
+	var instr, memOps uint64
+	for _, c := range cores {
+		i, m, _ := c.Stats()
+		instr += i
+		memOps += m
+	}
+	return &RunResult{
+		App:            prof.Name,
+		Suite:          prof.Suite,
+		SimTicks:       uint64(k.Now()),
+		Events:         k.Executed() - startEvents,
+		Instructions:   instr,
+		MemOps:         memOps,
+		WallTime:       wall,
+		Locality:       w.Tracker().BreakdownByAccess(),
+		LocalityByLine: w.Tracker().Breakdown(),
+		LinesTouched:   w.Tracker().Lines(),
+		Faults:         len(sys.Faults()),
+		Completed:      wfsLeft == 0,
+	}
+}

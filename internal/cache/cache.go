@@ -1,0 +1,227 @@
+// Package cache implements the storage half of a Ruby-style cache
+// controller: a set-associative tag/data array with LRU replacement and
+// per-byte dirty masks.
+//
+// Protocol state machines (package protocol and the controllers built
+// on it) own the line *state*; this package only stores it, finds
+// victims, and moves bytes. Per-byte masks exist because VIPER is a
+// write-through protocol that merges partial-line writes, and because
+// false sharing — distinct variables in one line — is the bug surface
+// the tester deliberately provokes.
+package cache
+
+import (
+	"fmt"
+
+	"drftest/internal/mem"
+)
+
+// Config sizes a cache array. All three values must be powers of two
+// and SizeBytes must be at least Assoc*LineSize.
+type Config struct {
+	SizeBytes int
+	LineSize  int
+	Assoc     int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineSize * c.Assoc) }
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.LineSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive config %+v", c)
+	}
+	for _, v := range []int{c.SizeBytes, c.LineSize, c.Assoc} {
+		if v&(v-1) != 0 {
+			return fmt.Errorf("cache: %d is not a power of two", v)
+		}
+	}
+	if c.Sets() < 1 {
+		return fmt.Errorf("cache: size %dB too small for %d-way %dB lines", c.SizeBytes, c.Assoc, c.LineSize)
+	}
+	return nil
+}
+
+// Line is one cache line. State is protocol-defined; Valid merely says
+// the tag is meaningful (a line whose protocol state is the protocol's
+// invalid state has Valid=false after Invalidate).
+type Line struct {
+	Tag   mem.Addr // line-aligned address
+	Valid bool
+	State int
+	Data  []byte
+	Dirty []bool
+
+	lastUse uint64
+}
+
+// ClearDirty resets the line's per-byte dirty mask.
+func (l *Line) ClearDirty() {
+	for i := range l.Dirty {
+		l.Dirty[i] = false
+	}
+}
+
+// WriteMasked merges src into the line under mask (nil = all bytes) and
+// marks the written bytes dirty.
+func (l *Line) WriteMasked(src []byte, mask []bool) {
+	for i := range src {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		l.Data[i] = src[i]
+		l.Dirty[i] = true
+	}
+}
+
+// Array is a set-associative cache array with true-LRU replacement.
+type Array struct {
+	cfg      Config
+	sets     [][]Line
+	useClock uint64
+
+	// stats
+	lookups uint64
+	hits    uint64
+}
+
+// NewArray builds an array for cfg; it panics on an invalid config
+// because sizing errors are programming mistakes, not runtime input.
+func NewArray(cfg Config) *Array {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	a := &Array{cfg: cfg, sets: make([][]Line, cfg.Sets())}
+	for i := range a.sets {
+		ways := make([]Line, cfg.Assoc)
+		for w := range ways {
+			ways[w].Data = make([]byte, cfg.LineSize)
+			ways[w].Dirty = make([]bool, cfg.LineSize)
+		}
+		a.sets[i] = ways
+	}
+	return a
+}
+
+// Config returns the array's configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+func (a *Array) setIndex(line mem.Addr) int {
+	return int(line/mem.Addr(a.cfg.LineSize)) & (a.cfg.Sets() - 1)
+}
+
+// Lookup returns the line holding addr's cache line, or nil on miss.
+// A hit refreshes LRU state.
+func (a *Array) Lookup(addr mem.Addr) *Line {
+	line := mem.LineAddr(addr, a.cfg.LineSize)
+	set := a.sets[a.setIndex(line)]
+	a.lookups++
+	for w := range set {
+		if set[w].Valid && set[w].Tag == line {
+			a.useClock++
+			set[w].lastUse = a.useClock
+			a.hits++
+			return &set[w]
+		}
+	}
+	return nil
+}
+
+// Peek is Lookup without LRU or stats side effects.
+func (a *Array) Peek(addr mem.Addr) *Line {
+	line := mem.LineAddr(addr, a.cfg.LineSize)
+	set := a.sets[a.setIndex(line)]
+	for w := range set {
+		if set[w].Valid && set[w].Tag == line {
+			return &set[w]
+		}
+	}
+	return nil
+}
+
+// Victim returns the line that would be evicted to make room for addr:
+// an invalid way if one exists, otherwise the least recently used way
+// for which mayEvict returns true (nil mayEvict allows all). It returns
+// nil when every way is pinned — the caller must stall, exactly like a
+// Ruby controller waiting on a busy set.
+func (a *Array) Victim(addr mem.Addr, mayEvict func(*Line) bool) *Line {
+	set := a.sets[a.setIndex(mem.LineAddr(addr, a.cfg.LineSize))]
+	var victim *Line
+	for w := range set {
+		l := &set[w]
+		if !l.Valid {
+			return l
+		}
+		if mayEvict != nil && !mayEvict(l) {
+			continue
+		}
+		if victim == nil || l.lastUse < victim.lastUse {
+			victim = l
+		}
+	}
+	return victim
+}
+
+// Install claims way for addr's line: sets the tag, validates it,
+// zeroes the data and dirty mask, and refreshes LRU. The way must come
+// from Victim (or be otherwise known free).
+func (a *Array) Install(way *Line, addr mem.Addr, state int) *Line {
+	way.Tag = mem.LineAddr(addr, a.cfg.LineSize)
+	way.Valid = true
+	way.State = state
+	for i := range way.Data {
+		way.Data[i] = 0
+		way.Dirty[i] = false
+	}
+	a.useClock++
+	way.lastUse = a.useClock
+	return way
+}
+
+// Invalidate drops addr's line if present.
+func (a *Array) Invalidate(addr mem.Addr) {
+	if l := a.Peek(addr); l != nil {
+		l.Valid = false
+	}
+}
+
+// FlashInvalidate visits every valid line (the VIPER load-acquire
+// semantic). If visit returns false the line is kept — controllers use
+// this to preserve lines with in-flight transactions.
+func (a *Array) FlashInvalidate(visit func(*Line) bool) int {
+	n := 0
+	for s := range a.sets {
+		for w := range a.sets[s] {
+			l := &a.sets[s][w]
+			if !l.Valid {
+				continue
+			}
+			if visit == nil || visit(l) {
+				l.Valid = false
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEachValid visits every valid line.
+func (a *Array) ForEachValid(visit func(*Line)) {
+	for s := range a.sets {
+		for w := range a.sets[s] {
+			if a.sets[s][w].Valid {
+				visit(&a.sets[s][w])
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid lines.
+func (a *Array) CountValid() int {
+	n := 0
+	a.ForEachValid(func(*Line) { n++ })
+	return n
+}
+
+// Stats returns (lookups, hits) since construction.
+func (a *Array) Stats() (lookups, hits uint64) { return a.lookups, a.hits }

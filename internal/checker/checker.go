@@ -1,0 +1,280 @@
+// Package checker is an independent, axiomatic verifier for recorded
+// tester executions — the TSOTool-style counterpart (paper §II.B,
+// Hangal et al.) to the tester's online checking.
+//
+// The online tester validates each response the moment it arrives,
+// using its live reference memory. This checker instead takes the
+// complete trace of a finished run and re-derives, from the trace
+// alone, what every operation was allowed to return under SC-for-DRF
+// with episode discipline:
+//
+//	A1  Atomic serialization: per sync variable, the returned old
+//	    values are exactly {0, k, 2k, …} — some total order of the
+//	    fetch-adds exists.
+//	A2  Episode exclusivity: the lifetimes of episodes that write a
+//	    data variable never overlap each other, nor the lifetime of
+//	    any episode that reads it.
+//	A3  Read values: a load returns its episode's latest prior write
+//	    to the variable, or else the final value written by the
+//	    latest-retired writer episode that retired before the reading
+//	    episode was created.
+//
+// Agreement between the two checkers on both correct and bug-injected
+// runs is itself a meta-test of the methodology's soundness.
+package checker
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind classifies a trace operation.
+type OpKind uint8
+
+const (
+	// OpLoad is a data-variable read.
+	OpLoad OpKind = iota
+	// OpStore is a data-variable write.
+	OpStore
+	// OpAtomic is a fetch-add on a sync variable (acquire or release).
+	OpAtomic
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpAtomic:
+		return "atomic"
+	}
+	return "?"
+}
+
+// Op is one completed operation in a recorded execution.
+type Op struct {
+	Kind    OpKind
+	Var     int    // variable ID (sync and data spaces are disjoint)
+	Sync    bool   // true for sync variables
+	Value   uint32 // loaded value, stored value, or atomic old value
+	Thread  int
+	Episode uint64
+	// Seq is the operation's position in the episode's program order.
+	Seq int
+}
+
+// EpisodeMeta carries the generation-time ordering facts the axioms
+// need: CreateSeq and RetireSeq are draws from one global monotonic
+// counter bumped at every episode creation and retirement, giving an
+// exact total order of those events.
+type EpisodeMeta struct {
+	ID        uint64
+	Thread    int
+	CreateSeq uint64
+	RetireSeq uint64 // 0 if the episode never retired (aborted run)
+}
+
+// Trace is a complete recorded execution.
+type Trace struct {
+	Ops      []Op
+	Episodes []EpisodeMeta
+	// AtomicDelta is the constant every atomic added.
+	AtomicDelta uint32
+}
+
+// Violation is one axiom failure.
+type Violation struct {
+	Axiom   string
+	Message string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Axiom, v.Message) }
+
+// Verify checks the trace against the axioms and returns every
+// violation found (nil for a consistent execution).
+func Verify(tr *Trace) []Violation {
+	var out []Violation
+	episodes := make(map[uint64]*EpisodeMeta, len(tr.Episodes))
+	for i := range tr.Episodes {
+		episodes[tr.Episodes[i].ID] = &tr.Episodes[i]
+	}
+
+	out = append(out, checkAtomics(tr)...)
+	out = append(out, checkExclusivity(tr, episodes)...)
+	out = append(out, checkReads(tr, episodes)...)
+	return out
+}
+
+// checkAtomics: axiom A1.
+func checkAtomics(tr *Trace) []Violation {
+	var out []Violation
+	delta := tr.AtomicDelta
+	if delta == 0 {
+		delta = 1
+	}
+	olds := map[int][]uint32{}
+	for _, op := range tr.Ops {
+		if op.Kind == OpAtomic {
+			olds[op.Var] = append(olds[op.Var], op.Value)
+		}
+	}
+	vars := make([]int, 0, len(olds))
+	for v := range olds {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, v := range vars {
+		vals := append([]uint32(nil), olds[v]...)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for i, got := range vals {
+			want := uint32(i) * delta
+			if got != want {
+				out = append(out, Violation{
+					Axiom: "A1-atomic-serialization",
+					Message: fmt.Sprintf("sync var %d: sorted old values break the progression at index %d: got %d, want %d (duplicate or skipped fetch-add)",
+						v, i, got, want),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// interval is one episode's [create, retire] lifetime with its access
+// role on a variable.
+type interval struct {
+	ep     uint64
+	lo, hi uint64
+	writes bool
+}
+
+// checkExclusivity: axiom A2.
+func checkExclusivity(tr *Trace, episodes map[uint64]*EpisodeMeta) []Violation {
+	var out []Violation
+	perVar := map[int][]interval{}
+	seen := map[[2]interface{}]bool{}
+	for _, op := range tr.Ops {
+		if op.Sync {
+			continue
+		}
+		key := [2]interface{}{op.Var, op.Episode}
+		meta := episodes[op.Episode]
+		if meta == nil {
+			out = append(out, Violation{"A2-exclusivity", fmt.Sprintf("op references unknown episode %d", op.Episode)})
+			continue
+		}
+		if seen[key] {
+			if op.Kind == OpStore {
+				// Upgrade an existing read interval to a write one.
+				ivs := perVar[op.Var]
+				for i := range ivs {
+					if ivs[i].ep == op.Episode {
+						ivs[i].writes = true
+					}
+				}
+			}
+			continue
+		}
+		seen[key] = true
+		hi := meta.RetireSeq
+		if hi == 0 {
+			hi = ^uint64(0) // never retired: conservatively unbounded
+		}
+		perVar[op.Var] = append(perVar[op.Var], interval{
+			ep: op.Episode, lo: meta.CreateSeq, hi: hi, writes: op.Kind == OpStore,
+		})
+	}
+
+	vars := make([]int, 0, len(perVar))
+	for v := range perVar {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, v := range vars {
+		ivs := perVar[v]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+		for i := 1; i < len(ivs); i++ {
+			prev, cur := ivs[i-1], ivs[i]
+			if cur.lo < prev.hi && (prev.writes || cur.writes) {
+				out = append(out, Violation{
+					Axiom: "A2-exclusivity",
+					Message: fmt.Sprintf("data var %d: episodes %d and %d overlap with a writer (lifetimes [%d,%d] and [%d,%d])",
+						v, prev.ep, cur.ep, prev.lo, prev.hi, cur.lo, cur.hi),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkReads: axiom A3.
+func checkReads(tr *Trace, episodes map[uint64]*EpisodeMeta) []Violation {
+	var out []Violation
+
+	// Final write value per (episode, var), plus per-episode in-order
+	// writes for own-read resolution.
+	type epVar struct {
+		ep uint64
+		v  int
+	}
+	finalWrite := map[epVar]uint32{}
+	for _, op := range tr.Ops {
+		if op.Kind == OpStore {
+			finalWrite[epVar{op.Episode, op.Var}] = op.Value // ops are in trace order = program order per thread
+		}
+	}
+
+	// Writer episodes per var ordered by retire seq.
+	writersByVar := map[int][]*EpisodeMeta{}
+	for key := range finalWrite {
+		if meta := episodes[key.ep]; meta != nil && meta.RetireSeq != 0 {
+			writersByVar[key.v] = append(writersByVar[key.v], meta)
+		}
+	}
+	for v := range writersByVar {
+		ws := writersByVar[v]
+		sort.Slice(ws, func(i, j int) bool { return ws[i].RetireSeq < ws[j].RetireSeq })
+	}
+
+	// Walk ops in order, tracking each episode's own writes so far.
+	ownWrites := map[epVar]uint32{}
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case OpStore:
+			ownWrites[epVar{op.Episode, op.Var}] = op.Value
+		case OpLoad:
+			if own, ok := ownWrites[epVar{op.Episode, op.Var}]; ok {
+				if op.Value != own {
+					out = append(out, Violation{
+						Axiom: "A3-read-own-write",
+						Message: fmt.Sprintf("episode %d load of var %d returned %d, its own prior store wrote %d",
+							op.Episode, op.Var, op.Value, own),
+					})
+				}
+				continue
+			}
+			meta := episodes[op.Episode]
+			if meta == nil {
+				continue // already reported by A2
+			}
+			var want uint32 // zero-initialized memory
+			for _, w := range writersByVar[op.Var] {
+				if w.RetireSeq < meta.CreateSeq {
+					want = finalWrite[epVar{w.ID, op.Var}]
+				} else {
+					break
+				}
+			}
+			if op.Value != want {
+				out = append(out, Violation{
+					Axiom: "A3-read-retired-value",
+					Message: fmt.Sprintf("episode %d (created@%d) load of var %d returned %d; last retired writer's value is %d",
+						op.Episode, meta.CreateSeq, op.Var, op.Value, want),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+)
+
+// hand-built consistent trace: two episodes, writer then reader.
+func goodTrace() *Trace {
+	return &Trace{
+		AtomicDelta: 1,
+		Episodes: []EpisodeMeta{
+			{ID: 1, Thread: 0, CreateSeq: 1, RetireSeq: 2},
+			{ID: 2, Thread: 1, CreateSeq: 3, RetireSeq: 4},
+		},
+		Ops: []Op{
+			{Kind: OpAtomic, Var: 100, Sync: true, Value: 0, Thread: 0, Episode: 1, Seq: 1},
+			{Kind: OpStore, Var: 5, Value: 42, Thread: 0, Episode: 1, Seq: 2},
+			{Kind: OpLoad, Var: 5, Value: 42, Thread: 0, Episode: 1, Seq: 3}, // own write
+			{Kind: OpAtomic, Var: 100, Sync: true, Value: 1, Thread: 0, Episode: 1, Seq: 4},
+			{Kind: OpAtomic, Var: 100, Sync: true, Value: 2, Thread: 1, Episode: 2, Seq: 1},
+			{Kind: OpLoad, Var: 5, Value: 42, Thread: 1, Episode: 2, Seq: 2}, // retired write
+			{Kind: OpLoad, Var: 6, Value: 0, Thread: 1, Episode: 2, Seq: 3},  // untouched var
+			{Kind: OpAtomic, Var: 100, Sync: true, Value: 3, Thread: 1, Episode: 2, Seq: 4},
+		},
+	}
+}
+
+func TestConsistentTracePasses(t *testing.T) {
+	if vs := Verify(goodTrace()); len(vs) != 0 {
+		t.Fatalf("consistent trace flagged: %v", vs)
+	}
+}
+
+func TestDuplicateAtomicCaught(t *testing.T) {
+	tr := goodTrace()
+	tr.Ops[4].Value = 1 // same old value as op 3: broken fetch-add
+	vs := Verify(tr)
+	if len(vs) == 0 || !strings.Contains(vs[0].Axiom, "A1") {
+		t.Fatalf("duplicate atomic not caught: %v", vs)
+	}
+}
+
+func TestOverlappingWritersCaught(t *testing.T) {
+	tr := goodTrace()
+	// Make episode 2 overlap episode 1's lifetime and store the var.
+	tr.Episodes[1].CreateSeq = 1
+	tr.Ops[5] = Op{Kind: OpStore, Var: 5, Value: 9, Thread: 1, Episode: 2, Seq: 2}
+	found := false
+	for _, v := range Verify(tr) {
+		if strings.Contains(v.Axiom, "A2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("overlapping writer episodes not caught")
+	}
+}
+
+func TestStaleReadCaught(t *testing.T) {
+	tr := goodTrace()
+	tr.Ops[5].Value = 0 // reader misses the retired write
+	vs := Verify(tr)
+	found := false
+	for _, v := range vs {
+		if v.Axiom == "A3-read-retired-value" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stale read not caught: %v", vs)
+	}
+}
+
+func TestOwnWriteViolationCaught(t *testing.T) {
+	tr := goodTrace()
+	tr.Ops[2].Value = 7 // own-episode read disagrees with own store
+	vs := Verify(tr)
+	found := false
+	for _, v := range vs {
+		if v.Axiom == "A3-read-own-write" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("own-write violation not caught: %v", vs)
+	}
+}
+
+func TestUnknownEpisodeCaught(t *testing.T) {
+	tr := goodTrace()
+	tr.Ops[1].Episode = 99
+	vs := Verify(tr)
+	if len(vs) == 0 {
+		t.Fatal("dangling episode reference not caught")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Axiom: "A1", Message: "boom"}
+	if v.String() != "A1: boom" {
+		t.Fatalf("got %q", v.String())
+	}
+	for _, k := range []OpKind{OpLoad, OpStore, OpAtomic} {
+		if k.String() == "?" {
+			t.Fatal("OpKind string missing")
+		}
+	}
+}

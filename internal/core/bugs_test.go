@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"drftest/internal/coverage"
+	"drftest/internal/sim"
+	"drftest/internal/viper"
+)
+
+// bugConfig is a contention-heavy tester setup: few variables, dense
+// mapping, lots of false sharing — the configuration §V recommends for
+// exposing racing-write bugs quickly.
+func bugConfig(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumWavefronts = 8
+	cfg.ThreadsPerWF = 4
+	cfg.EpisodesPerWF = 8
+	cfg.ActionsPerEpisode = 30
+	cfg.NumSyncVars = 4
+	cfg.NumDataVars = 48
+	cfg.StoreFraction = 0.6
+	return cfg
+}
+
+func runWithBugs(t *testing.T, bugs viper.BugSet, cfg Config) *Report {
+	t.Helper()
+	k := sim.NewKernel()
+	col := coverage.NewCollector(viper.NewTCPSpec(), viper.NewTCCSpec())
+	sysCfg := viper.SmallCacheConfig()
+	sysCfg.Bugs = bugs
+	sys := viper.NewSystem(k, sysCfg, col)
+	tester := New(k, sys, cfg)
+	return tester.Run()
+}
+
+func hasKind(rep *Report, kind FailureKind) bool {
+	for _, f := range rep.Failures {
+		if f.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func kinds(rep *Report) []FailureKind {
+	var out []FailureKind
+	for _, f := range rep.Failures {
+		out = append(out, f.Kind)
+	}
+	return out
+}
+
+// detectAcrossSeeds asserts the bug is caught for most seeds (a single
+// seed may randomly fail to provoke the race) and that at least one
+// failure of the wanted kinds appears overall.
+func detectAcrossSeeds(t *testing.T, bugs viper.BugSet, want map[FailureKind]bool, seeds int, mut func(*Config)) {
+	t.Helper()
+	detected := 0
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		cfg := bugConfig(seed)
+		if mut != nil {
+			mut(&cfg)
+		}
+		rep := runWithBugs(t, bugs, cfg)
+		matched := false
+		for _, f := range rep.Failures {
+			if want[f.Kind] {
+				matched = true
+			}
+		}
+		if matched {
+			detected++
+		} else if len(rep.Failures) > 0 {
+			t.Logf("seed %d: unexpected failure kinds %v", seed, kinds(rep))
+		}
+	}
+	t.Logf("detected in %d/%d seeds", detected, seeds)
+	if detected == 0 {
+		t.Fatalf("bug %+v never detected across %d seeds", bugs, seeds)
+	}
+	if detected < seeds/2 {
+		t.Errorf("bug %+v detected in only %d/%d seeds; tester is too weak", bugs, detected, seeds)
+	}
+}
+
+func TestDetectsLostWriteRace(t *testing.T) {
+	detectAcrossSeeds(t,
+		viper.BugSet{LostWriteRace: true},
+		map[FailureKind]bool{FailValueMismatch: true, FailFinalAudit: true},
+		8, nil)
+}
+
+func TestDetectsNonAtomicRMW(t *testing.T) {
+	detectAcrossSeeds(t,
+		viper.BugSet{NonAtomicRMW: true},
+		map[FailureKind]bool{FailDuplicateAtomic: true, FailBadAtomicValue: true, FailValueMismatch: true, FailFinalAudit: true},
+		8, nil)
+}
+
+func TestDetectsDroppedWBAckAsDeadlock(t *testing.T) {
+	detectAcrossSeeds(t,
+		viper.BugSet{DropWBAckEvery: 20},
+		map[FailureKind]bool{FailDeadlock: true},
+		4, func(cfg *Config) {
+			cfg.DeadlockThreshold = 20_000
+			cfg.CheckPeriod = 5_000
+		})
+}
+
+func TestDetectsStaleAcquire(t *testing.T) {
+	detectAcrossSeeds(t,
+		viper.BugSet{StaleAcquire: true},
+		map[FailureKind]bool{FailValueMismatch: true},
+		8, nil)
+}
+
+// TestTableVReportShape checks the failure report carries the paper's
+// Table V fields: both accesses identified by thread, group, episode,
+// address, cycle, and value.
+func TestTableVReportShape(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		rep := runWithBugs(t, viper.BugSet{LostWriteRace: true}, bugConfig(seed))
+		for _, f := range rep.Failures {
+			if f.Kind != FailValueMismatch || f.LastWriter == nil || f.LastReader == nil {
+				continue
+			}
+			if f.LastReader.Cycle == 0 || f.LastWriter.Cycle == 0 {
+				t.Fatalf("report missing cycles: %s", f.TableV())
+			}
+			if len(f.Window) == 0 {
+				t.Fatalf("report missing transaction window: %s", f.TableV())
+			}
+			tv := f.TableV()
+			for _, want := range []string{"Thread ID", "Episode ID", "Cycle", "Read/Written Value"} {
+				if !contains(tv, want) {
+					t.Fatalf("TableV output missing %q:\n%s", want, tv)
+				}
+			}
+			return
+		}
+	}
+	t.Skip("no value-mismatch failure with full reader/writer context found")
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

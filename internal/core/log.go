@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"drftest/internal/mem"
+)
+
+// LogEntry is one memory transaction in the tester's rolling event log
+// (§III.D): enough identity to reconstruct the window of activity
+// around a failure.
+type LogEntry struct {
+	Tick      uint64
+	Kind      string // "issue" or "resp"
+	Op        mem.Op
+	Addr      mem.Addr
+	ThreadID  int
+	WFID      int
+	EpisodeID uint64
+	Value     uint32
+	Acquire   bool
+	Release   bool
+}
+
+func (e LogEntry) String() string {
+	sem := ""
+	if e.Acquire {
+		sem = " acq"
+	}
+	if e.Release {
+		sem += " rel"
+	}
+	return fmt.Sprintf("%8d %-5s %s%s addr=%#06x val=%-6d thr=%d wf=%d eps=%d",
+		e.Tick, e.Kind, e.Op, sem, uint64(e.Addr), e.Value, e.ThreadID, e.WFID, e.EpisodeID)
+}
+
+// EventLog is a fixed-capacity ring of recent transactions.
+type EventLog struct {
+	entries []LogEntry
+	next    int
+	full    bool
+	total   uint64
+}
+
+// NewEventLog creates a log holding the last capacity entries.
+func NewEventLog(capacity int) *EventLog {
+	return &EventLog{entries: make([]LogEntry, capacity)}
+}
+
+// Append records one transaction.
+func (l *EventLog) Append(e LogEntry) {
+	l.entries[l.next] = e
+	l.next++
+	l.total++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.full = true
+	}
+}
+
+// Total returns the number of transactions ever recorded.
+func (l *EventLog) Total() uint64 { return l.total }
+
+// Recent returns up to n most-recent entries, oldest first.
+func (l *EventLog) Recent(n int) []LogEntry {
+	all := l.snapshot()
+	if n < len(all) {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// ForAddr returns up to n most-recent entries touching addr, oldest
+// first — the "zoom into the window" view a protocol designer uses.
+func (l *EventLog) ForAddr(addr mem.Addr, n int) []LogEntry {
+	all := l.snapshot()
+	var out []LogEntry
+	for _, e := range all {
+		if e.Addr == addr {
+			out = append(out, e)
+		}
+	}
+	if n < len(out) {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+func (l *EventLog) snapshot() []LogEntry {
+	if !l.full {
+		return append([]LogEntry(nil), l.entries[:l.next]...)
+	}
+	out := make([]LogEntry, 0, len(l.entries))
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// Dump renders entries as a table.
+func Dump(entries []LogEntry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

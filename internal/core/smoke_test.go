@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"drftest/internal/coverage"
+	"drftest/internal/sim"
+	"drftest/internal/viper"
+)
+
+func runTester(t *testing.T, sysCfg viper.Config, cfg Config) (*Report, *coverage.Collector) {
+	t.Helper()
+	k := sim.NewKernel()
+	col := coverage.NewCollector(viper.NewTCPSpec(), viper.NewTCCSpec())
+	sys := viper.NewSystem(k, sysCfg, col)
+	tester := New(k, sys, cfg)
+	rep := tester.Run()
+	return rep, col
+}
+
+func TestSmokeCorrectProtocolPasses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumWavefronts = 8
+	cfg.EpisodesPerWF = 5
+	cfg.ActionsPerEpisode = 20
+	rep, col := runTester(t, viper.SmallCacheConfig(), cfg)
+	for _, f := range rep.Failures {
+		t.Errorf("unexpected failure: %s", f.TableV())
+	}
+	if rep.OpsIssued != cfg.TotalActions() {
+		t.Errorf("issued %d ops, want %d", rep.OpsIssued, cfg.TotalActions())
+	}
+	if rep.OpsCompleted != rep.OpsIssued {
+		t.Errorf("completed %d of %d ops", rep.OpsCompleted, rep.OpsIssued)
+	}
+	l1 := col.Matrix("GPU-L1").Summarize(nil)
+	l2 := col.Matrix("GPU-L2").Summarize(nil)
+	t.Logf("sim ticks=%d events=%d episodes=%d falseSharedLines=%d", rep.SimTicks, rep.EventsExecuted, rep.EpisodesRetired, rep.FalseSharedLines)
+	t.Logf("L1 %s", l1)
+	t.Logf("L2 %s", l2)
+	if l1.Active == 0 || l2.Active == 0 {
+		t.Fatal("no transitions recorded")
+	}
+}

@@ -1,0 +1,660 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"drftest/internal/checker"
+	"drftest/internal/mem"
+	"drftest/internal/rng"
+	"drftest/internal/sim"
+	"drftest/internal/viper"
+)
+
+type opKind uint8
+
+const (
+	opAcquire opKind = iota
+	opLoad
+	opStore
+	opRelease
+	// opExtra is a plain (non-acquire, non-release) atomic on the
+	// episode's own sync variable, generated only when contention
+	// leaves no race-free data action — sync variables are never
+	// claimed, so it is always legal under DRF.
+	opExtra
+)
+
+// genOp is one pre-generated episode action.
+type genOp struct {
+	kind     opKind
+	v        *variable
+	storeVal uint32
+}
+
+// episode is one live critical-section-shaped action sequence.
+type episode struct {
+	id        uint64
+	sync      *variable
+	ops       []genOp
+	next      int
+	createSeq uint64
+	traceSeq  int
+	writes    map[int]uint32 // var id → this episode's latest written value
+	claims    map[int]*variable
+	// claimOrder lists claimed variables in claim order; fallback
+	// generation iterates it instead of the map to stay deterministic.
+	claimOrder []*variable
+}
+
+// thread is one tester lane.
+type thread struct {
+	id, wf, lane int
+	ep           *episode
+	episodesDone int
+	curOp        genOp
+}
+
+// wavefront is a lockstep group of threads bound to one CU.
+type wavefront struct {
+	id, cu      int
+	threads     []*thread
+	outstanding int
+	finished    bool
+}
+
+// Tester is the autonomous DRF GPU tester: it generates wavefronts of
+// DRF episodes against a VIPER system, checks every response, and
+// reports failures with Table V-style context.
+type Tester struct {
+	k       *sim.Kernel
+	cfg     Config
+	systems []*viper.System
+	seqs    []*viper.Sequencer
+	rnd     *rng.PCG
+
+	space   *addressSpace
+	threads []*thread
+	wfs     []*wavefront
+	log     *EventLog
+
+	failures      []*Failure
+	deadlockSeen  bool
+	lastWorkTick  uint64
+	genSeq        uint64
+	trace         *checker.Trace
+	epMeta        map[uint64]*checker.EpisodeMeta
+	nextReqID     uint64
+	nextEpisodeID uint64
+	storeValue    uint32
+	finishedWFs   int
+	done          bool
+
+	// stats
+	opsIssued, opsCompleted, episodesRetired uint64
+}
+
+// New builds a tester over sys. The tester registers itself as every
+// sequencer's client.
+func New(k *sim.Kernel, sys *viper.System, cfg Config) *Tester {
+	return NewMulti(k, []*viper.System{sys}, cfg)
+}
+
+// NewMulti builds one tester spanning several GPU systems (a
+// multi-GPU configuration over a shared directory, §III.B): wavefronts
+// are distributed round-robin over every CU of every GPU, and the DRF
+// checks apply globally.
+func NewMulti(k *sim.Kernel, systems []*viper.System, cfg Config) *Tester {
+	cfg = cfg.withDefaults()
+	t := &Tester{
+		k:       k,
+		cfg:     cfg,
+		systems: systems,
+		rnd:     rng.New(cfg.Seed, 0xD2F),
+		log:     NewEventLog(cfg.LogCapacity),
+	}
+	lineSize := systems[0].Cfg.L1.LineSize
+	for _, sys := range systems {
+		if sys.Cfg.L1.LineSize != lineSize {
+			panic("core: all GPUs under one tester must share a line size")
+		}
+		t.seqs = append(t.seqs, sys.Seqs...)
+	}
+	t.space = buildAddressSpace(t.rnd.Split(), cfg.NumSyncVars, cfg.NumDataVars, cfg.AddressRangeBytes)
+	if cfg.RecordTrace {
+		t.trace = &checker.Trace{AtomicDelta: cfg.AtomicDelta}
+		t.epMeta = make(map[uint64]*checker.EpisodeMeta)
+	}
+
+	numCUs := len(t.seqs)
+	for w := 0; w < cfg.NumWavefronts; w++ {
+		wf := &wavefront{id: w, cu: w % numCUs}
+		for l := 0; l < cfg.ThreadsPerWF; l++ {
+			thr := &thread{id: len(t.threads), wf: w, lane: l}
+			t.threads = append(t.threads, thr)
+			wf.threads = append(wf.threads, thr)
+		}
+		t.wfs = append(t.wfs, wf)
+	}
+	for _, seq := range t.seqs {
+		seq.SetClient(t)
+	}
+	return t
+}
+
+// FalseSharingLines reports how many cache lines mix sync and data
+// variables under the run's random mapping.
+func (t *Tester) FalseSharingLines() int {
+	return t.space.falseSharingPairs(t.systems[0].Cfg.L1.LineSize)
+}
+
+// Log exposes the rolling transaction log.
+func (t *Tester) Log() *EventLog { return t.log }
+
+// Failures returns the bugs detected so far.
+func (t *Tester) Failures() []*Failure { return t.failures }
+
+// Trace returns the recorded execution (nil unless Config.RecordTrace
+// was set), with episode metadata finalized.
+func (t *Tester) Trace() *checker.Trace {
+	if t.trace == nil {
+		return nil
+	}
+	t.report() // finalizes trace.Episodes
+	return t.trace
+}
+
+// Start schedules the first lockstep round of every wavefront and the
+// forward-progress heartbeat.
+func (t *Tester) Start() {
+	for _, wf := range t.wfs {
+		wf := wf
+		t.k.Schedule(0, func() { t.issueRound(wf) })
+	}
+	t.k.Schedule(t.cfg.CheckPeriod, t.heartbeat)
+}
+
+// Run executes the whole test: start, simulate to completion, final
+// audit. It returns the run's report.
+func (t *Tester) Run() *Report {
+	start := time.Now()
+	t.Start()
+	t.k.RunUntilIdle()
+	t.Finish()
+	r := t.report()
+	r.WallTime = time.Since(start)
+	return r
+}
+
+// issueRound issues the next action of every unfinished thread in wf.
+func (t *Tester) issueRound(wf *wavefront) {
+	if t.k.Stopped() || wf.finished {
+		return
+	}
+	issued := 0
+	for _, thr := range wf.threads {
+		if thr.episodesDone >= t.cfg.EpisodesPerWF {
+			continue
+		}
+		if thr.ep == nil {
+			thr.ep = t.newEpisode()
+		}
+		op := thr.ep.ops[thr.ep.next]
+		thr.ep.next++
+		thr.curOp = op
+		t.issueOp(wf, thr, op)
+		issued++
+	}
+	if issued == 0 {
+		wf.finished = true
+		t.finishedWFs++
+		if t.finishedWFs == len(t.wfs) {
+			t.done = true
+		}
+	}
+}
+
+func (t *Tester) issueOp(wf *wavefront, thr *thread, op genOp) {
+	t.nextReqID++
+	req := &mem.Request{
+		ID:        t.nextReqID,
+		Addr:      op.v.addr,
+		ThreadID:  thr.id,
+		WFID:      thr.wf,
+		EpisodeID: thr.ep.id,
+	}
+	switch op.kind {
+	case opAcquire:
+		req.Op = mem.OpAtomic
+		req.Operand = t.cfg.AtomicDelta
+		req.Acquire = true
+	case opRelease:
+		req.Op = mem.OpAtomic
+		req.Operand = t.cfg.AtomicDelta
+		req.Release = true
+	case opExtra:
+		req.Op = mem.OpAtomic
+		req.Operand = t.cfg.AtomicDelta
+	case opLoad:
+		req.Op = mem.OpLoad
+	case opStore:
+		req.Op = mem.OpStore
+		req.Data = op.storeVal
+		// The thread's own later loads must observe this value from
+		// issue onward (program order).
+		thr.ep.writes[op.v.id] = op.storeVal
+	}
+	wf.outstanding++
+	t.opsIssued++
+	t.log.Append(LogEntry{
+		Tick: uint64(t.k.Now()), Kind: "issue", Op: req.Op, Addr: req.Addr,
+		ThreadID: thr.id, WFID: thr.wf, EpisodeID: thr.ep.id,
+		Value: req.Data, Acquire: req.Acquire, Release: req.Release,
+	})
+	t.seqs[wf.cu].Issue(req)
+}
+
+// newEpisode generates a fresh episode obeying the §III.A race-freedom
+// rules against every live episode.
+func (t *Tester) newEpisode() *episode {
+	t.nextEpisodeID++
+	ep := &episode{
+		id:     t.nextEpisodeID,
+		sync:   t.space.syncVars[t.rnd.Intn(len(t.space.syncVars))],
+		writes: make(map[int]uint32),
+		claims: make(map[int]*variable),
+	}
+	t.genSeq++
+	ep.createSeq = t.genSeq
+	if t.trace != nil {
+		t.epMeta[ep.id] = &checker.EpisodeMeta{ID: ep.id, CreateSeq: ep.createSeq}
+	}
+	n := t.cfg.ActionsPerEpisode
+	ep.ops = make([]genOp, 0, n)
+	ep.ops = append(ep.ops, genOp{kind: opAcquire, v: ep.sync})
+	for i := 0; i < n-2; i++ {
+		ep.ops = append(ep.ops, t.genDataOp(ep))
+	}
+	ep.ops = append(ep.ops, genOp{kind: opRelease, v: ep.sync})
+	return ep
+}
+
+func (t *Tester) genDataOp(ep *episode) genOp {
+	wantStore := t.rnd.Bool(t.cfg.StoreFraction)
+	if v := t.pickData(ep.id, wantStore); v != nil {
+		return t.claimOp(ep, v, wantStore)
+	}
+	// Contention fallbacks: the opposite kind by sampling, then a
+	// deterministic scan of the whole variable space, and finally — if
+	// literally every data variable is claimed by a live foreign
+	// episode — an always-legal plain atomic on the episode's own sync
+	// variable. The episode keeps its configured length either way.
+	if v := t.pickData(ep.id, !wantStore); v != nil {
+		return t.claimOp(ep, v, !wantStore)
+	}
+	for _, v := range t.space.dataVars {
+		if v.canLoad(ep.id) {
+			return t.claimOp(ep, v, false)
+		}
+	}
+	return genOp{kind: opExtra, v: ep.sync}
+}
+
+// pickData rejection-samples a data variable that episode eps may
+// access with the requested kind.
+func (t *Tester) pickData(eps uint64, store bool) *variable {
+	vars := t.space.dataVars
+	for try := 0; try < 64; try++ {
+		v := vars[t.rnd.Intn(len(vars))]
+		if store && v.canStore(eps) {
+			return v
+		}
+		if !store && v.canLoad(eps) {
+			return v
+		}
+	}
+	return nil
+}
+
+func (t *Tester) claimOp(ep *episode, v *variable, store bool) genOp {
+	if _, seen := ep.claims[v.id]; !seen {
+		ep.claims[v.id] = v
+		ep.claimOrder = append(ep.claimOrder, v)
+	}
+	if store {
+		v.claimWrite(ep.id)
+		t.storeValue++
+		return genOp{kind: opStore, v: v, storeVal: t.storeValue}
+	}
+	v.claimRead(ep.id)
+	return genOp{kind: opLoad, v: v}
+}
+
+// HandleResponse implements mem.Requestor: every response is checked
+// against the reference state before the lockstep round advances.
+func (t *Tester) HandleResponse(resp *mem.Response) {
+	req := resp.Req
+	thr := t.threads[req.ThreadID]
+	wf := t.wfs[thr.wf]
+	ep := thr.ep
+	op := thr.curOp
+	t.opsCompleted++
+	t.lastWorkTick = resp.Tick
+
+	t.log.Append(LogEntry{
+		Tick: resp.Tick, Kind: "resp", Op: req.Op, Addr: req.Addr,
+		ThreadID: thr.id, WFID: thr.wf, EpisodeID: req.EpisodeID,
+		Value: resp.Data, Acquire: req.Acquire, Release: req.Release,
+	})
+
+	rec := AccessRecord{
+		ThreadID: thr.id, WFID: thr.wf, EpisodeID: req.EpisodeID,
+		Addr: req.Addr, Cycle: resp.Tick, Value: resp.Data,
+	}
+
+	if t.trace != nil {
+		t.recordTraceOp(thr, ep, op, req, resp)
+	}
+
+	switch op.kind {
+	case opLoad:
+		t.checkLoad(ep, op.v, rec, resp)
+		op.v.lastReader = rec
+		op.v.hasReader = true
+	case opStore:
+		wrec := rec
+		wrec.Value = req.Data
+		op.v.lastWriter = wrec
+		op.v.hasWriter = true
+	case opAcquire, opRelease, opExtra:
+		t.checkAtomic(op.v, rec)
+		if op.kind == opRelease {
+			t.retire(thr, ep)
+		}
+	}
+
+	wf.outstanding--
+	if wf.outstanding == 0 && !t.k.Stopped() {
+		t.k.Schedule(1, func() { t.issueRound(wf) })
+	}
+}
+
+// checkLoad enforces the DRF value rule: a load sees the episode's own
+// latest store to the variable, or the globally retired value.
+func (t *Tester) checkLoad(ep *episode, v *variable, rec AccessRecord, resp *mem.Response) {
+	expected, own := ep.writes[v.id]
+	if !own {
+		expected = v.value
+	}
+	if resp.Data == expected {
+		return
+	}
+	f := &Failure{
+		Kind: FailValueMismatch, Tick: resp.Tick, Addr: v.addr,
+		Expected: expected, Got: resp.Data,
+		Message: fmt.Sprintf("load of %#x returned %d, expected %d (own-write=%v)",
+			uint64(v.addr), resp.Data, expected, own),
+		LastReader: &rec,
+		Window:     t.log.ForAddr(v.addr, 16),
+	}
+	if v.hasWriter {
+		w := v.lastWriter
+		f.LastWriter = &w
+	}
+	t.fail(f)
+}
+
+// checkAtomic enforces atomicity: old values of the fetch-adds on a
+// sync variable must be unique multiples of the delta, bounded by the
+// number of issued atomics.
+func (t *Tester) checkAtomic(v *variable, rec AccessRecord) {
+	old := rec.Value
+	defer func() {
+		v.seenOld[old] = rec
+		v.completed++
+	}()
+	if old%t.cfg.AtomicDelta != 0 {
+		t.fail(&Failure{
+			Kind: FailBadAtomicValue, Tick: rec.Cycle, Addr: v.addr,
+			Got: old,
+			Message: fmt.Sprintf("atomic on %#x returned %d, not a multiple of delta %d",
+				uint64(v.addr), old, t.cfg.AtomicDelta),
+			LastReader: &rec,
+			Window:     t.log.ForAddr(v.addr, 16),
+		})
+		return
+	}
+	if prev, dup := v.seenOld[old]; dup {
+		p := prev
+		t.fail(&Failure{
+			Kind: FailDuplicateAtomic, Tick: rec.Cycle, Addr: v.addr,
+			Got: old,
+			Message: fmt.Sprintf("two atomics on %#x returned the same old value %d: atomicity violated",
+				uint64(v.addr), old),
+			LastReader: &p,
+			LastWriter: &rec,
+			Window:     t.log.ForAddr(v.addr, 16),
+		})
+	}
+}
+
+// recordTraceOp appends the completed operation to the axiomatic
+// checker's trace.
+func (t *Tester) recordTraceOp(thr *thread, ep *episode, op genOp, req *mem.Request, resp *mem.Response) {
+	ep.traceSeq++
+	top := checker.Op{
+		Var:     op.v.id,
+		Sync:    op.v.sync,
+		Thread:  thr.id,
+		Episode: ep.id,
+		Seq:     ep.traceSeq,
+	}
+	switch op.kind {
+	case opLoad:
+		top.Kind = checker.OpLoad
+		top.Value = resp.Data
+	case opStore:
+		top.Kind = checker.OpStore
+		top.Value = req.Data
+	default:
+		top.Kind = checker.OpAtomic
+		top.Value = resp.Data
+	}
+	t.trace.Ops = append(t.trace.Ops, top)
+}
+
+// retire completes an episode: its writes become the globally visible
+// reference values and its claims are released, legalising new accesses
+// by future episodes (§III.C: "a newly written value becomes globally
+// visible to other threads after the episode retires").
+func (t *Tester) retire(thr *thread, ep *episode) {
+	t.genSeq++
+	if t.trace != nil {
+		if m := t.epMeta[ep.id]; m != nil {
+			m.Thread = thr.id
+			m.RetireSeq = t.genSeq
+		}
+	}
+	for id, val := range ep.writes {
+		ep.claims[id].value = val
+	}
+	for _, v := range ep.claimOrder {
+		v.release(ep.id)
+	}
+	t.episodesRetired++
+	thr.ep = nil
+	thr.episodesDone++
+}
+
+// heartbeat is the periodic forward-progress check (§III.C): any
+// request older than the threshold is reported as a deadlock.
+func (t *Tester) heartbeat() {
+	if t.done || t.k.Stopped() {
+		return
+	}
+	now := uint64(t.k.Now())
+	t.forEachOutstanding(func(r *mem.Request) {
+		if t.deadlockSeen || now-r.IssueTick <= t.cfg.DeadlockThreshold {
+			return
+		}
+		t.deadlockSeen = true
+		t.failures = append(t.failures, &Failure{
+			Kind: FailDeadlock, Tick: now, Addr: r.Addr,
+			Message: fmt.Sprintf("no forward progress: %s outstanding for %d ticks (threshold %d)",
+				r, now-r.IssueTick, t.cfg.DeadlockThreshold),
+			Window: t.log.ForAddr(r.Addr, 16),
+		})
+		t.k.Stop()
+	})
+	if !t.deadlockSeen {
+		t.k.Schedule(t.cfg.CheckPeriod, t.heartbeat)
+	}
+}
+
+func (t *Tester) forEachOutstanding(visit func(*mem.Request)) {
+	for _, sys := range t.systems {
+		sys.ForEachOutstanding(visit)
+	}
+}
+
+func (t *Tester) outstandingCount() int {
+	n := 0
+	for _, sys := range t.systems {
+		n += sys.OutstandingRequests()
+	}
+	return n
+}
+
+func (t *Tester) fail(f *Failure) {
+	t.failures = append(t.failures, f)
+	if !t.cfg.KeepGoing {
+		t.k.Stop()
+	}
+}
+
+// Finish runs the end-of-run audits. With a correct protocol, the
+// reference memory, the simulated DRAM, and the L2's cached lines must
+// all agree, and nothing may remain outstanding.
+func (t *Tester) Finish() {
+	for _, sys := range t.systems {
+		for _, f := range sys.Faults() {
+			t.failures = append(t.failures, &Failure{
+				Kind: FailProtocolFault, Tick: uint64(t.k.Now()), Message: f.Error(),
+			})
+		}
+	}
+	if len(t.failures) > 0 {
+		return
+	}
+
+	if n := t.outstandingCount(); n > 0 && !t.done {
+		now := uint64(t.k.Now())
+		t.forEachOutstanding(func(r *mem.Request) {
+			if t.deadlockSeen {
+				return
+			}
+			t.deadlockSeen = true
+			t.failures = append(t.failures, &Failure{
+				Kind: FailDeadlock, Tick: now, Addr: r.Addr,
+				Message: fmt.Sprintf("simulation idle with %d requests outstanding; first: %s (issued at %d)",
+					n, r, r.IssueTick),
+				Window: t.log.ForAddr(r.Addr, 16),
+			})
+		})
+		return
+	}
+
+	if len(t.systems) != 1 || t.systems[0].Mem == nil {
+		return // directory-backed runs audit via AuditStore(store)
+	}
+	t.AuditStore(t.systems[0].Mem.Store())
+}
+
+// AuditStore compares the reference state against the backing store
+// and the L2's cached lines. The L2 audit runs first: for write-back
+// variants it flushes dirty lines into the store, making memory
+// authoritative for the variable checks that follow.
+func (t *Tester) AuditStore(store *mem.Store) {
+	for _, sys := range t.systems {
+		for _, m := range sys.AuditL2(store) {
+			t.failures = append(t.failures, &Failure{
+				Kind:    FailFinalAudit,
+				Message: "L2 audit: " + m,
+			})
+		}
+	}
+	for _, v := range t.space.dataVars {
+		if got := store.ReadWord(v.addr); got != v.value {
+			t.failures = append(t.failures, &Failure{
+				Kind: FailFinalAudit, Addr: v.addr, Expected: v.value, Got: got,
+				Message: fmt.Sprintf("final memory audit: %#x holds %d, reference says %d",
+					uint64(v.addr), got, v.value),
+				Window: t.log.ForAddr(v.addr, 16),
+			})
+		}
+	}
+	for _, v := range t.space.syncVars {
+		want := uint32(v.completed) * t.cfg.AtomicDelta
+		if got := store.ReadWord(v.addr); got != want {
+			t.failures = append(t.failures, &Failure{
+				Kind: FailFinalAudit, Addr: v.addr, Expected: want, Got: got,
+				Message: fmt.Sprintf("final atomic audit: sync %#x holds %d after %d atomics (want %d)",
+					uint64(v.addr), got, v.completed, want),
+				Window: t.log.ForAddr(v.addr, 16),
+			})
+		}
+	}
+}
+
+// Report summarizes a finished run.
+type Report struct {
+	Failures []*Failure
+	// Trace is the recorded execution when Config.RecordTrace is set
+	// (nil otherwise); feed it to checker.Verify for an independent
+	// axiomatic re-verification.
+	Trace            *checker.Trace
+	SimTicks         uint64
+	EventsExecuted   uint64
+	OpsIssued        uint64
+	OpsCompleted     uint64
+	EpisodesRetired  uint64
+	Transactions     uint64
+	FalseSharedLines int
+	WallTime         time.Duration
+}
+
+// Passed reports whether the run found no bugs.
+func (r *Report) Passed() bool { return len(r.Failures) == 0 }
+
+func sortUint64s(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (t *Tester) report() *Report {
+	if t.trace != nil {
+		ids := make([]uint64, 0, len(t.epMeta))
+		for id := range t.epMeta {
+			ids = append(ids, id)
+		}
+		sortUint64s(ids)
+		t.trace.Episodes = t.trace.Episodes[:0]
+		for _, id := range ids {
+			t.trace.Episodes = append(t.trace.Episodes, *t.epMeta[id])
+		}
+	}
+	return &Report{
+		Failures:         t.failures,
+		Trace:            t.trace,
+		SimTicks:         t.lastWorkTick,
+		EventsExecuted:   t.k.Executed(),
+		OpsIssued:        t.opsIssued,
+		OpsCompleted:     t.opsCompleted,
+		EpisodesRetired:  t.episodesRetired,
+		Transactions:     t.log.Total(),
+		FalseSharedLines: t.FalseSharingLines(),
+	}
+}

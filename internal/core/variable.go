@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"drftest/internal/mem"
+	"drftest/internal/rng"
+)
+
+// AccessRecord identifies one access to a variable, the unit of the
+// paper's Table V failure reports.
+type AccessRecord struct {
+	ThreadID  int
+	WFID      int
+	EpisodeID uint64
+	Addr      mem.Addr
+	Cycle     uint64
+	Value     uint32
+}
+
+func (a AccessRecord) String() string {
+	return fmt.Sprintf("thread=%d group=%d episode=%d addr=%#x cycle=%d value=%d",
+		a.ThreadID, a.WFID, a.EpisodeID, uint64(a.Addr), a.Cycle, a.Value)
+}
+
+// variable is one tester location. Sync variables are accessed only by
+// atomics; data variables only by loads and stores — the DRF class
+// separation of §III.A.
+type variable struct {
+	id   int
+	sync bool
+	addr mem.Addr
+
+	// Claims by live episodes enforcing the two §III.A race-freedom
+	// rules. writer==0 means unclaimed (episode IDs start at 1).
+	readers map[uint64]struct{}
+	writer  uint64
+
+	// value is the retired reference value (data variables): what any
+	// load outside the writing episode must observe.
+	value uint32
+
+	// Atomic bookkeeping (sync variables): returned old values must be
+	// unique multiples of the delta; completed counts the responses.
+	seenOld   map[uint32]AccessRecord
+	completed uint64
+
+	lastReader AccessRecord
+	lastWriter AccessRecord
+	hasReader  bool
+	hasWriter  bool
+}
+
+// canLoad reports whether episode eps may generate a load of v: no
+// *other* live episode may be storing it.
+func (v *variable) canLoad(eps uint64) bool {
+	return v.writer == 0 || v.writer == eps
+}
+
+// canStore reports whether episode eps may generate a store of v: no
+// other live episode may be loading or storing it.
+func (v *variable) canStore(eps uint64) bool {
+	if v.writer != 0 && v.writer != eps {
+		return false
+	}
+	for r := range v.readers {
+		if r != eps {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *variable) claimRead(eps uint64)  { v.readers[eps] = struct{}{} }
+func (v *variable) claimWrite(eps uint64) { v.writer = eps }
+
+func (v *variable) release(eps uint64) {
+	delete(v.readers, eps)
+	if v.writer == eps {
+		v.writer = 0
+	}
+}
+
+// addressSpace maps variables to random word-aligned addresses in a
+// range (Fig. 2's random variable→address mapping). Because the range
+// is only modestly larger than the packed variable footprint, multiple
+// variables — including sync next to data — land in the same cache
+// line, which is the false-sharing engine of the whole methodology.
+type addressSpace struct {
+	syncVars []*variable
+	dataVars []*variable
+	byAddr   map[mem.Addr]*variable
+}
+
+func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *addressSpace {
+	total := numSync + numData
+	slots := int(rangeBytes / mem.WordSize)
+	if slots < total {
+		panic(fmt.Sprintf("core: address range %dB too small for %d variables", rangeBytes, total))
+	}
+
+	// Sample `total` distinct word slots from [0, slots).
+	chosen := make(map[int]struct{}, total)
+	addrs := make([]mem.Addr, 0, total)
+	for len(addrs) < total {
+		s := rnd.Intn(slots)
+		if _, dup := chosen[s]; dup {
+			continue
+		}
+		chosen[s] = struct{}{}
+		addrs = append(addrs, mem.Addr(s*mem.WordSize))
+	}
+	// The first numSync sampled slots become sync variables; sampling
+	// order is random, so sync variables scatter across the range.
+	sp := &addressSpace{byAddr: make(map[mem.Addr]*variable, total)}
+	for i, a := range addrs {
+		v := &variable{
+			id:      i,
+			sync:    i < numSync,
+			addr:    a,
+			readers: make(map[uint64]struct{}),
+		}
+		if v.sync {
+			v.seenOld = make(map[uint32]AccessRecord)
+			sp.syncVars = append(sp.syncVars, v)
+		} else {
+			sp.dataVars = append(sp.dataVars, v)
+		}
+		sp.byAddr[a] = v
+	}
+	return sp
+}
+
+// falseSharingPairs counts cache lines containing both a sync and a
+// data variable — a measure of how much cross-class false sharing the
+// mapping created.
+func (sp *addressSpace) falseSharingPairs(lineSize int) int {
+	kind := make(map[mem.Addr]uint8)
+	for _, v := range sp.syncVars {
+		kind[mem.LineAddr(v.addr, lineSize)] |= 1
+	}
+	for _, v := range sp.dataVars {
+		kind[mem.LineAddr(v.addr, lineSize)] |= 2
+	}
+	n := 0
+	for _, k := range kind {
+		if k == 3 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,304 @@
+// Package coverage measures protocol state-transition coverage, the
+// paper's central metric: which (state, event) cells of a controller's
+// transition table a workload activates, how often, and what fraction
+// of the reachable cells that is.
+//
+// It implements protocol.Recorder, classifies cells into the paper's
+// four categories (Undefined / Inactive / Active / Impossible, Fig. 7),
+// merges runs into unions (Figs. 8–10), and renders the hit-frequency
+// heat maps of Fig. 5 as text.
+package coverage
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"drftest/internal/protocol"
+)
+
+// Class is a cell's testing classification (paper Fig. 7).
+type Class uint8
+
+const (
+	// ClassUndef marks cells the protocol declares impossible.
+	ClassUndef Class = iota
+	// ClassInactive marks defined cells the workload never hit.
+	ClassInactive
+	// ClassActive marks defined cells the workload activated.
+	ClassActive
+	// ClassImpossible marks defined cells unreachable for the test type
+	// (e.g. L2 PrbInv cells when no CPU shares the directory).
+	ClassImpossible
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassUndef:
+		return "Undef"
+	case ClassInactive:
+		return "Inact"
+	case ClassActive:
+		return "Active"
+	case ClassImpossible:
+		return "Impsb"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Matrix is the hit-count matrix of one controller, indexed
+// [state][event] to match the Spec.
+type Matrix struct {
+	Spec *protocol.Spec
+	Hits [][]uint64
+}
+
+// NewMatrix creates a zeroed matrix for spec.
+func NewMatrix(spec *protocol.Spec) *Matrix {
+	m := &Matrix{Spec: spec, Hits: make([][]uint64, len(spec.States))}
+	for i := range m.Hits {
+		m.Hits[i] = make([]uint64, len(spec.Events))
+	}
+	return m
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Spec)
+	for i := range m.Hits {
+		copy(out.Hits[i], m.Hits[i])
+	}
+	return out
+}
+
+// Merge adds other's hits into m (run unions). The specs must describe
+// the same table shape.
+func (m *Matrix) Merge(other *Matrix) {
+	if len(m.Hits) != len(other.Hits) {
+		panic("coverage: merging mismatched matrices")
+	}
+	for i := range m.Hits {
+		for j := range m.Hits[i] {
+			m.Hits[i][j] += other.Hits[i][j]
+		}
+	}
+}
+
+// Total returns the total number of recorded transitions.
+func (m *Matrix) Total() uint64 {
+	var n uint64
+	for i := range m.Hits {
+		for j := range m.Hits[i] {
+			n += m.Hits[i][j]
+		}
+	}
+	return n
+}
+
+// CellSet names a set of (state, event) cells, used for the
+// per-test-type Impossible masks.
+type CellSet map[[2]int]bool
+
+// Add marks (state, event) as a member.
+func (s CellSet) Add(state, event int) { s[[2]int{state, event}] = true }
+
+// Has reports membership.
+func (s CellSet) Has(state, event int) bool { return s[[2]int{state, event}] }
+
+// Classify assigns every cell its class. impossible may be nil.
+func (m *Matrix) Classify(impossible CellSet) [][]Class {
+	out := make([][]Class, len(m.Hits))
+	for i := range m.Hits {
+		out[i] = make([]Class, len(m.Hits[i]))
+		for j := range m.Hits[i] {
+			cell := m.Spec.Cell(i, j)
+			switch {
+			case cell.Kind == protocol.Undefined:
+				out[i][j] = ClassUndef
+			case impossible != nil && impossible.Has(i, j):
+				out[i][j] = ClassImpossible
+			case m.Hits[i][j] > 0:
+				out[i][j] = ClassActive
+			default:
+				out[i][j] = ClassInactive
+			}
+		}
+	}
+	return out
+}
+
+// Summary holds a matrix's coverage numbers.
+type Summary struct {
+	Machine    string
+	Defined    int // cells with a defined transition (incl. stalls)
+	Impossible int // defined cells unreachable for the test type
+	Reachable  int // Defined − Impossible
+	Active     int // reachable cells hit at least once
+	Hits       uint64
+}
+
+// Coverage returns Active/Reachable as a fraction in [0, 1].
+func (s Summary) Coverage() float64 {
+	if s.Reachable == 0 {
+		return 0
+	}
+	return float64(s.Active) / float64(s.Reachable)
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: %d/%d reachable transitions active (%.1f%%), %d hits",
+		s.Machine, s.Active, s.Reachable, 100*s.Coverage(), s.Hits)
+}
+
+// Summarize computes coverage with the given Impossible mask.
+func (m *Matrix) Summarize(impossible CellSet) Summary {
+	s := Summary{Machine: m.Spec.Name}
+	classes := m.Classify(impossible)
+	for i := range classes {
+		for j := range classes[i] {
+			switch classes[i][j] {
+			case ClassActive:
+				s.Active++
+				s.Defined++
+			case ClassInactive:
+				s.Defined++
+			case ClassImpossible:
+				s.Defined++
+				s.Impossible++
+			}
+			s.Hits += m.Hits[i][j]
+		}
+	}
+	s.Reachable = s.Defined - s.Impossible
+	return s
+}
+
+// InactiveCells lists the reachable-but-unhit cells as "[State, Event]"
+// strings, the debugging view designers use to aim new test configs.
+func (m *Matrix) InactiveCells(impossible CellSet) []string {
+	var out []string
+	classes := m.Classify(impossible)
+	for i := range classes {
+		for j := range classes[i] {
+			if classes[i][j] == ClassInactive {
+				out = append(out, fmt.Sprintf("[%s, %s]", m.Spec.States[i], m.Spec.Events[j]))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Collector implements protocol.Recorder over any number of machines.
+// Machines that share a spec name (e.g. every CU's "GPU-L1") aggregate
+// into one matrix, matching how the paper reports per-level coverage.
+type Collector struct {
+	matrices map[string]*Matrix
+	order    []string
+}
+
+// NewCollector registers the given specs ahead of time so empty
+// matrices exist even for machines the workload never touches.
+func NewCollector(specs ...*protocol.Spec) *Collector {
+	c := &Collector{matrices: make(map[string]*Matrix)}
+	for _, s := range specs {
+		c.register(s)
+	}
+	return c
+}
+
+func (c *Collector) register(spec *protocol.Spec) *Matrix {
+	if m, ok := c.matrices[spec.Name]; ok {
+		return m
+	}
+	m := NewMatrix(spec)
+	c.matrices[spec.Name] = m
+	c.order = append(c.order, spec.Name)
+	return m
+}
+
+// Record implements protocol.Recorder. Recording for an unregistered
+// machine panics: it means the harness forgot a spec, which would
+// silently corrupt coverage numbers.
+func (c *Collector) Record(machine string, state, event int, _ protocol.Kind) {
+	m, ok := c.matrices[machine]
+	if !ok {
+		panic(fmt.Sprintf("coverage: record for unregistered machine %q", machine))
+	}
+	m.Hits[state][event]++
+}
+
+// Matrix returns the named machine's matrix, or nil.
+func (c *Collector) Matrix(machine string) *Matrix { return c.matrices[machine] }
+
+// Machines lists registered machines in registration order.
+func (c *Collector) Machines() []string { return append([]string(nil), c.order...) }
+
+// heatShades maps log-scaled frequency to glyphs, darkest last.
+var heatShades = []rune{'.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+// RenderHeatmap writes a Fig. 5-style transition hit-frequency heat
+// map: rows are events, columns are states; shade depth is
+// log-proportional to hit count. Undefined cells print as "U", stall
+// cells are shaded like any defined cell.
+func (m *Matrix) RenderHeatmap(w io.Writer, impossible CellSet) {
+	var max uint64
+	for i := range m.Hits {
+		for j := range m.Hits[i] {
+			if m.Hits[i][j] > max {
+				max = m.Hits[i][j]
+			}
+		}
+	}
+	logMax := math.Log1p(float64(max))
+
+	fmt.Fprintf(w, "%s transition hit frequency (max=%d)\n", m.Spec.Name, max)
+	fmt.Fprintf(w, "%-14s", "")
+	for _, st := range m.Spec.States {
+		fmt.Fprintf(w, "%8s", st)
+	}
+	fmt.Fprintln(w)
+	for j, ev := range m.Spec.Events {
+		fmt.Fprintf(w, "%-14s", ev)
+		for i := range m.Spec.States {
+			cell := m.Spec.Cell(i, j)
+			var glyph string
+			switch {
+			case cell.Kind == protocol.Undefined:
+				glyph = "U"
+			case impossible != nil && impossible.Has(i, j):
+				glyph = "x"
+			case m.Hits[i][j] == 0:
+				glyph = " "
+			default:
+				idx := 0
+				if logMax > 0 {
+					idx = int(math.Log1p(float64(m.Hits[i][j])) / logMax * float64(len(heatShades)-1))
+				}
+				glyph = strings.Repeat(string(heatShades[idx]), 3)
+			}
+			fmt.Fprintf(w, "%8s", glyph)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderClassGrid writes a Fig. 7-style classification grid.
+func (m *Matrix) RenderClassGrid(w io.Writer, impossible CellSet) {
+	classes := m.Classify(impossible)
+	fmt.Fprintf(w, "%s transition classes\n", m.Spec.Name)
+	fmt.Fprintf(w, "%-14s", "")
+	for _, st := range m.Spec.States {
+		fmt.Fprintf(w, "%8s", st)
+	}
+	fmt.Fprintln(w)
+	for j, ev := range m.Spec.Events {
+		fmt.Fprintf(w, "%-14s", ev)
+		for i := range m.Spec.States {
+			fmt.Fprintf(w, "%8s", classes[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}

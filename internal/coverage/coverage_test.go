@@ -1,0 +1,152 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+
+	"drftest/internal/protocol"
+)
+
+func demoSpec() *protocol.Spec {
+	s := protocol.NewSpec("demo", []string{"I", "V"}, []string{"Ld", "St", "Inv"})
+	s.Trans(0, 0, 1, "fill")
+	s.Trans(1, 0, 1, "hit")
+	s.StallOn(0, 1)
+	s.Trans(1, 1, 1, "write")
+	s.Trans(1, 2, 0, "inv")
+	return s
+}
+
+func TestCollectorAggregatesByName(t *testing.T) {
+	spec := demoSpec()
+	c := NewCollector(spec)
+	m1 := protocol.NewMachine(spec, c)
+	m2 := protocol.NewMachine(spec, c)
+	m1.Fire(0, 0)
+	m2.Fire(0, 0)
+	if got := c.Matrix("demo").Hits[0][0]; got != 2 {
+		t.Fatalf("aggregated hits = %d, want 2", got)
+	}
+	if len(c.Machines()) != 1 {
+		t.Fatal("duplicate machine registration")
+	}
+}
+
+func TestCollectorUnknownMachinePanics(t *testing.T) {
+	c := NewCollector()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("record for unregistered machine did not panic")
+		}
+	}()
+	c.Record("ghost", 0, 0, protocol.Defined)
+}
+
+func TestClassifyAndSummarize(t *testing.T) {
+	m := NewMatrix(demoSpec())
+	m.Hits[0][0] = 5 // [I,Ld] active
+	m.Hits[1][2] = 1 // [V,Inv] active
+	impsb := CellSet{}
+	impsb.Add(1, 1) // [V,St] impossible for this test type
+
+	classes := m.Classify(impsb)
+	if classes[0][0] != ClassActive || classes[0][2] != ClassUndef ||
+		classes[1][1] != ClassImpossible || classes[1][0] != ClassInactive {
+		t.Fatalf("classification wrong: %v", classes)
+	}
+
+	s := m.Summarize(impsb)
+	// 5 defined cells, 1 impossible → 4 reachable, 2 active.
+	if s.Defined != 5 || s.Impossible != 1 || s.Reachable != 4 || s.Active != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Coverage() != 0.5 {
+		t.Fatalf("coverage %.2f, want 0.5", s.Coverage())
+	}
+	if !strings.Contains(s.String(), "50.0%") {
+		t.Fatalf("summary string %q", s)
+	}
+}
+
+func TestMergeAndClone(t *testing.T) {
+	a := NewMatrix(demoSpec())
+	b := NewMatrix(demoSpec())
+	a.Hits[0][0] = 1
+	b.Hits[0][0] = 2
+	b.Hits[1][1] = 7
+	cl := a.Clone()
+	a.Merge(b)
+	if a.Hits[0][0] != 3 || a.Hits[1][1] != 7 {
+		t.Fatal("merge wrong")
+	}
+	if cl.Hits[0][0] != 1 || cl.Hits[1][1] != 0 {
+		t.Fatal("clone aliases original")
+	}
+	if a.Total() != 10 {
+		t.Fatalf("total %d", a.Total())
+	}
+}
+
+func TestInactiveCells(t *testing.T) {
+	m := NewMatrix(demoSpec())
+	m.Hits[0][0] = 1
+	in := m.InactiveCells(nil)
+	want := []string{"[I, St]", "[V, Inv]", "[V, Ld]", "[V, St]"}
+	if len(in) != len(want) {
+		t.Fatalf("inactive = %v", in)
+	}
+	for i := range want {
+		if in[i] != want[i] {
+			t.Fatalf("inactive = %v, want %v", in, want)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	m := NewMatrix(demoSpec())
+	m.Hits[0][0] = 100
+	m.Hits[1][0] = 1
+	var hb strings.Builder
+	m.RenderHeatmap(&hb, nil)
+	out := hb.String()
+	if !strings.Contains(out, "U") || !strings.Contains(out, "@@@") {
+		t.Fatalf("heatmap lacks shading or undef markers:\n%s", out)
+	}
+	var gb strings.Builder
+	m.RenderClassGrid(&gb, nil)
+	if !strings.Contains(gb.String(), "Active") || !strings.Contains(gb.String(), "Inact") {
+		t.Fatalf("class grid:\n%s", gb.String())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassUndef: "Undef", ClassInactive: "Inact",
+		ClassActive: "Active", ClassImpossible: "Impsb",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	m := NewMatrix(demoSpec())
+	m.Hits[0][0] = 9
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"machine":"demo"`, `"active":1`, `"hits":[[9,0,0],[0,0,0]]`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+	sdata, err := m.Summarize(nil).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sdata), `"coverage"`) {
+		t.Errorf("summary JSON missing coverage: %s", sdata)
+	}
+}

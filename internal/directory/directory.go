@@ -1,0 +1,629 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+
+	"drftest/internal/mem"
+	"drftest/internal/memctrl"
+	"drftest/internal/protocol"
+	"drftest/internal/sim"
+)
+
+// CPUPort is a CPU cache as the directory sees it.
+type CPUPort interface {
+	// Probe asks the cache to invalidate (inv) or downgrade (!inv) the
+	// line. ack carries the dirty line data (nil if clean) and fromVic
+	// when the data came from a pending write-back rather than a live
+	// copy.
+	Probe(line mem.Addr, inv bool, ack func(dirty []byte, fromVic bool))
+}
+
+// GPUPort is the GPU L2 as the directory sees it.
+type GPUPort interface {
+	ProbeInv(line mem.Addr, done func())
+}
+
+// FillKind tells a CPU cache what permission its fill grants.
+type FillKind uint8
+
+const (
+	// FillS grants a shared clean copy.
+	FillS FillKind = iota
+	// FillE grants an exclusive clean copy.
+	FillE
+	// FillM grants write permission (store miss or upgrade; data is
+	// nil for upgrades — the cache keeps its bytes).
+	FillM
+)
+
+type dirOp uint8
+
+const (
+	opGPURd dirOp = iota
+	opGPUWr
+	opGPUAt
+	opGPUClean // post-NACK cleanup of CPU copies
+	opCPURd
+	opCPURdX
+	opCPUVic
+	opDMARd
+	opDMAWr
+)
+
+type tbe struct {
+	op   dirOp
+	line mem.Addr
+	cpu  int
+	gpu  int // requesting GPU for GPU ops; -1 otherwise
+
+	probesOut int
+	dirty     []byte // probe data that must reach memory
+	serve     []byte // probe data served directly (owner keeps O)
+	upgrade   bool   // CPURdX by an existing sharer: no data needed
+
+	wrData []byte
+	wrMask []bool
+	atAddr mem.Addr
+	delta  uint32
+
+	doneData func([]byte)
+	doneCPU  func([]byte, FillKind)
+	done     func()
+	doneAt   func(uint32, bool)
+}
+
+// Directory is the blocking CPU–GPU–DMA system directory. It
+// implements the GPU L2's backend interface (FetchLine / WriteLine /
+// Atomic) structurally, so a viper system can be built directly on it.
+type Directory struct {
+	k        *sim.Kernel
+	machine  *protocol.Machine
+	mem      *memctrl.Controller
+	lineSize int
+
+	// probeLatency and respLatency model the interconnect hops.
+	probeLatency sim.Tick
+	respLatency  sim.Tick
+
+	gpus []GPUPort
+	cpus []CPUPort
+
+	// gpuHolders lists which GPU L2s may hold each line; multi-GPU
+	// systems probe the *other* L2s on writes and atomics (Table II's
+	// "invalidation request from other L2").
+	gpuHolders map[mem.Addr]map[int]bool
+	sharers    map[mem.Addr]map[int]bool
+	owner      map[mem.Addr]int
+	tbes       map[mem.Addr]*tbe
+	stalled    map[mem.Addr][]func()
+
+	// stats
+	nacks, probes, staleVics uint64
+}
+
+// New builds a directory over ctrl with the given line size.
+func New(k *sim.Kernel, rec protocol.Recorder, onFault func(*protocol.FaultError), ctrl *memctrl.Controller, lineSize int) *Directory {
+	m := protocol.NewMachine(NewSpec(), rec)
+	m.OnFault = onFault
+	return &Directory{
+		k:            k,
+		machine:      m,
+		mem:          ctrl,
+		lineSize:     lineSize,
+		probeLatency: 8,
+		respLatency:  8,
+		gpuHolders:   make(map[mem.Addr]map[int]bool),
+		sharers:      make(map[mem.Addr]map[int]bool),
+		owner:        make(map[mem.Addr]int),
+		tbes:         make(map[mem.Addr]*tbe),
+		stalled:      make(map[mem.Addr][]func()),
+	}
+}
+
+// AttachGPU registers a GPU (slot 0) for probes — the common
+// single-GPU case. Multi-GPU systems use AddGPU/BindGPU/GPUBackend.
+func (d *Directory) AttachGPU(gpu GPUPort) {
+	if len(d.gpus) == 0 {
+		d.AddGPU()
+	}
+	d.BindGPU(0, gpu)
+}
+
+// AddGPU reserves a GPU slot and returns its ID; the port is bound
+// later with BindGPU (the viper system needs the backend to build, and
+// the directory needs the built system to probe).
+func (d *Directory) AddGPU() int {
+	d.gpus = append(d.gpus, nil)
+	return len(d.gpus) - 1
+}
+
+// BindGPU wires the probe port for a reserved GPU slot.
+func (d *Directory) BindGPU(id int, gpu GPUPort) { d.gpus[id] = gpu }
+
+// GPUBackend returns the memory backend GPU id's L2 should be built
+// on; it tags every request with the GPU's identity so the directory
+// can probe the other GPUs' L2 copies.
+func (d *Directory) GPUBackend(id int) GPUBackendPort {
+	return GPUBackendPort{d: d, id: id}
+}
+
+// GPUBackendPort adapts one GPU's view of the directory to the viper
+// Backend interface.
+type GPUBackendPort struct {
+	d  *Directory
+	id int
+}
+
+// FetchLine implements the GPU L2 backend.
+func (g GPUBackendPort) FetchLine(line mem.Addr, size int, done func([]byte)) {
+	g.d.gpuFetch(g.id, line, size, done)
+}
+
+// WriteLine implements the GPU L2 backend.
+func (g GPUBackendPort) WriteLine(line mem.Addr, data []byte, mask []bool, done func()) {
+	g.d.gpuWrite(g.id, line, data, mask, done)
+}
+
+// Atomic implements the GPU L2 backend.
+func (g GPUBackendPort) Atomic(addr mem.Addr, delta uint32, done func(uint32, bool)) {
+	g.d.gpuAtomic(g.id, addr, delta, done)
+}
+
+// AttachCPU registers a CPU cache and returns its port ID.
+func (d *Directory) AttachCPU(c CPUPort) int {
+	d.cpus = append(d.cpus, c)
+	return len(d.cpus) - 1
+}
+
+// Memory exposes the backing memory controller.
+func (d *Directory) Memory() *memctrl.Controller { return d.mem }
+
+// Stats returns (nacks, probes, staleVics).
+func (d *Directory) Stats() (nacks, probes, staleVics uint64) {
+	return d.nacks, d.probes, d.staleVics
+}
+
+func (d *Directory) state(line mem.Addr) int {
+	if _, busy := d.tbes[line]; busy {
+		return StateB
+	}
+	if len(d.gpuHolders[line]) > 0 {
+		return StateG
+	}
+	if d.ownerOf(line) >= 0 {
+		return StateCM
+	}
+	if len(d.sharers[line]) > 0 {
+		return StateCS
+	}
+	return StateU
+}
+
+func (d *Directory) ownerOf(line mem.Addr) int {
+	if o, ok := d.owner[line]; ok {
+		return o
+	}
+	return -1
+}
+
+// request fires ev for line; on stall it queues retry, otherwise it
+// calls start with the pre-transaction stable state.
+func (d *Directory) request(line mem.Addr, ev int, retry func(), start func(st int)) {
+	st := d.state(line)
+	cell := d.machine.Fire(st, ev)
+	switch cell.Kind {
+	case protocol.Stall:
+		d.stalled[line] = append(d.stalled[line], retry)
+	case protocol.Defined:
+		start(st)
+	}
+}
+
+// --- GPU side ---
+
+// FetchLine, WriteLine and Atomic keep the single-GPU convenience
+// surface (GPU slot 0); multi-GPU systems go through GPUBackend.
+
+// FetchLine services a GPU L2 miss.
+func (d *Directory) FetchLine(line mem.Addr, size int, done func([]byte)) {
+	d.gpuFetch(0, line, size, done)
+}
+
+// WriteLine services a GPU write-through.
+func (d *Directory) WriteLine(line mem.Addr, data []byte, mask []bool, done func()) {
+	d.gpuWrite(0, line, data, mask, done)
+}
+
+// Atomic services a GPU atomic.
+func (d *Directory) Atomic(addr mem.Addr, delta uint32, done func(old uint32, nack bool)) {
+	d.gpuAtomic(0, addr, delta, done)
+}
+
+func (d *Directory) gpuFetch(gpu int, line mem.Addr, size int, done func([]byte)) {
+	if size != d.lineSize {
+		panic(fmt.Sprintf("directory: fetch size %d != line size %d", size, d.lineSize))
+	}
+	d.request(line, EvGPURd,
+		func() { d.gpuFetch(gpu, line, size, done) },
+		func(st int) {
+			d.begin(&tbe{op: opGPURd, line: line, gpu: gpu, doneData: done}, st)
+		})
+}
+
+func (d *Directory) gpuWrite(gpu int, line mem.Addr, data []byte, mask []bool, done func()) {
+	d.request(line, EvGPUWr,
+		func() { d.gpuWrite(gpu, line, data, mask, done) },
+		func(st int) {
+			d.begin(&tbe{op: opGPUWr, line: line, gpu: gpu, wrData: data, wrMask: mask, done: done}, st)
+		})
+}
+
+// gpuAtomic never blocks the requester: a busy or CPU-held line is
+// NACKed (the TCC's AtomicND path) and, for CPU-held lines, a cleanup
+// transaction evicts the CPU copies so the retry can succeed.
+func (d *Directory) gpuAtomic(gpu int, addr mem.Addr, delta uint32, done func(old uint32, nack bool)) {
+	line := mem.LineAddr(addr, d.lineSize)
+	st := d.state(line)
+	cell := d.machine.Fire(st, EvGPUAt)
+	if cell.Kind != protocol.Defined {
+		return
+	}
+	switch st {
+	case StateB:
+		d.nacks++
+		d.k.Schedule(d.respLatency, func() { done(0, true) })
+	case StateCS, StateCM:
+		d.nacks++
+		d.k.Schedule(d.respLatency, func() { done(0, true) })
+		d.begin(&tbe{op: opGPUClean, line: line, gpu: gpu}, st)
+	default:
+		d.begin(&tbe{op: opGPUAt, line: line, gpu: gpu, atAddr: addr, delta: delta, doneAt: done}, st)
+	}
+}
+
+// --- CPU side ---
+
+// CPURead services a CPU load miss.
+func (d *Directory) CPURead(cpu int, line mem.Addr, done func(data []byte, kind FillKind)) {
+	d.request(line, EvCPURd,
+		func() { d.CPURead(cpu, line, done) },
+		func(st int) {
+			d.begin(&tbe{op: opCPURd, line: line, cpu: cpu, doneCPU: done}, st)
+		})
+}
+
+// CPUReadX services a CPU store miss or upgrade. have reports whether
+// the requester still holds a valid copy; only when both the requester
+// and the directory agree is the fill an upgrade (nil data) — sharer
+// lists go stale when caches silently drop clean lines, and probes can
+// invalidate the requester's copy while its request is in flight.
+func (d *Directory) CPUReadX(cpu int, line mem.Addr, have bool, done func(data []byte, kind FillKind)) {
+	ev := EvCPURdX
+	if have {
+		// The requester believes it holds a copy: an upgrade. A stale
+		// upgrade (the directory no longer lists the requester — a
+		// probe raced the request) is still accepted but serviced as a
+		// full exclusive fill.
+		ev = EvCPUUpg
+	}
+	d.request(line, ev,
+		func() { d.CPUReadX(cpu, line, have, done) },
+		func(st int) {
+			t := &tbe{op: opCPURdX, line: line, cpu: cpu, doneCPU: done}
+			t.upgrade = have && d.sharers[line][cpu]
+			d.begin(t, st)
+		})
+}
+
+// CPUWriteBack services a dirty victim. Write-backs that lost a race
+// with a probe (the directory no longer believes cpu owns the line)
+// are acknowledged without touching memory.
+func (d *Directory) CPUWriteBack(cpu int, line mem.Addr, data []byte, done func()) {
+	d.request(line, EvCPUVic,
+		func() { d.CPUWriteBack(cpu, line, data, done) },
+		func(st int) {
+			if st != StateCM || d.ownerOf(line) != cpu {
+				d.staleVics++
+				d.k.Schedule(d.respLatency, done)
+				return
+			}
+			d.begin(&tbe{op: opCPUVic, line: line, cpu: cpu, wrData: data, done: done}, st)
+		})
+}
+
+// --- DMA side ---
+
+// DMARead services a DMA engine read.
+func (d *Directory) DMARead(line mem.Addr, done func([]byte)) {
+	d.request(line, EvDMARd,
+		func() { d.DMARead(line, done) },
+		func(st int) {
+			d.begin(&tbe{op: opDMARd, line: line, doneData: done}, st)
+		})
+}
+
+// DMAWrite services a DMA engine write.
+func (d *Directory) DMAWrite(line mem.Addr, data []byte, done func()) {
+	d.request(line, EvDMAWr,
+		func() { d.DMAWrite(line, data, done) },
+		func(st int) {
+			d.begin(&tbe{op: opDMAWr, line: line, wrData: data, done: done}, st)
+		})
+}
+
+// --- transaction engine ---
+
+func (d *Directory) begin(t *tbe, st int) {
+	d.tbes[t.line] = t
+	switch st {
+	case StateG:
+		switch {
+		case t.op >= opCPURd:
+			// CPU and DMA ops displace every GPU copy.
+			d.probeGPUs(t, -1)
+		case t.op == opGPUWr || t.op == opGPUAt:
+			// A write or atomic from one GPU invalidates the *other*
+			// GPUs' L2 copies (write-through keeps the requester's own
+			// slice coherent).
+			d.probeGPUs(t, t.gpu)
+		}
+	case StateCS, StateCM:
+		switch t.op {
+		case opCPURd:
+			if o := d.ownerOf(t.line); o >= 0 {
+				d.probeCPU(t, o, false)
+			}
+		case opCPURdX:
+			d.probeAllCPUs(t, t.cpu)
+		case opCPUVic:
+			// The victim's data is already in hand; no probes.
+		default: // GPU and DMA ops clean out every CPU copy
+			d.probeAllCPUs(t, -1)
+		}
+	}
+	if t.probesOut == 0 {
+		d.afterProbes(t)
+	}
+}
+
+// probeGPUs invalidates every GPU holder of t.line except `except`
+// (-1 probes all).
+func (d *Directory) probeGPUs(t *tbe, except int) {
+	ids := make([]int, 0, len(d.gpuHolders[t.line]))
+	for id := range d.gpuHolders[t.line] {
+		if id != except {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		id := id
+		t.probesOut++
+		d.probes++
+		line := t.line
+		d.k.Schedule(d.probeLatency, func() {
+			d.gpus[id].ProbeInv(line, func() {
+				d.k.Schedule(d.probeLatency, func() {
+					delete(d.gpuHolders[line], id)
+					d.probeAck(t, nil, false, -1, true)
+				})
+			})
+		})
+	}
+}
+
+func (d *Directory) probeAllCPUs(t *tbe, except int) {
+	ids := make([]int, 0, len(d.sharers[t.line])+1)
+	for id := range d.sharers[t.line] {
+		ids = append(ids, id)
+	}
+	if o := d.ownerOf(t.line); o >= 0 && !d.sharers[t.line][o] {
+		ids = append(ids, o)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if id != except {
+			d.probeCPU(t, id, true)
+		}
+	}
+}
+
+func (d *Directory) probeCPU(t *tbe, cpu int, inv bool) {
+	t.probesOut++
+	d.probes++
+	line := t.line
+	d.k.Schedule(d.probeLatency, func() {
+		d.cpus[cpu].Probe(line, inv, func(dirty []byte, fromVic bool) {
+			d.k.Schedule(d.probeLatency, func() {
+				if inv {
+					delete(d.sharers[line], cpu)
+					if d.ownerOf(line) == cpu {
+						delete(d.owner, line)
+					}
+				} else {
+					// Downgrade probe: a clean or vic'd answer means no
+					// dirty owner remains.
+					if dirty == nil || fromVic {
+						delete(d.owner, line)
+					}
+					if fromVic {
+						delete(d.sharers[line], cpu)
+					}
+				}
+				d.probeAck(t, dirty, fromVic, cpu, inv)
+			})
+		})
+	})
+}
+
+func (d *Directory) probeAck(t *tbe, dirty []byte, fromVic bool, _ int, inv bool) {
+	switch {
+	case dirty != nil && t.op == opCPURd && !inv && !fromVic:
+		// The owner keeps an O copy and serves the data; memory may
+		// stay stale while an owner exists.
+		d.machine.Fire(StateB, EvPrbAckOwned)
+		t.serve = dirty
+	case dirty != nil:
+		d.machine.Fire(StateB, EvPrbAckData)
+		t.dirty = dirty
+	default:
+		d.machine.Fire(StateB, EvPrbAckClean)
+	}
+	t.probesOut--
+	if t.probesOut == 0 {
+		d.afterProbes(t)
+	}
+}
+
+// afterProbes flushes collected dirty data to memory, then runs the
+// operation's own memory phase.
+func (d *Directory) afterProbes(t *tbe) {
+	if t.dirty != nil {
+		data := t.dirty
+		t.dirty = nil
+		d.mem.WriteLine(t.line, data, nil, func() {
+			d.machine.Fire(StateB, EvMemWBAck)
+			d.memPhase(t)
+		})
+		return
+	}
+	d.memPhase(t)
+}
+
+func (d *Directory) memPhase(t *tbe) {
+	switch t.op {
+	case opGPURd, opDMARd:
+		d.mem.ReadLine(t.line, d.lineSize, func(data []byte) {
+			d.machine.Fire(StateB, EvMemData)
+			d.complete(t, data)
+		})
+	case opCPURd:
+		if t.serve != nil {
+			d.complete(t, t.serve)
+			return
+		}
+		d.mem.ReadLine(t.line, d.lineSize, func(data []byte) {
+			d.machine.Fire(StateB, EvMemData)
+			d.complete(t, data)
+		})
+	case opCPURdX:
+		if t.upgrade {
+			d.complete(t, nil)
+			return
+		}
+		d.mem.ReadLine(t.line, d.lineSize, func(data []byte) {
+			d.machine.Fire(StateB, EvMemData)
+			d.complete(t, data)
+		})
+	case opGPUWr, opCPUVic, opDMAWr:
+		d.mem.WriteLine(t.line, t.wrData, t.wrMask, func() {
+			d.machine.Fire(StateB, EvMemWBAck)
+			d.complete(t, nil)
+		})
+	case opGPUAt:
+		d.mem.Atomic(t.atAddr, t.delta, func(old uint32) {
+			d.machine.Fire(StateB, EvMemData)
+			d.complete(t, nil)
+			d.k.Schedule(d.respLatency, func() { t.doneAt(old, false) })
+		})
+	case opGPUClean:
+		d.complete(t, nil)
+	}
+}
+
+func (d *Directory) complete(t *tbe, data []byte) {
+	delete(d.tbes, t.line)
+	line := t.line
+	switch t.op {
+	case opGPURd:
+		set, ok := d.gpuHolders[line]
+		if !ok {
+			set = make(map[int]bool)
+			d.gpuHolders[line] = set
+		}
+		set[t.gpu] = true
+		d.respondData(t, data)
+	case opGPUWr, opDMAWr, opDMARd:
+		if t.op == opDMARd {
+			d.respondData(t, data)
+		} else {
+			d.k.Schedule(d.respLatency, t.done)
+		}
+	case opCPURd:
+		kind := FillS
+		if len(d.sharers[line]) == 0 && d.ownerOf(line) < 0 {
+			kind = FillE
+			d.owner[line] = t.cpu
+		}
+		d.addSharer(line, t.cpu)
+		d.respondCPU(t, data, kind)
+	case opCPURdX:
+		for id := range d.sharers[line] {
+			delete(d.sharers[line], id)
+		}
+		d.addSharer(line, t.cpu)
+		d.owner[line] = t.cpu
+		d.respondCPU(t, data, FillM)
+	case opCPUVic:
+		delete(d.owner, line)
+		delete(d.sharers[line], t.cpu)
+		d.k.Schedule(d.respLatency, t.done)
+	case opGPUAt, opGPUClean:
+		// opGPUAt responds from memPhase (it needs the old value);
+		// opGPUClean has no requester.
+	}
+	d.wake(line)
+}
+
+func (d *Directory) addSharer(line mem.Addr, cpu int) {
+	set, ok := d.sharers[line]
+	if !ok {
+		set = make(map[int]bool)
+		d.sharers[line] = set
+	}
+	set[cpu] = true
+}
+
+func (d *Directory) respondData(t *tbe, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.k.Schedule(d.respLatency, func() { t.doneData(buf) })
+}
+
+func (d *Directory) respondCPU(t *tbe, data []byte, kind FillKind) {
+	var buf []byte
+	if data != nil {
+		buf = make([]byte, len(data))
+		copy(buf, data)
+	}
+	d.k.Schedule(d.respLatency, func() { t.doneCPU(buf, kind) })
+}
+
+func (d *Directory) wake(line mem.Addr) {
+	queue := d.stalled[line]
+	if len(queue) == 0 {
+		return
+	}
+	delete(d.stalled, line)
+	for _, retry := range queue {
+		retry()
+	}
+}
+
+// DebugDump renders the directory's live state for diagnosing hangs.
+func (d *Directory) DebugDump() string {
+	out := ""
+	for line, t := range d.tbes {
+		out += fmt.Sprintf("TBE line=%#x op=%d gpu=%d cpu=%d probesOut=%d\n", uint64(line), t.op, t.gpu, t.cpu, t.probesOut)
+	}
+	for line, q := range d.stalled {
+		out += fmt.Sprintf("stalled line=%#x count=%d\n", uint64(line), len(q))
+	}
+	for line, hs := range d.gpuHolders {
+		if len(hs) > 0 {
+			out += fmt.Sprintf("holders line=%#x %v\n", uint64(line), hs)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package dma models the DMA engine that application runs use to move
+// buffers in and out of the heterogeneous system.
+//
+// Neither the GPU tester nor the CPU tester models DMA, which is why
+// the paper's Fig. 10 finds a handful of directory transitions that
+// only application-based testing activates. This engine exists to
+// reproduce exactly that effect.
+package dma
+
+import (
+	"drftest/internal/directory"
+	"drftest/internal/mem"
+	"drftest/internal/sim"
+)
+
+// Engine issues line-granularity reads and writes through the system
+// directory, like a copy engine staging kernel buffers.
+type Engine struct {
+	k        *sim.Kernel
+	dir      *directory.Directory
+	lineSize int
+
+	reads, writes uint64
+	inflight      int
+}
+
+// New builds a DMA engine over dir.
+func New(k *sim.Kernel, dir *directory.Directory, lineSize int) *Engine {
+	return &Engine{k: k, dir: dir, lineSize: lineSize}
+}
+
+// Stats returns (reads, writes) completed.
+func (e *Engine) Stats() (reads, writes uint64) { return e.reads, e.writes }
+
+// Inflight returns the number of outstanding DMA operations.
+func (e *Engine) Inflight() int { return e.inflight }
+
+// CopyIn writes `lines` consecutive cache lines starting at base,
+// filling them with a recognizable pattern, one op every interval
+// ticks. done (may be nil) runs after the last write completes.
+func (e *Engine) CopyIn(base mem.Addr, lines int, interval sim.Tick, done func()) {
+	e.run(base, lines, interval, true, done)
+}
+
+// CopyOut reads `lines` consecutive cache lines starting at base.
+func (e *Engine) CopyOut(base mem.Addr, lines int, interval sim.Tick, done func()) {
+	e.run(base, lines, interval, false, done)
+}
+
+func (e *Engine) run(base mem.Addr, lines int, interval sim.Tick, write bool, done func()) {
+	if lines <= 0 {
+		if done != nil {
+			e.k.Schedule(0, done)
+		}
+		return
+	}
+	line := mem.LineAddr(base, e.lineSize)
+	e.inflight++
+	finish := func() {
+		e.inflight--
+		if lines == 1 {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		e.k.Schedule(interval, func() {
+			e.run(line+mem.Addr(e.lineSize), lines-1, interval, write, done)
+		})
+	}
+	if write {
+		data := make([]byte, e.lineSize)
+		for i := range data {
+			data[i] = byte(uint64(line)>>6 + uint64(i))
+		}
+		e.dir.DMAWrite(line, data, func() {
+			e.writes++
+			finish()
+		})
+		return
+	}
+	e.dir.DMARead(line, func([]byte) {
+		e.reads++
+		finish()
+	})
+}

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"testing"
+
+	"drftest/internal/core"
+	"drftest/internal/sim"
+	"drftest/internal/viper"
+)
+
+// The ablations below validate the configurability claims of §IV.A:
+// each tester knob exists because it steers coverage toward a specific
+// transition subset. Removing the knob's effect must visibly reduce
+// that subset.
+
+func ablationRun(t *testing.T, mutate func(*core.Config), bugs viper.BugSet, seed uint64) (*core.Report, *GPUBuild) {
+	t.Helper()
+	sysCfg := viper.SmallCacheConfig()
+	sysCfg.Bugs = bugs
+	b := BuildGPU(sysCfg)
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumWavefronts = 8
+	cfg.ThreadsPerWF = 4
+	cfg.EpisodesPerWF = 8
+	cfg.ActionsPerEpisode = 30
+	cfg.NumSyncVars = 4
+	cfg.NumDataVars = 48
+	cfg.StoreFraction = 0.6
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	tester := core.New(b.K, b.Sys, cfg)
+	return tester.Run(), b
+}
+
+// TestAblationFalseSharingMapping: with the dense random mapping,
+// sync and data variables co-locate in lines and the L1's A-state
+// corner transitions fire; padding every variable to its own line
+// (huge address range) starves them — and hides the lost-write bug.
+func TestAblationFalseSharingMapping(t *testing.T) {
+	atomicCornerHits := func(b *GPUBuild) uint64 {
+		m := b.Col.Matrix("GPU-L1")
+		return m.Hits[viper.TCPStateA][viper.TCPLoad] +
+			m.Hits[viper.TCPStateA][viper.TCPStoreThrough] +
+			m.Hits[viper.TCPStateA][viper.TCPTCCAckWB]
+	}
+	var denseHits, paddedHits uint64
+	for seed := uint64(1); seed <= 4; seed++ {
+		_, dense := ablationRun(t, nil, viper.BugSet{}, seed)
+		denseHits += atomicCornerHits(dense)
+		_, padded := ablationRun(t, func(c *core.Config) {
+			// One variable per line: no false sharing at all.
+			c.AddressRangeBytes = uint64(c.NumSyncVars+c.NumDataVars) * 64 * 4
+		}, viper.BugSet{}, seed)
+		paddedHits += atomicCornerHits(padded)
+	}
+	t.Logf("A-state corner hits: dense=%d padded=%d", denseHits, paddedHits)
+	if denseHits == 0 {
+		t.Fatal("dense mapping never hit the A-state corner transitions")
+	}
+	if paddedHits*4 > denseHits {
+		t.Errorf("padding should starve A-state corners (dense=%d padded=%d)", denseHits, paddedHits)
+	}
+
+	// And the Table V bug should be much easier to catch with false
+	// sharing (the paper: apps avoid false sharing by padding, which is
+	// why they miss such bugs).
+	denseDetect, paddedDetect := 0, 0
+	for seed := uint64(1); seed <= 6; seed++ {
+		if rep, _ := ablationRun(t, nil, viper.BugSet{LostWriteRace: true}, seed); !rep.Passed() {
+			denseDetect++
+		}
+		if rep, _ := ablationRun(t, func(c *core.Config) {
+			c.AddressRangeBytes = uint64(c.NumSyncVars+c.NumDataVars) * 64 * 4
+		}, viper.BugSet{LostWriteRace: true}, seed); !rep.Passed() {
+			paddedDetect++
+		}
+	}
+	t.Logf("LostWriteRace detection: dense %d/6, padded %d/6", denseDetect, paddedDetect)
+	if denseDetect <= paddedDetect {
+		t.Errorf("false sharing should make the race easier to catch (dense %d, padded %d)",
+			denseDetect, paddedDetect)
+	}
+}
+
+// TestAblationAddressRange: a smaller address range means more sharing
+// and more transient-state residency (paper: "smaller address range
+// increases the number of sharing accesses between threads, which
+// stresses transient states").
+func TestAblationAddressRange(t *testing.T) {
+	transientStalls := func(b *GPUBuild) uint64 {
+		m := b.Col.Matrix("GPU-L2")
+		var n uint64
+		for _, ev := range []int{viper.TCCRdBlk, viper.TCCWrVicBlk, viper.TCCAtomic} {
+			n += m.Hits[viper.TCCStateIV][ev] + m.Hits[viper.TCCStateA][ev]
+		}
+		return n
+	}
+	var small, large uint64
+	for seed := uint64(1); seed <= 4; seed++ {
+		_, s := ablationRun(t, func(c *core.Config) { c.NumDataVars = 24 }, viper.BugSet{}, seed)
+		small += transientStalls(s)
+		_, l := ablationRun(t, func(c *core.Config) {
+			c.NumDataVars = 4096
+			c.AddressRangeBytes = 0 // recompute default for the larger set
+		}, viper.BugSet{}, seed)
+		large += transientStalls(l)
+	}
+	t.Logf("transient-state stalls: small-range=%d large-range=%d", small, large)
+	if small <= large {
+		t.Errorf("smaller address range should stress transients more (small=%d large=%d)", small, large)
+	}
+}
+
+// TestAblationEpisodeLength: longer episodes raise the ratio of data
+// accesses to synchronization, increasing inter-episode interaction on
+// data lines (paper §IV.A).
+func TestAblationEpisodeLength(t *testing.T) {
+	dataTraffic := func(rep *core.Report, b *GPUBuild) float64 {
+		m := b.Col.Matrix("GPU-L1")
+		data := m.Hits[viper.TCPStateI][viper.TCPLoad] + m.Hits[viper.TCPStateV][viper.TCPLoad] +
+			m.Hits[viper.TCPStateI][viper.TCPStoreThrough] + m.Hits[viper.TCPStateV][viper.TCPStoreThrough]
+		atomics := m.Hits[viper.TCPStateI][viper.TCPAtomic] + m.Hits[viper.TCPStateV][viper.TCPAtomic]
+		if atomics == 0 {
+			return 0
+		}
+		return float64(data) / float64(atomics)
+	}
+	repShort, bShort := ablationRun(t, func(c *core.Config) { c.ActionsPerEpisode = 6 }, viper.BugSet{}, 3)
+	repLong, bLong := ablationRun(t, func(c *core.Config) { c.ActionsPerEpisode = 60 }, viper.BugSet{}, 3)
+	short := dataTraffic(repShort, bShort)
+	long := dataTraffic(repLong, bLong)
+	t.Logf("data:sync access ratio: short=%.1f long=%.1f", short, long)
+	if long <= short {
+		t.Errorf("longer episodes should raise data:sync ratio (short=%.1f long=%.1f)", short, long)
+	}
+}
+
+// TestMultiSliceTesterPasses: the tester works unchanged over a banked
+// L2 topology (the §III.B configurability claim).
+func TestMultiSliceTesterPasses(t *testing.T) {
+	sysCfg := viper.SmallCacheConfig()
+	sysCfg.NumL2Slices = 4
+	b := BuildGPU(sysCfg)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 11
+	cfg.NumWavefronts = 8
+	cfg.EpisodesPerWF = 6
+	cfg.ActionsPerEpisode = 40
+	rep := core.New(b.K, b.Sys, cfg).Run()
+	if !rep.Passed() {
+		t.Fatalf("tester failed on banked L2: %v", rep.Failures[0])
+	}
+	if rep.OpsCompleted != rep.OpsIssued {
+		t.Fatal("ops lost on banked topology")
+	}
+	_ = sim.Tick(0)
+}

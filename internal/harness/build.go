@@ -1,0 +1,138 @@
+// Package harness assembles systems and drives the paper's
+// experiments: the Table III tester configuration sweep, the
+// application suite baseline, the CPU tester runs, and the coverage
+// comparisons behind every figure of the evaluation section.
+package harness
+
+import (
+	"drftest/internal/cache"
+	"drftest/internal/coverage"
+	"drftest/internal/directory"
+	"drftest/internal/dma"
+	"drftest/internal/mem"
+	"drftest/internal/memctrl"
+	"drftest/internal/moesi"
+	"drftest/internal/protocol"
+	"drftest/internal/sim"
+	"drftest/internal/viper"
+)
+
+// GPUBuild is a GPU-only system ready for a tester or workload.
+type GPUBuild struct {
+	K   *sim.Kernel
+	Sys *viper.System
+	Col *coverage.Collector
+}
+
+// BuildGPU assembles a GPU-only system with coverage collection
+// (either protocol variant).
+func BuildGPU(cfg viper.Config) *GPUBuild {
+	k := sim.NewKernel()
+	col := coverage.NewCollector(viper.NewTCPSpec(), viper.NewTCCSpec(), viper.NewTCCWBSpec())
+	sys := viper.NewSystem(k, cfg, col)
+	return &GPUBuild{K: k, Sys: sys, Col: col}
+}
+
+// DefaultCPUCache is the small corepair cache of Table III's CPU
+// tester column.
+var DefaultCPUCache = cache.Config{SizeBytes: 512, LineSize: 64, Assoc: 2}
+
+// LargeCPUCache is Table III's large corepair configuration.
+var LargeCPUCache = cache.Config{SizeBytes: 512 * 1024, LineSize: 64, Assoc: 8}
+
+// CPUBuild is a CPU-only system (caches + directory) for the CPU
+// tester.
+type CPUBuild struct {
+	K      *sim.Kernel
+	Caches []*moesi.Cache
+	Dir    *directory.Directory
+	Store  *mem.Store
+	Col    *coverage.Collector
+}
+
+// BuildCPU assembles numCPUs moesi caches over a directory.
+func BuildCPU(numCPUs int, cacheCfg cache.Config) *CPUBuild {
+	k := sim.NewKernel()
+	col := coverage.NewCollector(moesi.NewCPUSpec(), directory.NewSpec())
+	store := mem.NewStore()
+	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store)
+	dir := directory.New(k, col, nil, ctrl, cacheCfg.LineSize)
+	spec := moesi.NewCPUSpec()
+	caches := make([]*moesi.Cache, numCPUs)
+	for i := range caches {
+		caches[i] = moesi.NewCache(k, spec, col, nil, cacheCfg, dir)
+	}
+	return &CPUBuild{K: k, Caches: caches, Dir: dir, Store: store, Col: col}
+}
+
+// HeteroBuild is the full heterogeneous system: a VIPER GPU over the
+// shared directory, CPU caches, and a DMA engine.
+type HeteroBuild struct {
+	K      *sim.Kernel
+	GPU    *viper.System
+	Caches []*moesi.Cache
+	Dir    *directory.Directory
+	DMA    *dma.Engine
+	Store  *mem.Store
+	Col    *coverage.Collector
+}
+
+// BuildHetero assembles the heterogeneous system of §IV.C.
+func BuildHetero(gpuCfg viper.Config, numCPUs int, cpuCache cache.Config) *HeteroBuild {
+	if gpuCfg.L1.LineSize != cpuCache.LineSize {
+		panic("harness: GPU and CPU line sizes must match")
+	}
+	k := sim.NewKernel()
+	col := coverage.NewCollector(
+		viper.NewTCPSpec(), viper.NewTCCSpec(),
+		moesi.NewCPUSpec(), directory.NewSpec(),
+	)
+	store := mem.NewStore()
+	ctrl := memctrl.New(k, gpuCfg.Mem, store)
+	dir := directory.New(k, col, nil, ctrl, gpuCfg.L1.LineSize)
+	gpu := viper.NewSystemWithBackend(k, gpuCfg, col, dir)
+	dir.AttachGPU(gpu)
+
+	spec := moesi.NewCPUSpec()
+	caches := make([]*moesi.Cache, numCPUs)
+	for i := range caches {
+		caches[i] = moesi.NewCache(k, spec, col, nil, cpuCache, dir)
+	}
+	return &HeteroBuild{
+		K: k, GPU: gpu, Caches: caches, Dir: dir,
+		DMA:   dma.New(k, dir, gpuCfg.L1.LineSize),
+		Store: store, Col: col,
+	}
+}
+
+// --- Impossible-cell masks (the Impsb class of Fig. 7) ---
+
+// TCCImpossibleGPUOnly returns the L2 cells unreachable when no CPU
+// shares the directory: every probe-invalidate cell (probes only come
+// from a remote client) and the atomic NACK (only a directory NACKs).
+func TCCImpossibleGPUOnly() coverage.CellSet {
+	s := coverage.CellSet{}
+	for _, st := range []int{viper.TCCStateI, viper.TCCStateV, viper.TCCStateIV, viper.TCCStateA} {
+		s.Add(st, viper.TCCPrbInv)
+	}
+	s.Add(viper.TCCStateA, viper.TCCAtomicND)
+	return s
+}
+
+// TCCImpossibleHetero returns the L2 cells unreachable in the
+// heterogeneous system: none — with other clients on the directory,
+// every defined L2 cell (including probes racing in-flight fills) is
+// reachable.
+func TCCImpossibleHetero() coverage.CellSet {
+	return coverage.CellSet{}
+}
+
+// Sanity check at init time: masks must only name defined cells.
+func init() {
+	tcc := viper.NewTCCSpec()
+	for cell := range TCCImpossibleGPUOnly() {
+		if tcc.Cell(cell[0], cell[1]).Kind == protocol.Undefined {
+			panic("harness: impossible mask names an undefined TCC cell")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"testing"
+
+	"drftest/internal/checker"
+	"drftest/internal/core"
+	"drftest/internal/viper"
+)
+
+func tracedRun(t *testing.T, bugs viper.BugSet, seed uint64) *core.Report {
+	t.Helper()
+	sysCfg := viper.SmallCacheConfig()
+	sysCfg.Bugs = bugs
+	b := BuildGPU(sysCfg)
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumWavefronts = 8
+	cfg.EpisodesPerWF = 8
+	cfg.ActionsPerEpisode = 30
+	cfg.NumSyncVars = 4
+	cfg.NumDataVars = 64
+	cfg.StoreFraction = 0.6
+	cfg.RecordTrace = true
+	cfg.KeepGoing = true
+	return core.New(b.K, b.Sys, cfg).Run()
+}
+
+// TestCheckersAgreeOnCorrectProtocol: online and axiomatic checkers
+// both pass a correct run.
+func TestCheckersAgreeOnCorrectProtocol(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		rep := tracedRun(t, viper.BugSet{}, seed)
+		if !rep.Passed() {
+			t.Fatalf("online checker flagged a correct run: %v", rep.Failures[0])
+		}
+		if rep.Trace == nil || len(rep.Trace.Ops) == 0 {
+			t.Fatal("trace not recorded")
+		}
+		if vs := checker.Verify(rep.Trace); len(vs) != 0 {
+			t.Fatalf("axiomatic checker disagreed on a correct run: %v", vs[0])
+		}
+	}
+}
+
+// TestCheckersAgreeOnBugs: when the online checker catches an injected
+// bug, the independent axiomatic verifier must flag the same execution.
+func TestCheckersAgreeOnBugs(t *testing.T) {
+	cases := []struct {
+		name string
+		bugs viper.BugSet
+	}{
+		{"LostWriteRace", viper.BugSet{LostWriteRace: true}},
+		{"NonAtomicRMW", viper.BugSet{NonAtomicRMW: true}},
+		{"StaleAcquire", viper.BugSet{StaleAcquire: true}},
+	}
+	for _, c := range cases {
+		agreed := false
+		for seed := uint64(1); seed <= 8 && !agreed; seed++ {
+			rep := tracedRun(t, c.bugs, seed)
+			onlineCaught := !rep.Passed()
+			axioms := checker.Verify(rep.Trace)
+			if onlineCaught && len(axioms) == 0 {
+				t.Fatalf("%s seed %d: online caught the bug (%v) but axiomatic checker passed the trace",
+					c.name, seed, rep.Failures[0].Kind)
+			}
+			if onlineCaught && len(axioms) > 0 {
+				agreed = true
+				t.Logf("%s: both checkers flag seed %d (online: %v; axiomatic: %s)",
+					c.name, seed, rep.Failures[0].Kind, axioms[0].Axiom)
+			}
+		}
+		if !agreed {
+			t.Errorf("%s: never provoked within 8 seeds", c.name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+
+	"drftest/internal/core"
+	"drftest/internal/viper"
+)
+
+// FuzzTesterNoFalseAlarms drives the whole stack with fuzzer-chosen
+// configurations: on a correct protocol the tester must never report a
+// failure, never lose an operation, and keep the L2 byte-identical to
+// memory. Run with `go test -fuzz FuzzTesterNoFalseAlarms ./internal/harness`
+// for open-ended exploration; the seed corpus runs in normal test mode.
+func FuzzTesterNoFalseAlarms(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(8), uint8(10), uint8(20), uint8(4), uint16(64), false, false)
+	f.Add(uint64(7), uint8(1), uint8(4), uint8(4), uint8(60), uint8(1), uint16(512), true, false)
+	f.Add(uint64(42), uint8(2), uint8(16), uint8(2), uint8(9), uint8(16), uint16(300), false, true)
+	f.Add(uint64(99), uint8(0), uint8(3), uint8(7), uint8(33), uint8(2), uint16(48), true, true)
+
+	f.Fuzz(func(t *testing.T, seed uint64, cacheSel, wfs, episodes, actions, syncVars uint8, dataVars uint16, jitter, writeBack bool) {
+		var sysCfg viper.Config
+		switch cacheSel % 3 {
+		case 0:
+			sysCfg = viper.SmallCacheConfig()
+		case 1:
+			sysCfg = viper.LargeCacheConfig()
+		default:
+			sysCfg = viper.MixedCacheConfig()
+		}
+		sysCfg.NumL2Slices = 1 + int(cacheSel%4)
+		sysCfg.WriteBackL2 = writeBack
+		if jitter {
+			sysCfg.RespJitter = 12
+			sysCfg.JitterSeed = seed
+		}
+
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.NumWavefronts = 1 + int(wfs%24)
+		cfg.EpisodesPerWF = 1 + int(episodes%12)
+		cfg.ActionsPerEpisode = 2 + int(actions%80)
+		cfg.NumSyncVars = 1 + int(syncVars%20)
+		cfg.NumDataVars = 16 + int(dataVars%2048)
+
+		b := BuildGPU(sysCfg)
+		rep := core.New(b.K, b.Sys, cfg).Run()
+		if !rep.Passed() {
+			t.Fatalf("false alarm on correct protocol (cfg %+v): %s", cfg, rep.Failures[0].TableV())
+		}
+		if rep.OpsCompleted != cfg.TotalActions() {
+			t.Fatalf("lost operations: %d of %d", rep.OpsCompleted, cfg.TotalActions())
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"drftest/internal/apps"
+	"drftest/internal/mem"
+	"drftest/internal/rng"
+	"drftest/internal/sim"
+)
+
+// hostControlBase is the host threads' own control block, far from
+// every GPU region.
+const (
+	hostControlBase   mem.Addr = 0x4000_0000
+	hostControlStride mem.Addr = 1 << 12
+)
+
+// hostDriver models the CPU-side activity of an application run: host
+// threads polling and updating the buffers the GPU kernel works on.
+// It is deliberately light — real GPU applications keep the CPU mostly
+// idle — but it is what makes the GPU L2 see probe-invalidations and
+// the directory see CPU events during application-based testing.
+type hostDriver struct {
+	b       *HeteroBuild
+	rnd     *rng.PCG
+	period  sim.Tick
+	nextID  uint64
+	running bool
+	pending map[int]bool
+	// opsLeft bounds each host thread so the simulation drains even if
+	// the kernel outlives the host's polling loop.
+	opsLeft map[int]int
+	// sharedProb is the probability a host op polls the kernel's
+	// shared buffer instead of the private control block.
+	sharedProb float64
+}
+
+func newHostDriver(b *HeteroBuild, seed uint64, period sim.Tick, opsPerCPU int) *hostDriver {
+	h := &hostDriver{
+		b:          b,
+		rnd:        rng.New(seed, 0x405),
+		period:     period,
+		pending:    make(map[int]bool),
+		opsLeft:    make(map[int]int),
+		sharedProb: 0.05,
+	}
+	for i := range b.Caches {
+		h.opsLeft[i] = opsPerCPU
+	}
+	for i, c := range b.Caches {
+		cpu := i
+		c.SetClient(hostClient{h: h, cpu: cpu})
+	}
+	return h
+}
+
+type hostClient struct {
+	h   *hostDriver
+	cpu int
+}
+
+func (c hostClient) HandleResponse(resp *mem.Response) {
+	h := c.h
+	h.pending[c.cpu] = false
+	if h.running {
+		h.b.K.Schedule(h.period, func() { h.issue(c.cpu) })
+	}
+}
+
+func (h *hostDriver) start() {
+	h.running = true
+	for cpu := range h.b.Caches {
+		cpu := cpu
+		h.b.K.Schedule(sim.Tick(cpu)*7, func() { h.issue(cpu) })
+	}
+}
+
+func (h *hostDriver) stop() { h.running = false }
+
+func (h *hostDriver) issue(cpu int) {
+	if !h.running || h.pending[cpu] || h.b.K.Stopped() || h.opsLeft[cpu] <= 0 {
+		return
+	}
+	h.opsLeft[cpu]--
+	h.pending[cpu] = true
+	h.nextID++
+	// Real application hosts mostly spin on their own control block
+	// (reads and writes); the kernel's shared buffer they only *poll*
+	// read-only — inputs travel by DMA. The occasional shared-region
+	// read is what provokes the CPU↔GPU probe traffic of Fig. 10
+	// without the dirty-sharing churn only the random testers create.
+	var addr mem.Addr
+	shared := h.rnd.Bool(h.sharedProb)
+	if shared {
+		addr = apps.SharedRegionBase + mem.Addr(h.rnd.Intn(64*16)*mem.WordSize)
+	} else {
+		addr = hostControlBase + mem.Addr(cpu)*hostControlStride +
+			mem.Addr(h.rnd.Intn(4*16)*mem.WordSize)
+	}
+	req := &mem.Request{ID: 1<<40 | h.nextID, Addr: addr, ThreadID: cpu}
+	if !shared && h.rnd.Bool(0.3) {
+		req.Op = mem.OpStore
+		req.Data = uint32(h.nextID)
+	} else {
+		req.Op = mem.OpLoad
+	}
+	h.b.Caches[cpu].Issue(req)
+}

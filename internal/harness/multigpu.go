@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"drftest/internal/coverage"
+	"drftest/internal/directory"
+	"drftest/internal/mem"
+	"drftest/internal/memctrl"
+	"drftest/internal/sim"
+	"drftest/internal/viper"
+)
+
+// MultiGPUBuild is a multi-GPU system: several VIPER GPUs sharing one
+// directory and memory — §III.B's "multi-GPU system with a varying
+// number of caches and diverse topologies".
+type MultiGPUBuild struct {
+	K     *sim.Kernel
+	GPUs  []*viper.System
+	Dir   *directory.Directory
+	Store *mem.Store
+	Col   *coverage.Collector
+}
+
+// BuildMultiGPU assembles numGPUs identical VIPER systems over a
+// shared directory. GPU writes and atomics probe-invalidate the other
+// GPUs' L2 copies, so the TCC's PrbInv transitions become reachable
+// without any CPU in the system.
+func BuildMultiGPU(gpuCfg viper.Config, numGPUs int) *MultiGPUBuild {
+	k := sim.NewKernel()
+	col := coverage.NewCollector(viper.NewTCPSpec(), viper.NewTCCSpec(), directory.NewSpec())
+	store := mem.NewStore()
+	ctrl := memctrl.New(k, gpuCfg.Mem, store)
+	dir := directory.New(k, col, nil, ctrl, gpuCfg.L1.LineSize)
+
+	b := &MultiGPUBuild{K: k, Dir: dir, Store: store, Col: col}
+	for g := 0; g < numGPUs; g++ {
+		id := dir.AddGPU()
+		gpu := viper.NewSystemWithBackend(k, gpuCfg, col, dir.GPUBackend(id))
+		dir.BindGPU(id, gpu)
+		b.GPUs = append(b.GPUs, gpu)
+	}
+	return b
+}
+
+// TCCWBImpossible returns the write-back L2 cells unreachable under a
+// FIFO memory controller: an eviction's write-back always completes
+// before any later refill of the same line is serviced, so its WBAck
+// can only arrive with the line in I or IV (or A), never re-validated
+// V/D.
+func TCCWBImpossible() coverage.CellSet {
+	s := coverage.CellSet{}
+	s.Add(viper.TCCWBStateV, viper.TCCWBAck)
+	s.Add(viper.TCCWBStateD, viper.TCCWBAck)
+	return s
+}
+
+// TCCImpossibleMultiGPU returns the GPU L2 cells unreachable in a
+// multi-GPU (CPU-less) system: none — inter-GPU invalidations and
+// same-line transaction collisions at the directory reach every probe
+// cell and the atomic NACK.
+func TCCImpossibleMultiGPU() coverage.CellSet {
+	return coverage.CellSet{}
+}

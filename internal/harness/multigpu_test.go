@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"testing"
+
+	"drftest/internal/checker"
+	"drftest/internal/core"
+	"drftest/internal/mem"
+	"drftest/internal/viper"
+)
+
+// TestMultiGPUCoherence: hand-scripted cross-GPU visibility — GPU 1
+// caches a line in its L2; GPU 0's write must probe-invalidate it, so
+// GPU 1's post-acquire load observes the new value.
+func TestMultiGPUCoherence(t *testing.T) {
+	gpuCfg := viper.SmallCacheConfig()
+	gpuCfg.NumCUs = 1
+	b := BuildMultiGPU(gpuCfg, 2)
+	cl := &hclient{responses: map[uint64]*mem.Response{}}
+	b.GPUs[0].Seqs[0].SetClient(cl)
+	b.GPUs[1].Seqs[0].SetClient(cl)
+
+	// GPU 1 warms the line (cached in its TCC).
+	b.GPUs[1].Seqs[0].Issue(&mem.Request{ID: 1, Op: mem.OpLoad, Addr: 0x100, ThreadID: 1})
+	b.K.RunUntilIdle()
+	// GPU 0 writes it through; the directory must invalidate GPU 1's L2.
+	b.GPUs[0].Seqs[0].Issue(&mem.Request{ID: 2, Op: mem.OpStore, Addr: 0x100, Data: 33, ThreadID: 0})
+	b.K.RunUntilIdle()
+	// GPU 1 acquires, then reads: fresh value required.
+	b.GPUs[1].Seqs[0].Issue(&mem.Request{ID: 3, Op: mem.OpAtomic, Addr: 0x4000, Operand: 1, Acquire: true, ThreadID: 1})
+	b.K.RunUntilIdle()
+	b.GPUs[1].Seqs[0].Issue(&mem.Request{ID: 4, Op: mem.OpLoad, Addr: 0x100, ThreadID: 1})
+	b.K.RunUntilIdle()
+	if got := cl.responses[4].Data; got != 33 {
+		t.Fatalf("GPU1 saw %d after GPU0 write, want 33", got)
+	}
+	l2 := b.Col.Matrix("GPU-L2")
+	if l2.Hits[viper.TCCStateV][viper.TCCPrbInv] == 0 {
+		t.Fatal("[V,PrbInv] inter-GPU invalidation not recorded")
+	}
+}
+
+// TestMultiGPUTester: one DRF tester spans both GPUs; it must pass,
+// and — the point of the topology — reach the PrbInv transitions no
+// single-GPU system can (the paper's "Impsb" cells become coverable).
+func TestMultiGPUTester(t *testing.T) {
+	gpuCfg := viper.SmallCacheConfig()
+	gpuCfg.NumCUs = 4
+	b := BuildMultiGPU(gpuCfg, 2)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 3
+	cfg.NumWavefronts = 16
+	cfg.EpisodesPerWF = 8
+	cfg.ActionsPerEpisode = 40
+	cfg.NumSyncVars = 8
+	cfg.NumDataVars = 256
+	cfg.RecordTrace = true
+	tester := core.NewMulti(b.K, b.GPUs, cfg)
+	tester.Start()
+	b.K.RunUntilIdle()
+	tester.Finish()
+	tester.AuditStore(b.Store)
+	if fails := tester.Failures(); len(fails) > 0 {
+		t.Fatalf("multi-GPU tester failed: %s", fails[0].TableV())
+	}
+	// Axiomatic re-verification across both GPUs.
+	if vs := checker.Verify(tester.Trace()); len(vs) != 0 {
+		t.Fatalf("axiomatic checker flagged the multi-GPU run: %v", vs[0])
+	}
+
+	l2 := b.Col.Matrix("GPU-L2")
+	sum := l2.Summarize(TCCImpossibleMultiGPU())
+	t.Logf("multi-GPU L2 coverage: %s", sum)
+	probeHits := l2.Hits[viper.TCCStateI][viper.TCCPrbInv] + l2.Hits[viper.TCCStateV][viper.TCCPrbInv]
+	if probeHits == 0 {
+		t.Fatal("multi-GPU tester never triggered inter-GPU PrbInv")
+	}
+	dirSum := b.Col.Matrix("Directory").Summarize(nil)
+	t.Logf("directory from multi-GPU tester alone: %s", dirSum)
+}

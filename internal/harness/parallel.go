@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"drftest/internal/coverage"
+	"drftest/internal/cputester"
+	"drftest/internal/directory"
+	"drftest/internal/moesi"
+	"drftest/internal/protocol"
+	"drftest/internal/viper"
+)
+
+func newDirSpecFn() *protocol.Spec { return directory.NewSpec() }
+func newCPUSpecFn() *protocol.Spec { return moesi.NewCPUSpec() }
+
+func newCPUTester(b *CPUBuild, cfg CPUTestConfig) *cputester.Tester {
+	return cputester.New(b.K, b.Caches, cfg.TestCfg)
+}
+
+// Every run in a sweep owns an isolated kernel, RNG and coverage
+// collector, so sweeps are embarrassingly parallel: results are
+// bit-identical to the serial versions (per-run determinism is
+// per-run), only wall clock changes. Wall-time totals still sum the
+// per-run times, so reported testing cost is unaffected by the worker
+// count.
+
+// RunGPUSweepParallel is RunGPUSweep over a worker pool
+// (workers ≤ 0 → GOMAXPROCS).
+func RunGPUSweepParallel(cfgs []GPUTestConfig, workers int) *GPUSweepResult {
+	results := make([]*GPURunResult, len(cfgs))
+	parallelDo(len(cfgs), workers, func(i int) {
+		results[i] = RunGPUTest(cfgs[i])
+	})
+
+	out := &GPUSweepResult{
+		UnionL1: coverage.NewMatrix(viper.NewTCPSpec()),
+		UnionL2: coverage.NewMatrix(viper.NewTCCSpec()),
+	}
+	for _, r := range results {
+		out.Runs = append(out.Runs, r)
+		out.UnionL1.Merge(r.L1)
+		out.UnionL2.Merge(r.L2)
+		out.TotalEvents += r.Report.EventsExecuted
+		out.TotalWall += r.Report.WallTime
+		out.TotalOps += r.Report.OpsIssued
+		out.Failures += len(r.Report.Failures)
+	}
+	out.UnionL1Sum = out.UnionL1.Summarize(nil)
+	out.UnionL2Sum = out.UnionL2.Summarize(TCCImpossibleGPUOnly())
+	return out
+}
+
+// RunAppSuiteParallel is RunAppSuite over a worker pool.
+func RunAppSuiteParallel(opts AppSuiteOptions, workers int) *AppSuiteResult {
+	opts = opts.withDefaults()
+	results := make([]*AppRunResult, len(opts.Profiles))
+	parallelDo(len(opts.Profiles), workers, func(i int) {
+		p := opts.Profiles[i]
+		p.MemOpsPerLane = int(float64(p.MemOpsPerLane) * opts.Scale)
+		if p.MemOpsPerLane < 10 {
+			p.MemOpsPerLane = 10
+		}
+		results[i] = runOneApp(p, opts, opts.Seed+uint64(i))
+	})
+
+	out := &AppSuiteResult{
+		UnionL1:  coverage.NewMatrix(viper.NewTCPSpec()),
+		UnionL2:  coverage.NewMatrix(viper.NewTCCSpec()),
+		UnionDir: coverage.NewMatrix(newDirSpecFn()),
+	}
+	for _, r := range results {
+		out.Runs = append(out.Runs, r)
+		out.UnionL1.Merge(r.L1)
+		out.UnionL2.Merge(r.L2)
+		out.UnionDir.Merge(r.Dir)
+		out.TotalEvents += r.Res.Events
+		out.TotalWall += r.Res.WallTime
+		out.Faults += r.Res.Faults
+	}
+	out.UnionL1Sum = out.UnionL1.Summarize(nil)
+	out.UnionL2Sum = out.UnionL2.Summarize(TCCImpossibleHetero())
+	out.UnionDirSum = out.UnionDir.Summarize(nil)
+	return out
+}
+
+// RunCPUSweepParallel is RunCPUSweep over a worker pool.
+func RunCPUSweepParallel(cfgs []CPUTestConfig, workers int) *CPUSweepResult {
+	type cpuOut struct {
+		r   *CPURunResult
+		cpu *coverage.Matrix
+	}
+	results := make([]cpuOut, len(cfgs))
+	parallelDo(len(cfgs), workers, func(i int) {
+		b := BuildCPU(cfgs[i].NumCPUs, cfgs[i].CacheCfg)
+		tester := newCPUTester(b, cfgs[i])
+		rep := tester.Run()
+		r := &CPURunResult{Name: cfgs[i].Name, Report: rep, Dir: b.Col.Matrix("Directory")}
+		r.CPUSum = b.Col.Matrix("CPU-L1").Summarize(nil)
+		r.DirSum = r.Dir.Summarize(nil)
+		results[i] = cpuOut{r: r, cpu: b.Col.Matrix("CPU-L1")}
+	})
+
+	out := &CPUSweepResult{
+		UnionDir: coverage.NewMatrix(newDirSpecFn()),
+		UnionCPU: coverage.NewMatrix(newCPUSpecFn()),
+	}
+	for _, res := range results {
+		out.Runs = append(out.Runs, res.r)
+		out.UnionDir.Merge(res.r.Dir)
+		out.UnionCPU.Merge(res.cpu)
+		out.TotalWall += res.r.Report.WallTime
+		out.Failures += len(res.r.Report.Failures)
+	}
+	out.UnionDirSum = out.UnionDir.Summarize(nil)
+	return out
+}
+
+func parallelDo(n, workers int, do func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				do(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

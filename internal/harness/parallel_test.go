@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"drftest/internal/apps"
+)
+
+// TestParallelSweepMatchesSerial: the parallel runner must produce
+// exactly the serial sweep's coverage (per-run determinism is per-run;
+// only wall clock changes).
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	cfgs := GPUTesterConfigs(5, 0.05)[:6]
+	serial := RunGPUSweep(cfgs)
+	par := RunGPUSweepParallel(cfgs, 4)
+	if serial.Failures != 0 || par.Failures != 0 {
+		t.Fatal("unexpected failures")
+	}
+	if serial.TotalEvents != par.TotalEvents || serial.TotalOps != par.TotalOps {
+		t.Fatalf("parallel diverged: events %d vs %d, ops %d vs %d",
+			serial.TotalEvents, par.TotalEvents, serial.TotalOps, par.TotalOps)
+	}
+	for i := range serial.UnionL1.Hits {
+		for j := range serial.UnionL1.Hits[i] {
+			if serial.UnionL1.Hits[i][j] != par.UnionL1.Hits[i][j] {
+				t.Fatalf("L1 union cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+	for i := range serial.UnionL2.Hits {
+		for j := range serial.UnionL2.Hits[i] {
+			if serial.UnionL2.Hits[i][j] != par.UnionL2.Hits[i][j] {
+				t.Fatalf("L2 union cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestParallelAppSuiteMatchesSerial(t *testing.T) {
+	opts := AppSuiteOptions{Seed: 3, Scale: 0.05, NumWFs: 4,
+		Profiles: []apps.Profile{*apps.ByName("Square"), *apps.ByName("CM"), *apps.ByName("FFT")}}
+	serial := RunAppSuite(opts)
+	par := RunAppSuiteParallel(opts, 3)
+	if serial.TotalEvents != par.TotalEvents || serial.Faults != par.Faults {
+		t.Fatalf("parallel app suite diverged: %d vs %d events", serial.TotalEvents, par.TotalEvents)
+	}
+	if serial.UnionDirSum.Active != par.UnionDirSum.Active {
+		t.Fatalf("directory unions differ: %d vs %d", serial.UnionDirSum.Active, par.UnionDirSum.Active)
+	}
+}
+
+func TestParallelCPUSweepMatchesSerial(t *testing.T) {
+	cfgs := CPUTesterConfigs(9, 0.01)[:4]
+	serial := RunCPUSweep(cfgs)
+	par := RunCPUSweepParallel(cfgs, 4)
+	if serial.Failures != 0 || par.Failures != 0 {
+		t.Fatal("unexpected failures")
+	}
+	if serial.UnionDirSum.Active != par.UnionDirSum.Active {
+		t.Fatalf("CPU sweep unions differ: %d vs %d", serial.UnionDirSum.Active, par.UnionDirSum.Active)
+	}
+}

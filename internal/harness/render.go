@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"drftest/internal/apps"
+	"drftest/internal/coverage"
+	"drftest/internal/viper"
+)
+
+// RenderTableI writes the GPU L1 event list (paper Table I).
+func RenderTableI(w io.Writer) {
+	fmt.Fprintln(w, "TABLE I. GPU L1 CACHE EVENTS")
+	for _, ev := range viper.TCPEvents {
+		fmt.Fprintf(w, "  %-14s %s\n", ev, viper.TCPEventDescriptions[ev])
+	}
+}
+
+// RenderTableII writes the GPU L2 event list (paper Table II).
+func RenderTableII(w io.Writer) {
+	fmt.Fprintln(w, "TABLE II. GPU L2 CACHE EVENTS")
+	for _, ev := range viper.TCCEvents {
+		fmt.Fprintf(w, "  %-14s %s\n", ev, viper.TCCEventDescriptions[ev])
+	}
+}
+
+// RenderTableIII writes the tester configuration sweep (paper Table III).
+func RenderTableIII(w io.Writer, gpu []GPUTestConfig, cpu []CPUTestConfig) {
+	fmt.Fprintln(w, "TABLE III. TESTER CONFIGURATIONS")
+	fmt.Fprintln(w, "GPU tester (protocol GPU_VIPER, 8 CUs):")
+	fmt.Fprintf(w, "  %-8s %-7s %-9s %-9s %-9s %-10s\n", "run", "caches", "acts/eps", "eps/WF", "syncVars", "dataVars")
+	for _, c := range gpu {
+		fmt.Fprintf(w, "  %-8s %-7s %-9d %-9d %-9d %-10d\n",
+			c.Name, c.Caches, c.TestCfg.ActionsPerEpisode, c.TestCfg.EpisodesPerWF,
+			c.TestCfg.NumSyncVars, c.TestCfg.NumDataVars)
+	}
+	fmt.Fprintln(w, "CPU tester (protocol MOESI corepair):")
+	fmt.Fprintf(w, "  %-8s %-5s %-7s %-10s\n", "run", "cpus", "caches", "ops/cpu")
+	for _, c := range cpu {
+		fmt.Fprintf(w, "  %-8s %-5d %-7s %-10d\n", c.Name, c.NumCPUs, c.Caches, c.TestCfg.OpsPerCPU)
+	}
+}
+
+// RenderTableIV writes the application descriptions (paper Table IV).
+func RenderTableIV(w io.Writer) {
+	fmt.Fprintln(w, "TABLE IV. APPLICATIONS (synthetic stand-ins; see DESIGN.md)")
+	fmt.Fprintf(w, "  %-16s %-10s %s\n", "name", "suite", "description")
+	for _, p := range apps.Profiles {
+		fmt.Fprintf(w, "  %-16s %-10s %s\n", p.Name, p.Suite, p.Desc)
+	}
+}
+
+// RenderFig4 writes both VIPER transition tables (paper Fig. 4).
+func RenderFig4(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 4: state transitions in GPU L1 and L2 caches")
+	viper.NewTCPSpec().Render(w)
+	fmt.Fprintln(w)
+	viper.NewTCCSpec().Render(w)
+}
+
+// RenderFig5 runs the tester under small and large caches and writes
+// the two transition hit-frequency heat maps (paper Fig. 5).
+func RenderFig5(w io.Writer, seed uint64, scale float64) {
+	cfgs := GPUTesterConfigs(seed, scale)
+	// Config 0 is small caches, config 8 is large (same lengths).
+	small := RunGPUTest(cfgs[0])
+	large := RunGPUTest(cfgs[8])
+	impsb := TCCImpossibleGPUOnly()
+
+	fmt.Fprintln(w, "Fig. 5(a): small caches (256B L1, 1KB L2)")
+	small.L1.RenderHeatmap(w, nil)
+	small.L2.RenderHeatmap(w, impsb)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Fig. 5(b): large caches (256KB L1, 1MB L2)")
+	large.L1.RenderHeatmap(w, nil)
+	large.L2.RenderHeatmap(w, impsb)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "observations (paper §IV.A):")
+	fmt.Fprintf(w, "  [V, Load] L1 hit frequency:  small=%d  large=%d (hits dominate with large caches)\n",
+		small.L1.Hits[viper.TCPStateV][viper.TCPLoad], large.L1.Hits[viper.TCPStateV][viper.TCPLoad])
+	fmt.Fprintf(w, "  [V, Repl] L1 replacements:   small=%d  large=%d (replacements dominate with small caches)\n",
+		small.L1.Hits[viper.TCPStateV][viper.TCPRepl], large.L1.Hits[viper.TCPStateV][viper.TCPRepl])
+}
+
+// RenderFig6 writes the application data-locality breakdown (paper
+// Fig. 6) from a completed app suite run.
+func RenderFig6(w io.Writer, res *AppSuiteResult) {
+	fmt.Fprintln(w, "Fig. 6: data locality in selected applications (fraction of line uses)")
+	fmt.Fprintf(w, "  %-16s %10s %10s %10s %10s\n", "app", "streaming", "intraWF", "mixWF", "interWF")
+	for _, r := range res.Runs {
+		l := r.Res.Locality
+		fmt.Fprintf(w, "  %-16s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+			r.Res.App,
+			100*l[apps.ClassStreaming], 100*l[apps.ClassIntraWF],
+			100*l[apps.ClassMixWF], 100*l[apps.ClassInterWF])
+	}
+}
+
+// RenderFig7 writes the transition-classification grids comparing the
+// tester union against the application union (paper Fig. 7).
+func RenderFig7(w io.Writer, sweep *GPUSweepResult, appsRes *AppSuiteResult) {
+	impsb := TCCImpossibleGPUOnly()
+	fmt.Fprintln(w, "Fig. 7(a): GPU tester")
+	sweep.UnionL1.RenderClassGrid(w, nil)
+	sweep.UnionL2.RenderClassGrid(w, impsb)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Fig. 7(b): all applications")
+	appsRes.UnionL1.RenderClassGrid(w, nil)
+	appsRes.UnionL2.RenderClassGrid(w, TCCImpossibleHetero())
+}
+
+// RenderFig8 writes the per-run tester coverage and runtime table plus
+// the union row (paper Fig. 8).
+func RenderFig8(w io.Writer, sweep *GPUSweepResult) {
+	fmt.Fprintln(w, "Fig. 8: GPU tester transition coverage and testing time")
+	fmt.Fprintf(w, "  %-9s %-7s %8s %8s %12s %12s\n", "run", "caches", "L1 cov", "L2 cov", "sim events", "wall")
+	runs := append([]*GPURunResult(nil), sweep.Runs...)
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].Report.EventsExecuted < runs[j].Report.EventsExecuted })
+	for _, r := range runs {
+		fmt.Fprintf(w, "  %-9s %-7s %7.1f%% %7.1f%% %12d %12s\n",
+			r.Name, r.Caches, 100*r.L1Sum.Coverage(), 100*r.L2Sum.Coverage(),
+			r.Report.EventsExecuted, r.Report.WallTime.Round(10e3))
+	}
+	fmt.Fprintf(w, "  %-9s %-7s %7.1f%% %7.1f%% %12d %12s\n", "(UNION)", "",
+		100*sweep.UnionL1Sum.Coverage(), 100*sweep.UnionL2Sum.Coverage(),
+		sweep.TotalEvents, sweep.TotalWall.Round(10e3))
+}
+
+// RenderFig9 writes the per-application coverage and runtime table
+// plus the union row (paper Fig. 9).
+func RenderFig9(w io.Writer, res *AppSuiteResult) {
+	fmt.Fprintln(w, "Fig. 9: application transition coverage and testing time")
+	fmt.Fprintf(w, "  %-16s %8s %8s %12s %12s\n", "app", "L1 cov", "L2 cov", "sim events", "wall")
+	runs := append([]*AppRunResult(nil), res.Runs...)
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].Res.Events < runs[j].Res.Events })
+	for _, r := range runs {
+		fmt.Fprintf(w, "  %-16s %7.1f%% %7.1f%% %12d %12s\n",
+			r.Res.App, 100*r.L1Sum.Coverage(), 100*r.L2Sum.Coverage(),
+			r.Res.Events, r.Res.WallTime.Round(10e3))
+	}
+	fmt.Fprintf(w, "  %-16s %7.1f%% %7.1f%% %12d %12s\n", "(UNION)",
+		100*res.UnionL1Sum.Coverage(), 100*res.UnionL2Sum.Coverage(),
+		res.TotalEvents, res.TotalWall.Round(10e3))
+}
+
+// Fig10Result aggregates the three directory views of the paper's
+// Fig. 10.
+type Fig10Result struct {
+	Apps        *coverage.Matrix
+	CPUTester   *coverage.Matrix
+	GPUTester   *coverage.Matrix
+	TesterUnion *coverage.Matrix
+}
+
+// RenderFig10 writes the directory coverage comparison (paper Fig. 10).
+func RenderFig10(w io.Writer, r *Fig10Result) {
+	appsSum := r.Apps.Summarize(nil)
+	cpuSum := r.CPUTester.Summarize(nil)
+	gpuSum := r.GPUTester.Summarize(nil)
+	unionSum := r.TesterUnion.Summarize(nil)
+
+	fmt.Fprintln(w, "Fig. 10: system directory transitions covered by test type")
+	fmt.Fprintln(w, "(a) applications:")
+	r.Apps.RenderClassGrid(w, nil)
+	fmt.Fprintln(w, "(b) CPU tester:")
+	r.CPUTester.RenderClassGrid(w, nil)
+	fmt.Fprintln(w, "(c) GPU + CPU testers (union):")
+	r.TesterUnion.RenderClassGrid(w, nil)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  directory coverage: apps %.1f%%  cpu-tester %.1f%%  gpu-tester %.1f%%  testers-union %.1f%%\n",
+		100*appsSum.Coverage(), 100*cpuSum.Coverage(), 100*gpuSum.Coverage(), 100*unionSum.Coverage())
+
+	dmaOnly := 0
+	for st := range r.Apps.Hits {
+		for ev := range r.Apps.Hits[st] {
+			if r.Apps.Hits[st][ev] > 0 && r.TesterUnion.Hits[st][ev] == 0 {
+				dmaOnly++
+			}
+		}
+	}
+	fmt.Fprintf(w, "  transitions only applications activate (DMA-related): %d\n", dmaOnly)
+}
+
+// SpeedComparison writes the tester-vs-apps cost summary backing the
+// paper's ">50x faster" claim. The paper's metric is cost *to reach
+// similar or higher coverage*: the whole application suite's cost is
+// compared against the cheapest prefix of tester runs whose coverage
+// union already matches the suite's.
+func SpeedComparison(w io.Writer, sweep *GPUSweepResult, appsRes *AppSuiteResult) {
+	appL1 := appsRes.UnionL1.Summarize(nil)
+	appL2 := appsRes.UnionL2.Summarize(TCCImpossibleGPUOnly())
+
+	// Accumulate tester runs (cheapest first) until the union covers at
+	// least as many transitions as the app suite does.
+	runs := append([]*GPURunResult(nil), sweep.Runs...)
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].Report.EventsExecuted < runs[j].Report.EventsExecuted })
+	prefixL1 := coverage.NewMatrix(viper.NewTCPSpec())
+	prefixL2 := coverage.NewMatrix(viper.NewTCCSpec())
+	var prefixEvents uint64
+	var prefixWall time.Duration
+	matched := 0
+	for _, r := range runs {
+		prefixL1.Merge(r.L1)
+		prefixL2.Merge(r.L2)
+		prefixEvents += r.Report.EventsExecuted
+		prefixWall += r.Report.WallTime
+		matched++
+		if prefixL1.Summarize(nil).Active >= appL1.Active &&
+			prefixL2.Summarize(TCCImpossibleGPUOnly()).Active >= appL2.Active {
+			break
+		}
+	}
+
+	fmt.Fprintln(w, "Testing cost: GPU tester vs applications (to similar or higher coverage)")
+	fmt.Fprintf(w, "  apps (all %d)     : %12d sim events  %12s wall  L1 %.1f%%  L2 %.1f%%\n",
+		len(appsRes.Runs), appsRes.TotalEvents, appsRes.TotalWall.Round(10e3),
+		100*appL1.Coverage(), 100*appL2.Coverage())
+	fmt.Fprintf(w, "  tester (%d runs)  : %12d sim events  %12s wall  L1 %.1f%%  L2 %.1f%%\n",
+		matched, prefixEvents, prefixWall.Round(10e3),
+		100*prefixL1.Summarize(nil).Coverage(), 100*prefixL2.Summarize(TCCImpossibleGPUOnly()).Coverage())
+	if prefixEvents > 0 {
+		fmt.Fprintf(w, "  speedup to similar coverage (sim events): %.1fx\n",
+			float64(appsRes.TotalEvents)/float64(prefixEvents))
+	}
+	if prefixWall > 0 {
+		fmt.Fprintf(w, "  speedup to similar coverage (wall clock): %.1fx\n",
+			float64(appsRes.TotalWall)/float64(prefixWall))
+	}
+	fmt.Fprintf(w, "  full-sweep tester cost (all %d runs, union L1 %.1f%% / L2 %.1f%%): %d events, %s\n",
+		len(sweep.Runs), 100*sweep.UnionL1Sum.Coverage(), 100*sweep.UnionL2Sum.Coverage(),
+		sweep.TotalEvents, sweep.TotalWall.Round(10e3))
+}
+
+// Banner writes a section divider.
+func Banner(w io.Writer, title string) {
+	fmt.Fprintln(w, strings.Repeat("=", 72))
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", 72))
+}

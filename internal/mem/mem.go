@@ -1,0 +1,199 @@
+// Package mem defines the memory primitives shared by every level of
+// the simulated hierarchy: addresses, operation kinds, request and
+// response messages, the port interfaces components use to exchange
+// them, and a sparse functional backing store.
+//
+// The vocabulary deliberately mirrors the paper's: loads and stores
+// access data variables; atomics (fetch-add) access synchronization
+// variables and may carry acquire and/or release semantics, which is
+// exactly the DRF interface the tester exercises.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// WordSize is the size in bytes of every tester variable and of all
+// word-granularity helpers in this package.
+const WordSize = 4
+
+// LineAddr returns the address of the cache line containing a, for a
+// power-of-two line size.
+func LineAddr(a Addr, lineSize int) Addr {
+	return a &^ Addr(lineSize-1)
+}
+
+// LineOffset returns a's byte offset within its cache line.
+func LineOffset(a Addr, lineSize int) int {
+	return int(a & Addr(lineSize-1))
+}
+
+// Op enumerates the request kinds a core (or tester) can issue.
+type Op uint8
+
+const (
+	// OpLoad reads WordSize bytes.
+	OpLoad Op = iota
+	// OpStore writes WordSize bytes (write-through in VIPER).
+	OpStore
+	// OpAtomic is an atomic fetch-add of the request's Operand on a
+	// WordSize word; the response carries the old value.
+	OpAtomic
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLoad:
+		return "LD"
+	case OpStore:
+		return "ST"
+	case OpAtomic:
+		return "AT"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Request is a memory request message. Requests flow core → L1 → L2 →
+// directory/memory; the same struct is reused at every level with the
+// identity fields preserved so failure reports can name the issuing
+// thread, wavefront and episode (Table V in the paper).
+type Request struct {
+	ID   uint64
+	Op   Op
+	Addr Addr
+	// Data holds the store value for OpStore.
+	Data uint32
+	// Operand is the fetch-add amount for OpAtomic.
+	Operand uint32
+	// Acquire gives the request load-acquire semantics: on completion
+	// the issuing core's L1 is flash-invalidated so subsequent loads
+	// cannot observe stale data.
+	Acquire bool
+	// Release gives the request store-release semantics: it is not
+	// issued until all of the thread's prior write-throughs have
+	// completed, making them globally visible first.
+	Release bool
+
+	// Identity of the issuer, for logs and failure reports.
+	ThreadID  int
+	WFID      int
+	EpisodeID uint64
+	CUID      int
+
+	// IssueTick is stamped by the sequencer when the request enters the
+	// memory system; the forward-progress checker scans it.
+	IssueTick uint64
+}
+
+func (r *Request) String() string {
+	return fmt.Sprintf("%s addr=%#x thr=%d wf=%d eps=%d", r.Op, uint64(r.Addr), r.ThreadID, r.WFID, r.EpisodeID)
+}
+
+// Response answers a Request. Data is the loaded word for OpLoad and
+// the old (pre-add) value for OpAtomic.
+type Response struct {
+	Req  *Request
+	Data uint32
+	// Tick is the completion time.
+	Tick uint64
+}
+
+// Requestor is the core-side endpoint: it receives responses for the
+// requests it issued. Sequencers and CPU caches take a Requestor as
+// their client; the testers and core models implement it.
+type Requestor interface {
+	HandleResponse(resp *Response)
+}
+
+// Store is a sparse functional backing memory. It is used both as the
+// DRAM contents behind the protocol stack and as the reference memory
+// the tester checks responses against. Uninitialized bytes read as
+// zero.
+type Store struct {
+	pages map[Addr][]byte
+}
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{pages: make(map[Addr][]byte)}
+}
+
+func (s *Store) page(a Addr, create bool) ([]byte, int) {
+	pn := a >> pageShift
+	p, ok := s.pages[pn]
+	if !ok {
+		if !create {
+			return nil, 0
+		}
+		p = make([]byte, pageSize)
+		s.pages[pn] = p
+	}
+	return p, int(a & (pageSize - 1))
+}
+
+// ByteAt returns the byte at a.
+func (s *Store) ByteAt(a Addr) byte {
+	p, off := s.page(a, false)
+	if p == nil {
+		return 0
+	}
+	return p[off]
+}
+
+// SetByte sets the byte at a.
+func (s *Store) SetByte(a Addr, v byte) {
+	p, off := s.page(a, true)
+	p[off] = v
+}
+
+// ReadBytes fills dst starting at a.
+func (s *Store) ReadBytes(a Addr, dst []byte) {
+	for i := range dst {
+		dst[i] = s.ByteAt(a + Addr(i))
+	}
+}
+
+// WriteBytes writes src starting at a, honoring mask when non-nil
+// (mask[i] false skips byte i). Per-byte masks are how VIPER's
+// write-through merging is modelled.
+func (s *Store) WriteBytes(a Addr, src []byte, mask []bool) {
+	for i := range src {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		s.SetByte(a+Addr(i), src[i])
+	}
+}
+
+// ReadWord reads the little-endian 32-bit word at a.
+func (s *Store) ReadWord(a Addr) uint32 {
+	var b [WordSize]byte
+	s.ReadBytes(a, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteWord writes the little-endian 32-bit word v at a.
+func (s *Store) WriteWord(a Addr, v uint32) {
+	var b [WordSize]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	s.WriteBytes(a, b[:], nil)
+}
+
+// AtomicAdd performs a fetch-add of delta on the word at a and returns
+// the old value.
+func (s *Store) AtomicAdd(a Addr, delta uint32) uint32 {
+	old := s.ReadWord(a)
+	s.WriteWord(a, old+delta)
+	return old
+}
+
+// Footprint returns the number of distinct pages touched, a cheap
+// proxy for an application's memory footprint.
+func (s *Store) Footprint() int { return len(s.pages) }

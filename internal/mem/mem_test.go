@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddrAndOffset(t *testing.T) {
+	err := quick.Check(func(aRaw uint64, szExp uint8) bool {
+		lineSize := 1 << (4 + szExp%6) // 16..512
+		a := Addr(aRaw)
+		line := LineAddr(a, lineSize)
+		off := LineOffset(a, lineSize)
+		return line%Addr(lineSize) == 0 &&
+			off >= 0 && off < lineSize &&
+			line+Addr(off) == a
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreZeroFill(t *testing.T) {
+	s := NewStore()
+	if s.ReadWord(0x1234) != 0 {
+		t.Fatal("fresh store not zero-filled")
+	}
+}
+
+func TestStoreWordRoundTrip(t *testing.T) {
+	s := NewStore()
+	err := quick.Check(func(aRaw uint32, v uint32) bool {
+		a := Addr(aRaw) &^ 3
+		s.WriteWord(a, v)
+		return s.ReadWord(a) == v
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMaskedWrite(t *testing.T) {
+	s := NewStore()
+	base := Addr(0x100)
+	s.WriteBytes(base, []byte{1, 2, 3, 4}, nil)
+	s.WriteBytes(base, []byte{9, 9, 9, 9}, []bool{false, true, false, true})
+	var got [4]byte
+	s.ReadBytes(base, got[:])
+	if got != [4]byte{1, 9, 3, 9} {
+		t.Fatalf("masked write produced %v", got)
+	}
+}
+
+func TestStoreAtomicAdd(t *testing.T) {
+	s := NewStore()
+	a := Addr(0x40)
+	for i := uint32(0); i < 10; i++ {
+		if old := s.AtomicAdd(a, 3); old != i*3 {
+			t.Fatalf("AtomicAdd returned %d, want %d", old, i*3)
+		}
+	}
+	if s.ReadWord(a) != 30 {
+		t.Fatalf("final value %d, want 30", s.ReadWord(a))
+	}
+}
+
+func TestStoreCrossPage(t *testing.T) {
+	s := NewStore()
+	a := Addr(pageSize - 2) // straddles a page boundary
+	s.WriteWord(a, 0xAABBCCDD)
+	if s.ReadWord(a) != 0xAABBCCDD {
+		t.Fatal("cross-page word write corrupted")
+	}
+	if s.Footprint() != 2 {
+		t.Fatalf("footprint %d, want 2 pages", s.Footprint())
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{OpLoad: "LD", OpStore: "ST", OpAtomic: "AT"} {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q", uint8(op), op.String())
+		}
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := &Request{Op: OpStore, Addr: 0x52860, ThreadID: 12, WFID: 2, EpisodeID: 652}
+	want := "ST addr=0x52860 thr=12 wf=2 eps=652"
+	if r.String() != want {
+		t.Fatalf("Request.String() = %q, want %q", r.String(), want)
+	}
+}

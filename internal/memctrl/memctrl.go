@@ -1,0 +1,153 @@
+// Package memctrl models the memory controller and DRAM behind the
+// coherence stack: a functional backing store fronted by a
+// fixed-latency, rate-limited service queue.
+//
+// Fidelity here is deliberately modest — the paper's methodology tests
+// the coherence protocol, not DRAM timing — but the controller must (a)
+// be the global ordering point for line data, (b) honor per-byte write
+// masks so write-through merging is observable, and (c) introduce
+// queuing delay so request lifetimes vary and transient protocol states
+// stay occupied.
+package memctrl
+
+import (
+	"drftest/internal/mem"
+	"drftest/internal/sim"
+)
+
+// Config sets the controller's timing.
+type Config struct {
+	// AccessLatency is the fixed ticks from dequeue to completion.
+	AccessLatency sim.Tick
+	// ServicePeriod is the minimum ticks between dequeues (inverse
+	// bandwidth). Zero means unlimited bandwidth.
+	ServicePeriod sim.Tick
+}
+
+// DefaultConfig mimics a ~100-cycle DRAM with one request per 4 cycles.
+func DefaultConfig() Config {
+	return Config{AccessLatency: 100, ServicePeriod: 4}
+}
+
+// request is one queued DRAM command.
+type request struct {
+	kind  kind
+	line  mem.Addr
+	size  int
+	data  []byte
+	mask  []bool
+	addr  mem.Addr // word address for atomics
+	delta uint32
+	done  func(data []byte, old uint32)
+}
+
+type kind uint8
+
+const (
+	kindRead kind = iota
+	kindWrite
+	kindAtomic
+)
+
+// Controller services line reads, masked line writes and word atomics
+// against a backing Store.
+type Controller struct {
+	k     *sim.Kernel
+	cfg   Config
+	store *mem.Store
+
+	queue []request
+	busy  bool
+
+	// stats
+	reads, writes, atomics uint64
+	peakQueue              int
+}
+
+// New creates a controller on kernel k over backing store st.
+func New(k *sim.Kernel, cfg Config, st *mem.Store) *Controller {
+	return &Controller{k: k, cfg: cfg, store: st}
+}
+
+// Store exposes the backing memory (used to seed initial values and by
+// end-of-run consistency audits).
+func (c *Controller) Store() *mem.Store { return c.store }
+
+// ReadLine fetches size bytes at line and calls done with the data.
+func (c *Controller) ReadLine(line mem.Addr, size int, done func(data []byte)) {
+	c.enqueue(request{kind: kindRead, line: line, size: size,
+		done: func(d []byte, _ uint32) { done(d) }})
+}
+
+// WriteLine writes data (length = line size) at line under mask and
+// calls done when the write is globally performed.
+func (c *Controller) WriteLine(line mem.Addr, data []byte, mask []bool, done func()) {
+	// Copy: the caller may reuse its buffers before service time.
+	d := make([]byte, len(data))
+	copy(d, data)
+	var m []bool
+	if mask != nil {
+		m = make([]bool, len(mask))
+		copy(m, mask)
+	}
+	c.enqueue(request{kind: kindWrite, line: line, data: d, mask: m,
+		done: func([]byte, uint32) { done() }})
+}
+
+// Atomic performs a fetch-add at word address addr and calls done with
+// the old value. Atomicity is inherent: the controller services one
+// request at a time against the functional store.
+func (c *Controller) Atomic(addr mem.Addr, delta uint32, done func(old uint32)) {
+	c.enqueue(request{kind: kindAtomic, addr: addr, delta: delta,
+		done: func(_ []byte, old uint32) { done(old) }})
+}
+
+func (c *Controller) enqueue(r request) {
+	c.queue = append(c.queue, r)
+	if len(c.queue) > c.peakQueue {
+		c.peakQueue = len(c.queue)
+	}
+	if !c.busy {
+		c.busy = true
+		c.k.Schedule(0, c.service)
+	}
+}
+
+func (c *Controller) service() {
+	if len(c.queue) == 0 {
+		c.busy = false
+		return
+	}
+	r := c.queue[0]
+	c.queue = c.queue[1:]
+	c.k.Schedule(c.cfg.AccessLatency, func() { c.complete(r) })
+	period := c.cfg.ServicePeriod
+	if period == 0 {
+		period = 1
+	}
+	c.k.Schedule(period, c.service)
+}
+
+func (c *Controller) complete(r request) {
+	switch r.kind {
+	case kindRead:
+		c.reads++
+		data := make([]byte, r.size)
+		c.store.ReadBytes(r.line, data)
+		r.done(data, 0)
+	case kindWrite:
+		c.writes++
+		c.store.WriteBytes(r.line, r.data, r.mask)
+		r.done(nil, 0)
+	case kindAtomic:
+		c.atomics++
+		old := c.store.AtomicAdd(r.addr, r.delta)
+		r.done(nil, old)
+	}
+}
+
+// Stats returns service counters: reads, writes, atomics serviced and the
+// peak queue depth.
+func (c *Controller) Stats() (reads, writes, atomics uint64, peakQueue int) {
+	return c.reads, c.writes, c.atomics, c.peakQueue
+}

@@ -1,0 +1,111 @@
+package memctrl
+
+import (
+	"testing"
+
+	"drftest/internal/mem"
+	"drftest/internal/sim"
+)
+
+func newCtrl() (*sim.Kernel, *Controller) {
+	k := sim.NewKernel()
+	return k, New(k, Config{AccessLatency: 100, ServicePeriod: 4}, mem.NewStore())
+}
+
+func TestReadAfterWriteFIFO(t *testing.T) {
+	k, c := newCtrl()
+	data := make([]byte, 64)
+	data[3] = 0xEE
+	var got []byte
+	c.WriteLine(0x1000, data, nil, func() {})
+	c.ReadLine(0x1000, 64, func(d []byte) { got = d })
+	k.RunUntilIdle()
+	if got == nil || got[3] != 0xEE {
+		t.Fatal("read did not observe earlier queued write (FIFO broken)")
+	}
+}
+
+func TestMaskedWrite(t *testing.T) {
+	k, c := newCtrl()
+	full := make([]byte, 8)
+	for i := range full {
+		full[i] = 0x11
+	}
+	c.WriteLine(0, full, nil, func() {})
+	patch := make([]byte, 8)
+	mask := make([]bool, 8)
+	patch[2], mask[2] = 0x99, true
+	c.WriteLine(0, patch, mask, func() {})
+	var got []byte
+	c.ReadLine(0, 8, func(d []byte) { got = d })
+	k.RunUntilIdle()
+	if got[2] != 0x99 || got[1] != 0x11 {
+		t.Fatalf("masked write produced %v", got)
+	}
+}
+
+func TestWriteBuffersAreCopied(t *testing.T) {
+	k, c := newCtrl()
+	data := make([]byte, 4)
+	data[0] = 1
+	c.WriteLine(0, data, nil, func() {})
+	data[0] = 99 // caller reuses the buffer before service time
+	var got []byte
+	c.ReadLine(0, 4, func(d []byte) { got = d })
+	k.RunUntilIdle()
+	if got[0] != 1 {
+		t.Fatal("controller aliased the caller's write buffer")
+	}
+}
+
+func TestAtomicSerialized(t *testing.T) {
+	k, c := newCtrl()
+	seen := map[uint32]bool{}
+	for i := 0; i < 50; i++ {
+		c.Atomic(0x40, 1, func(old uint32) {
+			if seen[old] {
+				t.Errorf("duplicate atomic old value %d", old)
+			}
+			seen[old] = true
+		})
+	}
+	k.RunUntilIdle()
+	if len(seen) != 50 {
+		t.Fatalf("%d distinct old values, want 50", len(seen))
+	}
+	if c.Store().ReadWord(0x40) != 50 {
+		t.Fatalf("final value %d", c.Store().ReadWord(0x40))
+	}
+}
+
+func TestServicePeriodSpacesCompletions(t *testing.T) {
+	k, c := newCtrl()
+	var times []sim.Tick
+	for i := 0; i < 5; i++ {
+		c.ReadLine(mem.Addr(i*64), 64, func([]byte) { times = append(times, k.Now()) })
+	}
+	k.RunUntilIdle()
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] != 4 {
+			t.Fatalf("completions spaced %d apart, want ServicePeriod=4: %v", times[i]-times[i-1], times)
+		}
+	}
+	if times[0] < 100 {
+		t.Fatalf("first completion at %d, before AccessLatency", times[0])
+	}
+}
+
+func TestStats(t *testing.T) {
+	k, c := newCtrl()
+	c.ReadLine(0, 64, func([]byte) {})
+	c.WriteLine(64, make([]byte, 64), nil, func() {})
+	c.Atomic(128, 1, func(uint32) {})
+	k.RunUntilIdle()
+	r, w, a, peak := c.Stats()
+	if r != 1 || w != 1 || a != 1 {
+		t.Fatalf("stats r=%d w=%d a=%d", r, w, a)
+	}
+	if peak < 1 {
+		t.Fatalf("peak queue %d", peak)
+	}
+}

@@ -1,0 +1,92 @@
+// Package network models the on-chip interconnect as Ruby-style
+// message buffers: point-to-point links that deliver messages after a
+// configurable latency, either in order (virtual channel semantics) or
+// with bounded random jitter.
+//
+// Unordered delivery matters for testing: many coherence bugs only
+// appear when two messages race, and the paper's methodology relies on
+// the network reordering traffic enough to expose them. Links therefore
+// support a jitter window, with all randomness drawn from a
+// deterministic per-link stream.
+package network
+
+import (
+	"drftest/internal/rng"
+	"drftest/internal/sim"
+)
+
+// Link is a one-way channel between two components.
+type Link struct {
+	k       *sim.Kernel
+	name    string
+	latency sim.Tick
+	jitter  sim.Tick
+	rnd     *rng.PCG
+
+	sent uint64
+}
+
+// NewLink creates an ordered link with fixed latency.
+func NewLink(k *sim.Kernel, name string, latency sim.Tick) *Link {
+	return &Link{k: k, name: name, latency: latency}
+}
+
+// NewJitterLink creates a link whose per-message latency is uniform in
+// [latency, latency+jitter]; messages may therefore be reordered.
+func NewJitterLink(k *sim.Kernel, name string, latency, jitter sim.Tick, rnd *rng.PCG) *Link {
+	return &Link{k: k, name: name, latency: latency, jitter: jitter, rnd: rnd}
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Sent returns the number of messages sent on the link.
+func (l *Link) Sent() uint64 { return l.sent }
+
+// Send delivers deliver() at the far end after the link's latency.
+func (l *Link) Send(deliver func()) {
+	l.sent++
+	d := l.latency
+	if l.jitter > 0 {
+		d += sim.Tick(l.rnd.Intn(int(l.jitter) + 1))
+	}
+	l.k.Schedule(d, deliver)
+}
+
+// Crossbar bundles the per-destination links of a shared structure
+// (e.g. the L2's response paths back to every L1) and tracks aggregate
+// traffic.
+type Crossbar struct {
+	links []*Link
+}
+
+// NewCrossbar builds n identical ordered links named prefix.i.
+func NewCrossbar(k *sim.Kernel, prefix string, n int, latency sim.Tick) *Crossbar {
+	c := &Crossbar{links: make([]*Link, n)}
+	for i := range c.links {
+		c.links[i] = NewLink(k, prefix, latency)
+	}
+	return c
+}
+
+// NewJitterCrossbar builds n jittered links sharing one random stream
+// (an unordered virtual network).
+func NewJitterCrossbar(k *sim.Kernel, prefix string, n int, latency, jitter sim.Tick, rnd *rng.PCG) *Crossbar {
+	c := &Crossbar{links: make([]*Link, n)}
+	for i := range c.links {
+		c.links[i] = NewJitterLink(k, prefix, latency, jitter, rnd)
+	}
+	return c
+}
+
+// To returns the link to destination i.
+func (c *Crossbar) To(i int) *Link { return c.links[i] }
+
+// TotalSent sums traffic across all ports.
+func (c *Crossbar) TotalSent() uint64 {
+	var n uint64
+	for _, l := range c.links {
+		n += l.Sent()
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package network
+
+import (
+	"testing"
+
+	"drftest/internal/rng"
+	"drftest/internal/sim"
+)
+
+func TestLinkLatency(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, "test", 7)
+	var arrived sim.Tick
+	k.Schedule(3, func() {
+		l.Send(func() { arrived = k.Now() })
+	})
+	k.RunUntilIdle()
+	if arrived != 10 {
+		t.Fatalf("message arrived at %d, want 10", arrived)
+	}
+	if l.Sent() != 1 {
+		t.Fatalf("Sent=%d", l.Sent())
+	}
+}
+
+func TestLinkPreservesOrder(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, "fifo", 5)
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		l.Send(func() { order = append(order, i) })
+	}
+	k.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ordered link reordered messages: %v", order)
+		}
+	}
+}
+
+func TestJitterLinkBounds(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewJitterLink(k, "jit", 10, 5, rng.New(1, 1))
+	var arrivals []sim.Tick
+	for i := 0; i < 200; i++ {
+		l.Send(func() { arrivals = append(arrivals, k.Now()) })
+	}
+	k.RunUntilIdle()
+	sawJitter := false
+	for _, a := range arrivals {
+		if a < 10 || a > 15 {
+			t.Fatalf("arrival at %d outside [10,15]", a)
+		}
+		if a != 10 {
+			sawJitter = true
+		}
+	}
+	if !sawJitter {
+		t.Fatal("jitter link never jittered")
+	}
+}
+
+func TestCrossbar(t *testing.T) {
+	k := sim.NewKernel()
+	c := NewCrossbar(k, "xbar", 4, 2)
+	got := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		c.To(i).Send(func() { got[i]++ })
+		c.To(i).Send(func() { got[i]++ })
+	}
+	k.RunUntilIdle()
+	for i, n := range got {
+		if n != 2 {
+			t.Fatalf("port %d received %d messages", i, n)
+		}
+	}
+	if c.TotalSent() != 8 {
+		t.Fatalf("TotalSent=%d", c.TotalSent())
+	}
+}

@@ -1,0 +1,87 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoText = `
+# a tiny MSI-ish demo
+protocol demo
+states I V
+events Ld St Inv
+
+I Ld -> V fill
+V Ld -> V hit
+I St stall
+V St -> V write
+V Inv -> I inv
+`
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec(strings.NewReader(demoText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || len(s.States) != 2 || len(s.Events) != 3 {
+		t.Fatalf("parsed shape wrong: %+v", s)
+	}
+	if c := s.Cell(0, 0); c.Kind != Defined || c.Next != 1 || c.Label != "fill" {
+		t.Fatalf("cell [I,Ld] = %+v", c)
+	}
+	if s.Cell(0, 1).Kind != Stall {
+		t.Fatal("[I,St] should stall")
+	}
+	if s.Cell(0, 2).Kind != Undefined {
+		t.Fatal("[I,Inv] should default Undefined")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	orig := demoSpec()
+	var b strings.Builder
+	if err := orig.Format(&b); err != nil {
+		t.Fatal(err)
+	}
+	re, err := ParseSpec(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("reparse failed: %v\ntext:\n%s", err, b.String())
+	}
+	if !orig.Equal(re) {
+		t.Fatalf("round trip changed the table:\n%v", orig.Diff(re))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"transitions before headers": "I Ld -> V\n",
+		"unknown state":              "protocol p\nstates I\nevents E\nQ E -> I\n",
+		"unknown event":              "protocol p\nstates I\nevents E\nI Q -> I\n",
+		"unknown next":               "protocol p\nstates I\nevents E\nI E -> Q\n",
+		"duplicate cell":             "protocol p\nstates I\nevents E\nI E -> I\nI E stall\n",
+		"duplicate state":            "protocol p\nstates I I\nevents E\n",
+		"bad arrow":                  "protocol p\nstates I\nevents E\nI E => I\n",
+		"stall with args":            "protocol p\nstates I\nevents E\nI E stall now\n",
+		"missing headers":            "protocol p\nstates I\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseSpec(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parse accepted invalid input", name)
+		}
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a, b := demoSpec(), demoSpec()
+	if !a.Equal(b) {
+		t.Fatal("identical specs not Equal")
+	}
+	b.Trans(0, 2, 0, "changed")
+	if a.Equal(b) {
+		t.Fatal("differing specs Equal")
+	}
+	diff := a.Diff(b)
+	if len(diff) != 1 || !strings.Contains(diff[0], "[I, Inv]") {
+		t.Fatalf("diff = %v", diff)
+	}
+}

@@ -1,0 +1,117 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoSpec() *Spec {
+	s := NewSpec("demo", []string{"I", "V"}, []string{"Ld", "St", "Inv"})
+	s.Trans(0, 0, 1, "fill")
+	s.Trans(1, 0, 1, "hit")
+	s.StallOn(0, 1)
+	s.Trans(1, 1, 1, "write")
+	s.Trans(1, 2, 0, "inv")
+	return s
+}
+
+func TestSpecDefaultsUndefined(t *testing.T) {
+	s := demoSpec()
+	if s.Cell(0, 2).Kind != Undefined {
+		t.Fatal("unwritten cell is not Undefined")
+	}
+	if s.NumCells() != 6 {
+		t.Fatalf("NumCells=%d", s.NumCells())
+	}
+	if s.CountKind(Undefined) != 1 || s.CountKind(Stall) != 1 || s.CountKind(Defined) != 4 {
+		t.Fatalf("kind counts wrong: U=%d S=%d D=%d",
+			s.CountKind(Undefined), s.CountKind(Stall), s.CountKind(Defined))
+	}
+}
+
+func TestSpecOutOfRangePanics(t *testing.T) {
+	s := demoSpec()
+	for _, f := range []func(){
+		func() { s.Trans(5, 0, 0, "x") },
+		func() { s.Trans(0, 9, 0, "x") },
+		func() { s.Trans(0, 0, 9, "x") },
+		func() { s.Cell(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+type recordingSink struct {
+	fired [][3]interface{}
+}
+
+func (r *recordingSink) Record(m string, s, e int, k Kind) {
+	r.fired = append(r.fired, [3]interface{}{m, [2]int{s, e}, k})
+}
+
+func TestMachineFireRecords(t *testing.T) {
+	rec := &recordingSink{}
+	m := NewMachine(demoSpec(), rec)
+	cell := m.Fire(0, 0)
+	if cell.Kind != Defined || cell.Next != 1 {
+		t.Fatalf("Fire returned %+v", cell)
+	}
+	if len(rec.fired) != 1 {
+		t.Fatal("transition not recorded")
+	}
+}
+
+func TestMachineUndefinedFaults(t *testing.T) {
+	var fault *FaultError
+	m := NewMachine(demoSpec(), nil)
+	m.OnFault = func(f *FaultError) { fault = f }
+	cell := m.Fire(0, 2)
+	if cell.Kind != Undefined {
+		t.Fatal("undefined cell returned wrong kind")
+	}
+	if fault == nil || fault.State != "I" || fault.Event != "Inv" {
+		t.Fatalf("fault = %+v", fault)
+	}
+	if !strings.Contains(fault.Error(), "demo") {
+		t.Fatalf("fault message lacks machine name: %s", fault.Error())
+	}
+}
+
+func TestMachineUndefinedPanicsWithoutSink(t *testing.T) {
+	m := NewMachine(demoSpec(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undefined transition without sink did not panic")
+		}
+	}()
+	m.Fire(0, 2)
+}
+
+func TestRenderShowsAllCellKinds(t *testing.T) {
+	var b strings.Builder
+	demoSpec().Render(&b)
+	out := b.String()
+	for _, want := range []string{"Undef", "Stall", "-> V", "-> I", "Ld", "St", "Inv"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	demoSpec().RenderActions(&b)
+	if !strings.Contains(b.String(), "fill") {
+		t.Error("RenderActions missing action labels")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Undefined.String() != "Undef" || Stall.String() != "Stall" || Defined.String() != "Defined" {
+		t.Fatal("Kind.String broken")
+	}
+}

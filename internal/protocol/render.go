@@ -1,0 +1,47 @@
+package protocol
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render writes the transition table in the layout of the paper's
+// Fig. 4: rows are events, columns are states, each defined cell shows
+// its destination state, stalls print "Stall" and undefined cells
+// print "Undef".
+func (s *Spec) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s transition table (%d states × %d events)\n", s.Name, len(s.States), len(s.Events))
+	fmt.Fprintf(w, "%-14s", "")
+	for _, st := range s.States {
+		fmt.Fprintf(w, "%10s", st)
+	}
+	fmt.Fprintln(w)
+	for e, ev := range s.Events {
+		fmt.Fprintf(w, "%-14s", ev)
+		for st := range s.States {
+			cell := s.cells[st][e]
+			switch cell.Kind {
+			case Undefined:
+				fmt.Fprintf(w, "%10s", "Undef")
+			case Stall:
+				fmt.Fprintf(w, "%10s", "Stall")
+			case Defined:
+				fmt.Fprintf(w, "%10s", "-> "+s.States[cell.Next])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderActions writes the table with action labels, the designer's
+// reference view.
+func (s *Spec) RenderActions(w io.Writer) {
+	for e, ev := range s.Events {
+		for st, stName := range s.States {
+			cell := s.cells[st][e]
+			if cell.Kind == Defined {
+				fmt.Fprintf(w, "  [%s, %s] -> %s: %s\n", stName, ev, s.States[cell.Next], cell.Label)
+			}
+		}
+	}
+}

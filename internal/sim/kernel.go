@@ -1,0 +1,147 @@
+// Package sim provides the discrete-event simulation kernel underlying
+// the whole memory-system model.
+//
+// It plays the role of gem5's event queue: components schedule closures
+// at future ticks and the kernel executes them in deterministic order.
+// Events at the same tick fire in scheduling order (stable FIFO
+// tie-break), which is what makes whole simulations bit-reproducible
+// from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is the simulated time unit. One tick is one clock cycle of the
+// memory system; latencies throughout the model are expressed in ticks.
+type Tick uint64
+
+// MaxTick is the largest representable tick, used as an "infinite"
+// horizon for Run.
+const MaxTick = Tick(^uint64(0))
+
+type event struct {
+	when Tick
+	seq  uint64 // stable tie-break for same-tick events
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event scheduler. The zero value
+// is ready to use.
+type Kernel struct {
+	pq        eventHeap
+	now       Tick
+	seq       uint64
+	executed  uint64
+	stopped   bool
+	pollers   []func()
+	pollEvery Tick
+	pollNext  Tick
+}
+
+// NewKernel returns a fresh kernel at tick zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Tick { return k.now }
+
+// Executed returns the number of events executed so far. It is the
+// kernel-level measure of simulation work and backs the paper's
+// "simulation runtime" comparisons.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// Schedule runs fn delay ticks from now. A zero delay runs fn later in
+// the current tick, after all previously scheduled same-tick events.
+func (k *Kernel) Schedule(delay Tick, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	k.seq++
+	heap.Push(&k.pq, &event{when: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute tick when, which must not be in the
+// past.
+func (k *Kernel) ScheduleAt(when Tick, fn func()) {
+	if when < k.now {
+		panic(fmt.Sprintf("sim: ScheduleAt into the past (now=%d when=%d)", k.now, when))
+	}
+	k.Schedule(when-k.now, fn)
+}
+
+// AddPoller registers fn to run every period ticks while the simulation
+// has work. Pollers implement periodic services such as the tester's
+// forward-progress (deadlock) scan.
+func (k *Kernel) AddPoller(period Tick, fn func()) {
+	if period == 0 {
+		panic("sim: poller with zero period")
+	}
+	k.pollers = append(k.pollers, fn)
+	if k.pollEvery == 0 || period < k.pollEvery {
+		k.pollEvery = period
+	}
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes. It is how checkers abort a simulation on a detected bug.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Run executes events in order until the queue drains, the horizon is
+// passed, or Stop is called. It returns the tick at which it stopped.
+func (k *Kernel) Run(until Tick) Tick {
+	k.stopped = false
+	for len(k.pq) > 0 && !k.stopped {
+		e := k.pq[0]
+		if e.when > until {
+			break
+		}
+		heap.Pop(&k.pq)
+		if e.when > k.now {
+			k.now = e.when
+		}
+		k.firePollers()
+		k.executed++
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntilIdle executes events until no work remains or Stop is called.
+func (k *Kernel) RunUntilIdle() Tick { return k.Run(MaxTick) }
+
+func (k *Kernel) firePollers() {
+	if k.pollEvery == 0 || k.now < k.pollNext {
+		return
+	}
+	k.pollNext = k.now + k.pollEvery
+	for _, p := range k.pollers {
+		p()
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []Tick
+	for _, d := range []Tick{30, 10, 20, 10, 0} {
+		d := d
+		k.Schedule(d, func() { order = append(order, k.Now()) })
+	}
+	k.RunUntilIdle()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d of 5 events", len(order))
+	}
+}
+
+func TestSameTickFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { order = append(order, i) })
+	}
+	k.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events reordered: %v", order)
+		}
+	}
+}
+
+func TestZeroDelayRunsLaterSameTick(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	k.Schedule(1, func() {
+		trace = append(trace, "a")
+		k.Schedule(0, func() { trace = append(trace, "c") })
+	})
+	k.Schedule(1, func() { trace = append(trace, "b") })
+	k.RunUntilIdle()
+	if got := trace[0] + trace[1] + trace[2]; got != "abc" {
+		t.Fatalf("zero-delay ordering wrong: %v", trace)
+	}
+	if k.Now() != 1 {
+		t.Fatalf("time advanced to %d, want 1", k.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(10, func() { fired++ })
+	k.Schedule(20, func() { fired++ })
+	k.Run(15)
+	if fired != 1 {
+		t.Fatalf("horizon 15 fired %d events", fired)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", k.Pending())
+	}
+	k.RunUntilIdle()
+	if fired != 2 {
+		t.Fatal("remaining event lost")
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(1, func() { fired++; k.Stop() })
+	k.Schedule(2, func() { fired++ })
+	k.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("Stop did not halt the run (fired=%d)", fired)
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt into the past did not panic")
+			}
+		}()
+		k.ScheduleAt(5, func() {})
+	})
+	k.RunUntilIdle()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	NewKernel().Schedule(1, nil)
+}
+
+func TestExecutedCount(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 17; i++ {
+		k.Schedule(Tick(i), func() {})
+	}
+	k.RunUntilIdle()
+	if k.Executed() != 17 {
+		t.Fatalf("Executed=%d, want 17", k.Executed())
+	}
+}
+
+func TestPollerFiresPeriodically(t *testing.T) {
+	k := NewKernel()
+	polls := 0
+	k.AddPoller(10, func() { polls++ })
+	for i := Tick(0); i <= 100; i += 5 {
+		k.Schedule(i, func() {})
+	}
+	k.RunUntilIdle()
+	if polls < 9 || polls > 12 {
+		t.Fatalf("poller fired %d times over 100 ticks at period 10", polls)
+	}
+}
+
+// TestOrderProperty: any random batch of scheduled delays fires in
+// nondecreasing time order with FIFO tie-break.
+func TestOrderProperty(t *testing.T) {
+	err := quick.Check(func(delays []uint8) bool {
+		k := NewKernel()
+		type fire struct {
+			at  Tick
+			seq int
+		}
+		var fires []fire
+		for i, d := range delays {
+			i, d := i, d
+			k.Schedule(Tick(d%50), func() { fires = append(fires, fire{k.Now(), i}) })
+		}
+		k.RunUntilIdle()
+		if len(fires) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fires); i++ {
+			if fires[i].at < fires[i-1].at {
+				return false
+			}
+			if fires[i].at == fires[i-1].at && delays[fires[i].seq]%50 == delays[fires[i-1].seq]%50 &&
+				fires[i].seq < fires[i-1].seq {
+				return false // same tick, same delay ⇒ FIFO by schedule order
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

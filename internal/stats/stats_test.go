@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram("empty")
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	if !strings.Contains(h.String(), "no samples") {
+		t.Fatal("empty histogram string wrong")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	h := NewHistogram("lat")
+	for _, v := range []uint64{1, 2, 3, 4, 10} {
+		h.Record(v)
+	}
+	if h.Count() != 5 || h.Sum() != 20 || h.Min() != 1 || h.Max() != 10 {
+		t.Fatalf("stats wrong: %s", h)
+	}
+	if h.Mean() != 4 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	err := quick.Check(func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram("q")
+		var max uint64
+		for _, v := range raw {
+			h.Record(uint64(v))
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+		}
+		p50 := h.Percentile(0.5)
+		p99 := h.Percentile(0.99)
+		// Percentiles are bucket upper bounds: monotone and ≥ min,
+		// and p100-ish never exceeds ~2x max (bucket granularity).
+		return p50 <= p99 && p99 <= 2*max+1 && h.Percentile(1.0) >= h.Min()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram("a"), NewHistogram("b")
+	a.Record(5)
+	b.Record(100)
+	b.Record(1)
+	a.Merge(b)
+	if a.Count() != 3 || a.Min() != 1 || a.Max() != 100 || a.Sum() != 106 {
+		t.Fatalf("merge wrong: %s", a)
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := NewHistogram("r")
+	for i := uint64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	var b strings.Builder
+	h.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "n=100") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestLatencySet(t *testing.T) {
+	s := NewLatencySet("cu0")
+	s.Load.Record(10)
+	s.Release.Record(500)
+	agg := NewLatencySet("gpu")
+	agg.Merge(s)
+	if agg.Load.Count() != 1 || agg.Release.Count() != 1 {
+		t.Fatal("latency set merge lost samples")
+	}
+	if len(agg.All()) != 5 {
+		t.Fatal("All() wrong length")
+	}
+}

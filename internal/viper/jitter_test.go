@@ -1,0 +1,79 @@
+package viper
+
+import (
+	"testing"
+
+	"drftest/internal/mem"
+)
+
+// TestJitteredResponsesStayCorrect: with response-network jitter the
+// protocol still delivers correct values and the L2 audit stays clean.
+func TestJitteredResponsesStayCorrect(t *testing.T) {
+	cfg := smallCfg()
+	cfg.RespJitter = 10
+	cfg.JitterSeed = 5
+	r := newRig(t, cfg)
+	for i := 0; i < 64; i++ {
+		addr := mem.Addr(0x1000 + i*4)
+		r.issue(i%2, mem.OpStore, addr, uint32(i+1), i%4)
+	}
+	r.run()
+	for i := 0; i < 64; i++ {
+		addr := mem.Addr(0x1000 + i*4)
+		id := r.issue((i+1)%2, mem.OpLoad, addr, 0, i%4)
+		r.run()
+		if got := r.resp(t, id).Data; got != uint32(i+1) {
+			t.Fatalf("load %d saw %d under jitter", i, got)
+		}
+	}
+	if m := r.sys.AuditL2(r.sys.Mem.Store()); len(m) != 0 {
+		t.Fatalf("L2 diverged under jitter: %v", m)
+	}
+}
+
+// TestJitterIsDeterministic: same jitter seed, same run.
+func TestJitterIsDeterministic(t *testing.T) {
+	run := func() uint64 {
+		cfg := smallCfg()
+		cfg.RespJitter = 10
+		cfg.JitterSeed = 9
+		r := newRig(t, cfg)
+		for i := 0; i < 32; i++ {
+			r.issue(i%2, mem.OpStore, mem.Addr(0x2000+i*4), uint32(i), i%4)
+			r.issue((i+1)%2, mem.OpLoad, mem.Addr(0x2000+i*4), 0, i%4)
+		}
+		r.run()
+		return uint64(r.k.Now())
+	}
+	if run() != run() {
+		t.Fatal("jittered runs diverged with the same seed")
+	}
+}
+
+// TestLatencyHistogramsReflectSemantics: synchronization operations
+// must be measurably slower than the plain accesses they order —
+// releases wait for drains, atomics take the full L2/memory round
+// trip, plain stores complete at L1 acceptance.
+func TestLatencyHistogramsReflectSemantics(t *testing.T) {
+	r := newRig(t, smallCfg())
+	for i := 0; i < 32; i++ {
+		r.issue(0, mem.OpStore, mem.Addr(0x3000+i*4), uint32(i), 0)
+		r.run()
+		r.id++
+		rel := &mem.Request{ID: r.id, Op: mem.OpAtomic, Addr: 0x4000, Operand: 1, Release: true, ThreadID: 0}
+		r.sys.Seqs[0].Issue(rel)
+		r.run()
+		r.issue(0, mem.OpLoad, mem.Addr(0x3000+i*4), 0, 0)
+		r.run()
+	}
+	lat := r.sys.Latencies()
+	if lat.Store.Count() == 0 || lat.Release.Count() == 0 || lat.Load.Count() == 0 {
+		t.Fatal("histograms empty")
+	}
+	if lat.Release.Mean() <= lat.Store.Mean() {
+		t.Fatalf("release mean %.1f should exceed store mean %.1f (drain semantics)",
+			lat.Release.Mean(), lat.Store.Mean())
+	}
+	t.Logf("latencies: store %.1f, load %.1f, release %.1f",
+		lat.Store.Mean(), lat.Load.Mean(), lat.Release.Mean())
+}

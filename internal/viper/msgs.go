@@ -1,0 +1,57 @@
+package viper
+
+import "drftest/internal/mem"
+
+// reqKind tags TCP→TCC traffic.
+type reqKind uint8
+
+const (
+	msgRdBlk reqKind = iota
+	msgWrVicBlk
+	msgAtomic
+)
+
+func (k reqKind) String() string {
+	switch k {
+	case msgRdBlk:
+		return "RdBlk"
+	case msgWrVicBlk:
+		return "WrVicBlk"
+	case msgAtomic:
+		return "Atomic"
+	}
+	return "?"
+}
+
+// tcpMsg is a request from an L1 (TCP) to the L2 (TCC).
+type tcpMsg struct {
+	kind reqKind
+	cu   int
+	line mem.Addr
+	// WrVicBlk payload: full-line buffer plus per-byte mask of the
+	// written bytes.
+	data []byte
+	mask []bool
+	// req is the core request that triggered the message; WrVicBlk and
+	// Atomic completion acks are routed back against it. For RdBlk it
+	// is the first coalesced load (used in logs only).
+	req *mem.Request
+}
+
+// ackKind tags TCC→TCP traffic.
+type ackKind uint8
+
+const (
+	ackFill   ackKind = iota // TCC_Ack carrying line data
+	ackAtomic                // TCC_Ack carrying an atomic's old value
+	ackWB                    // TCC_AckWB write completion
+)
+
+// tccMsg is a response from the L2 (TCC) to an L1 (TCP).
+type tccMsg struct {
+	kind ackKind
+	line mem.Addr
+	data []byte // ackFill: line contents
+	old  uint32 // ackAtomic: pre-add value
+	req  *mem.Request
+}

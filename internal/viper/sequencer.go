@@ -1,0 +1,155 @@
+package viper
+
+import (
+	"fmt"
+
+	"drftest/internal/mem"
+	"drftest/internal/sim"
+	"drftest/internal/stats"
+)
+
+// Sequencer is the per-CU port between a core (the tester or a GPU
+// core model) and its TCP. It implements the consistency-model half of
+// VIPER's synchronization operations:
+//
+//   - store-release: held until every earlier write-through of the
+//     issuing thread has been acknowledged (globally performed);
+//   - load-acquire: the CU's L1 is flash-invalidated when the response
+//     is delivered, so later loads cannot see pre-acquire data.
+//
+// It also tracks all outstanding requests with their issue ticks, which
+// is what the tester's forward-progress (deadlock) checker scans.
+type Sequencer struct {
+	k           *sim.Kernel
+	cu          int
+	tcp         *TCP
+	client      mem.Requestor
+	respLatency sim.Tick
+	bugs        BugSet
+
+	pendingWT    map[int]int
+	heldReleases map[int][]*mem.Request
+	outstanding  map[uint64]*mem.Request
+
+	lat *stats.LatencySet
+
+	issued, completed uint64
+}
+
+func newSequencer(k *sim.Kernel, cu int, tcp *TCP, respLatency sim.Tick, bugs BugSet) *Sequencer {
+	s := &Sequencer{
+		k:            k,
+		cu:           cu,
+		tcp:          tcp,
+		respLatency:  respLatency,
+		bugs:         bugs,
+		pendingWT:    make(map[int]int),
+		heldReleases: make(map[int][]*mem.Request),
+		outstanding:  make(map[uint64]*mem.Request),
+		lat:          stats.NewLatencySet(fmt.Sprintf("cu%d", cu)),
+	}
+	tcp.seq = s
+	return s
+}
+
+// SetClient wires the core-side response sink. It must be called
+// before the first Issue.
+func (s *Sequencer) SetClient(c mem.Requestor) { s.client = c }
+
+// CU returns the sequencer's compute unit ID.
+func (s *Sequencer) CU() int { return s.cu }
+
+// Issue accepts one core request. Requests complete asynchronously via
+// the client's HandleResponse.
+func (s *Sequencer) Issue(req *mem.Request) {
+	if s.client == nil {
+		panic("viper: Issue before SetClient")
+	}
+	if _, dup := s.outstanding[req.ID]; dup {
+		panic(fmt.Sprintf("viper: duplicate request ID %d", req.ID))
+	}
+	req.CUID = s.cu
+	req.IssueTick = uint64(s.k.Now())
+	s.outstanding[req.ID] = req
+	s.issued++
+
+	if req.Release && s.pendingWT[req.ThreadID] > 0 {
+		s.heldReleases[req.ThreadID] = append(s.heldReleases[req.ThreadID], req)
+		return
+	}
+	s.tcp.CoreRequest(req)
+}
+
+// respond delivers a completed request back to the core after the L1
+// response latency, applying acquire semantics at delivery time.
+func (s *Sequencer) respond(req *mem.Request, data uint32) {
+	s.k.Schedule(s.respLatency, func() {
+		if req.Acquire && !s.bugs.StaleAcquire {
+			s.tcp.FlashInvalidate()
+		}
+		delete(s.outstanding, req.ID)
+		s.completed++
+		s.recordLatency(req, uint64(s.k.Now())-req.IssueTick)
+		s.client.HandleResponse(&mem.Response{Req: req, Data: data, Tick: uint64(s.k.Now())})
+	})
+}
+
+// noteWriteThrough records that req's thread gained one in-flight
+// write-through.
+func (s *Sequencer) noteWriteThrough(req *mem.Request) {
+	s.pendingWT[req.ThreadID]++
+}
+
+// writeCompleted records a write-through acknowledgement and, when the
+// thread fully drains, launches any held store-release.
+func (s *Sequencer) writeCompleted(req *mem.Request) {
+	tid := req.ThreadID
+	if s.pendingWT[tid] <= 0 {
+		panic(fmt.Sprintf("viper: write completion underflow for thread %d", tid))
+	}
+	s.pendingWT[tid]--
+	if s.pendingWT[tid] > 0 {
+		return
+	}
+	delete(s.pendingWT, tid)
+	held := s.heldReleases[tid]
+	if len(held) == 0 {
+		return
+	}
+	delete(s.heldReleases, tid)
+	for _, r := range held {
+		s.tcp.CoreRequest(r)
+	}
+}
+
+// ForEachOutstanding visits every request that has been issued but not
+// yet answered (including held releases and protocol-stalled requests).
+func (s *Sequencer) ForEachOutstanding(visit func(*mem.Request)) {
+	for _, r := range s.outstanding {
+		visit(r)
+	}
+}
+
+// OutstandingCount returns the number of in-flight requests.
+func (s *Sequencer) OutstandingCount() int { return len(s.outstanding) }
+
+// Stats returns (issued, completed) request counts.
+func (s *Sequencer) Stats() (issued, completed uint64) { return s.issued, s.completed }
+
+func (s *Sequencer) recordLatency(req *mem.Request, lat uint64) {
+	switch {
+	case req.Acquire:
+		s.lat.Acquire.Record(lat)
+	case req.Release:
+		s.lat.Release.Record(lat)
+	case req.Op == mem.OpAtomic:
+		s.lat.Atomic.Record(lat)
+	case req.Op == mem.OpStore:
+		s.lat.Store.Record(lat)
+	default:
+		s.lat.Load.Record(lat)
+	}
+}
+
+// Latencies exposes the sequencer's per-class latency histograms.
+func (s *Sequencer) Latencies() *stats.LatencySet { return s.lat }

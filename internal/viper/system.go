@@ -1,0 +1,294 @@
+package viper
+
+import (
+	"fmt"
+
+	"drftest/internal/cache"
+	"drftest/internal/mem"
+	"drftest/internal/memctrl"
+	"drftest/internal/network"
+	"drftest/internal/protocol"
+	"drftest/internal/rng"
+	"drftest/internal/sim"
+	"drftest/internal/stats"
+)
+
+// Config describes a GPU memory system under test.
+type Config struct {
+	// NumCUs is the number of compute units; each has a private L1
+	// (TCP) and sequencer. The paper evaluates 8.
+	NumCUs int
+	// NumL2Slices banks the shared L2 by line address (real TCCs are
+	// banked); each slice gets its own controller and an L2 cache of
+	// the configured size. Zero means one slice.
+	NumL2Slices int
+	// L1 and L2 size the caches; both must share a line size.
+	L1, L2 cache.Config
+	// ReqLatency/RespLatency are the TCP↔TCC link latencies. Request
+	// links are always ordered (FIFO) — VIPER's same-CU per-address
+	// ordering depends on it — but response links may jitter.
+	ReqLatency, RespLatency sim.Tick
+	// RespJitter adds up to this many ticks of per-message random
+	// latency on the TCC→TCP response links, reordering responses to
+	// different lines the way an unordered virtual network would.
+	// Responses to the same line cannot race (one transaction per line
+	// at a time), so this is safe — and it widens the timing space the
+	// tester explores. Zero disables jitter.
+	RespJitter sim.Tick
+	// JitterSeed seeds the response-jitter randomness.
+	JitterSeed uint64
+	// L1RespLatency is the sequencer's core-response latency.
+	L1RespLatency sim.Tick
+	// Mem configures the memory controller (ignored when the system is
+	// built over an external backend such as the directory).
+	Mem memctrl.Config
+	// Bugs selects injected protocol bugs (zero value = correct).
+	Bugs BugSet
+	// WriteBackL2 selects the VIPER-WB protocol variant: the L2 holds
+	// dirty data (the GPU's visibility point) and writes back to
+	// memory only on eviction, QuickRelease-style. Write acks return
+	// at L2 acceptance, so releases drain much faster. GPU-only: a
+	// write-back L2 cannot sit under the heterogeneous directory
+	// (memory would be stale for CPU readers).
+	WriteBackL2 bool
+}
+
+// DefaultConfig returns the paper's application-run GPU configuration:
+// 8 CUs, 16KB L1s, 256KB shared L2, 64B lines.
+func DefaultConfig() Config {
+	return Config{
+		NumCUs:        8,
+		L1:            cache.Config{SizeBytes: 16 * 1024, LineSize: 64, Assoc: 4},
+		L2:            cache.Config{SizeBytes: 256 * 1024, LineSize: 64, Assoc: 16},
+		ReqLatency:    8,
+		RespLatency:   8,
+		L1RespLatency: 1,
+		Mem:           memctrl.DefaultConfig(),
+	}
+}
+
+// SmallCacheConfig returns the paper's "small" tester configuration
+// (256B 2-way L1, 1KB 2-way L2) that stresses replacement transitions.
+func SmallCacheConfig() Config {
+	c := DefaultConfig()
+	c.L1 = cache.Config{SizeBytes: 256, LineSize: 64, Assoc: 2}
+	c.L2 = cache.Config{SizeBytes: 1024, LineSize: 64, Assoc: 2}
+	return c
+}
+
+// LargeCacheConfig returns the paper's "large" tester configuration
+// (256KB 16-way L1, 1MB 16-way L2) that stresses hit transitions.
+func LargeCacheConfig() Config {
+	c := DefaultConfig()
+	c.L1 = cache.Config{SizeBytes: 256 * 1024, LineSize: 64, Assoc: 16}
+	c.L2 = cache.Config{SizeBytes: 1024 * 1024, LineSize: 64, Assoc: 16}
+	return c
+}
+
+// MixedCacheConfig returns the paper's "mixed" tester configuration
+// (small L1, large L2).
+func MixedCacheConfig() Config {
+	c := DefaultConfig()
+	c.L1 = cache.Config{SizeBytes: 256, LineSize: 64, Assoc: 2}
+	c.L2 = cache.Config{SizeBytes: 1024 * 1024, LineSize: 64, Assoc: 16}
+	return c
+}
+
+// System is an assembled GPU memory system: sequencers and L1s per CU,
+// a shared L2, and a backend (memory controller or directory).
+type System struct {
+	Kernel *sim.Kernel
+	Cfg    Config
+	Seqs   []*Sequencer
+	TCPs   []*TCP
+	// TCCs holds the (possibly banked) shared L2 slices of the
+	// write-through protocol; TCC is the first slice. For the VIPER-WB
+	// variant both are nil and l2s holds TCCWB controllers.
+	TCC  *TCC
+	TCCs []*TCC
+	l2s  []l2ctrl
+	// Mem is non-nil only for systems built directly over a memory
+	// controller.
+	Mem *memctrl.Controller
+
+	faults []*protocol.FaultError
+}
+
+// l2ctrl is the controller surface TCPs and the System need from an
+// L2 slice, satisfied by both TCC (write-through) and TCCWB
+// (write-back).
+type l2ctrl interface {
+	FromTCP(msg *tcpMsg)
+	ProbeInv(line mem.Addr, done func())
+	AuditAgainstStore(st *mem.Store) []string
+	Flush(st *mem.Store)
+	Stats() map[string]uint64
+	slice() int
+	attachTCP(t *TCP)
+}
+
+// sliceOf routes a line address to its L2 slice.
+func (s *System) sliceOf(line mem.Addr) l2ctrl {
+	if len(s.l2s) == 1 {
+		return s.l2s[0]
+	}
+	idx := int(line/mem.Addr(s.Cfg.L2.LineSize)) % len(s.l2s)
+	return s.l2s[idx]
+}
+
+// ProbeInv implements the directory's GPUPort over all slices.
+func (s *System) ProbeInv(line mem.Addr, done func()) {
+	s.sliceOf(line).ProbeInv(line, done)
+}
+
+// AuditL2 compares every slice's cached lines against the backing
+// store and returns any divergences. For the write-back variant the
+// dirty lines are flushed first (they are legitimately newer than
+// memory); for write-through nothing is flushed, so a stale L2 line —
+// the LostWriteRace signature — still surfaces.
+func (s *System) AuditL2(store *mem.Store) []string {
+	if s.Cfg.WriteBackL2 {
+		for _, l2 := range s.l2s {
+			l2.Flush(store)
+		}
+	}
+	var out []string
+	for _, l2 := range s.l2s {
+		out = append(out, l2.AuditAgainstStore(store)...)
+	}
+	return out
+}
+
+// Latencies aggregates every sequencer's per-class request latency
+// histograms.
+func (s *System) Latencies() *stats.LatencySet {
+	agg := stats.NewLatencySet("gpu")
+	for _, seq := range s.Seqs {
+		agg.Merge(seq.Latencies())
+	}
+	return agg
+}
+
+// L2Stats aggregates the activity counters of every L2 slice.
+func (s *System) L2Stats() map[string]uint64 {
+	out := map[string]uint64{}
+	for _, l2 := range s.l2s {
+		for k, v := range l2.Stats() {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// MemBackend adapts a memory controller to the TCC's Backend interface
+// (GPU-only systems; it never NACKs atomics).
+type MemBackend struct{ Ctrl *memctrl.Controller }
+
+// FetchLine implements Backend.
+func (b MemBackend) FetchLine(line mem.Addr, size int, done func([]byte)) {
+	b.Ctrl.ReadLine(line, size, done)
+}
+
+// WriteLine implements Backend.
+func (b MemBackend) WriteLine(line mem.Addr, data []byte, mask []bool, done func()) {
+	b.Ctrl.WriteLine(line, data, mask, done)
+}
+
+// Atomic implements Backend.
+func (b MemBackend) Atomic(addr mem.Addr, delta uint32, done func(uint32, bool)) {
+	b.Ctrl.Atomic(addr, delta, func(old uint32) { done(old, false) })
+}
+
+// NewSystem builds a GPU system over its own memory controller and
+// backing store.
+func NewSystem(k *sim.Kernel, cfg Config, rec protocol.Recorder) *System {
+	ctrl := memctrl.New(k, cfg.Mem, mem.NewStore())
+	s := NewSystemWithBackend(k, cfg, rec, MemBackend{Ctrl: ctrl})
+	s.Mem = ctrl
+	return s
+}
+
+// NewSystemWithBackend builds a GPU system whose TCC sits on an
+// external backend (e.g. the heterogeneous system directory).
+func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, backend Backend) *System {
+	if cfg.NumCUs <= 0 {
+		panic("viper: NumCUs must be positive")
+	}
+	if cfg.L1.LineSize != cfg.L2.LineSize {
+		panic(fmt.Sprintf("viper: L1/L2 line size mismatch (%d vs %d)", cfg.L1.LineSize, cfg.L2.LineSize))
+	}
+	if cfg.WriteBackL2 {
+		if _, direct := backend.(MemBackend); !direct {
+			panic("viper: VIPER-WB is GPU-only — it cannot sit under a shared directory (memory would be stale for other clients)")
+		}
+	}
+	if cfg.NumL2Slices <= 0 {
+		cfg.NumL2Slices = 1
+	}
+	s := &System{Kernel: k, Cfg: cfg}
+	onFault := func(f *protocol.FaultError) {
+		s.faults = append(s.faults, f)
+		k.Stop()
+	}
+
+	jrnd := rng.New(cfg.JitterSeed, 0x31771)
+	tccSpec := NewTCCSpec()
+	wbSpec := NewTCCWBSpec()
+	for sl := 0; sl < cfg.NumL2Slices; sl++ {
+		var respXBar *network.Crossbar
+		if cfg.RespJitter > 0 {
+			respXBar = network.NewJitterCrossbar(k, fmt.Sprintf("tcc%d->tcp", sl), cfg.NumCUs, cfg.RespLatency, cfg.RespJitter, jrnd)
+		} else {
+			respXBar = network.NewCrossbar(k, fmt.Sprintf("tcc%d->tcp", sl), cfg.NumCUs, cfg.RespLatency)
+		}
+		if cfg.WriteBackL2 {
+			wb := newTCCWB(k, wbSpec, rec, onFault, cfg.L2, backend, respXBar, cfg.Bugs)
+			wb.sliceIndex = sl
+			s.l2s = append(s.l2s, wb)
+		} else {
+			tcc := newTCC(k, tccSpec, rec, onFault, cfg.L2, backend, respXBar, cfg.Bugs)
+			tcc.sliceIndex = sl
+			s.TCCs = append(s.TCCs, tcc)
+			s.l2s = append(s.l2s, tcc)
+		}
+	}
+	if !cfg.WriteBackL2 {
+		s.TCC = s.TCCs[0]
+	}
+
+	tcpSpec := NewTCPSpec()
+	for cu := 0; cu < cfg.NumCUs; cu++ {
+		links := make([]*network.Link, cfg.NumL2Slices)
+		for sl := range links {
+			links[sl] = network.NewLink(k, fmt.Sprintf("tcp%d->tcc%d", cu, sl), cfg.ReqLatency)
+		}
+		tcp := newTCP(k, cu, tcpSpec, rec, onFault, cfg.L1, links, s.sliceOf)
+		for _, l2 := range s.l2s {
+			l2.attachTCP(tcp)
+		}
+		seq := newSequencer(k, cu, tcp, cfg.L1RespLatency, cfg.Bugs)
+		s.TCPs = append(s.TCPs, tcp)
+		s.Seqs = append(s.Seqs, seq)
+	}
+	return s
+}
+
+// Faults returns protocol faults (undefined transitions) observed so
+// far; a correct protocol under any workload returns none.
+func (s *System) Faults() []*protocol.FaultError { return s.faults }
+
+// OutstandingRequests counts in-flight requests across all sequencers.
+func (s *System) OutstandingRequests() int {
+	n := 0
+	for _, seq := range s.Seqs {
+		n += seq.OutstandingCount()
+	}
+	return n
+}
+
+// ForEachOutstanding visits every in-flight request in the system.
+func (s *System) ForEachOutstanding(visit func(*mem.Request)) {
+	for _, seq := range s.Seqs {
+		seq.ForEachOutstanding(visit)
+	}
+}

@@ -1,0 +1,382 @@
+package viper
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"drftest/internal/cache"
+	"drftest/internal/mem"
+	"drftest/internal/network"
+	"drftest/internal/protocol"
+	"drftest/internal/sim"
+)
+
+// Backend is what the TCC sits on: either the memory controller
+// directly (GPU-only systems) or the shared CPU–GPU system directory
+// (heterogeneous systems). It is the global ordering point for data.
+type Backend interface {
+	// FetchLine reads size bytes at line and calls done with the data.
+	FetchLine(line mem.Addr, size int, done func(data []byte))
+	// WriteLine performs a masked line write and calls done when the
+	// write is globally performed.
+	WriteLine(line mem.Addr, data []byte, mask []bool, done func())
+	// Atomic performs a fetch-add on the word at addr. done receives
+	// the old value, or nack=true when the ordering point refuses the
+	// operation (e.g. a directory mid-probe) and the caller must retry.
+	Atomic(addr mem.Addr, delta uint32, done func(old uint32, nack bool))
+}
+
+type tbeKind uint8
+
+const (
+	tbeFill tbeKind = iota
+	tbeAtomic
+)
+
+// tccTBE tracks one line's in-flight transaction at the L2.
+type tccTBE struct {
+	kind tbeKind
+	line mem.Addr
+	cu   int
+	req  *mem.Request
+	// probed marks a fill whose line was probe-invalidated mid-flight:
+	// the arriving data still answers the waiting loads (their values
+	// predate the probing writer, which is legal under DRF) but must
+	// not be installed.
+	probed bool
+}
+
+// TCC is the GPU's shared L2 cache controller (VIPER's "TCC"). It
+// serves fills to the TCPs, merges and forwards write-throughs, routes
+// atomics to the global ordering point, and answers directory probes
+// in heterogeneous systems.
+type TCC struct {
+	k          *sim.Kernel
+	sliceIndex int
+	machine    *protocol.Machine
+	array      *cache.Array
+	backend    Backend
+	tcps       []*TCP
+	toTCP      *network.Crossbar
+	bugs       BugSet
+
+	// retryDelay spaces out atomic retries after an AtomicND.
+	retryDelay sim.Tick
+
+	tbes          map[mem.Addr]*tccTBE
+	stalled       map[mem.Addr][]*tcpMsg
+	stalledProbes map[mem.Addr][]func()
+	wbs           map[mem.Addr]int // in-flight memory writes per line
+
+	// stats
+	rdBlks, wrVicBlks, atomicsSeen, fills, stalls uint64
+	wbAcks, droppedMerges, droppedAcks            uint64
+}
+
+func newTCC(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l2 cache.Config, backend Backend, toTCP *network.Crossbar, bugs BugSet) *TCC {
+	m := protocol.NewMachine(spec, rec)
+	m.OnFault = onFault
+	return &TCC{
+		k:             k,
+		machine:       m,
+		array:         cache.NewArray(l2),
+		backend:       backend,
+		toTCP:         toTCP,
+		bugs:          bugs,
+		retryDelay:    20,
+		tbes:          make(map[mem.Addr]*tccTBE),
+		stalled:       make(map[mem.Addr][]*tcpMsg),
+		stalledProbes: make(map[mem.Addr][]func()),
+		wbs:           make(map[mem.Addr]int),
+	}
+}
+
+func (c *TCC) lineSize() int { return c.array.Config().LineSize }
+
+func (c *TCC) slice() int { return c.sliceIndex }
+
+func (c *TCC) attachTCP(t *TCP) { c.tcps = append(c.tcps, t) }
+
+// Flush is a no-op for the write-through TCC: a correct controller's
+// lines already match memory, and a divergent one must stay divergent
+// so the audit can see it.
+func (c *TCC) Flush(*mem.Store) {}
+
+// state derives the protocol state of a line from the TBE table and
+// the cache array.
+func (c *TCC) state(line mem.Addr) int {
+	if tbe, ok := c.tbes[line]; ok {
+		if tbe.kind == tbeAtomic {
+			return TCCStateA
+		}
+		return TCCStateIV
+	}
+	if e := c.array.Peek(line); e != nil {
+		return TCCStateV
+	}
+	return TCCStateI
+}
+
+// FromTCP processes one request from an L1.
+func (c *TCC) FromTCP(msg *tcpMsg) {
+	line := msg.line
+	st := c.state(line)
+
+	var ev int
+	switch msg.kind {
+	case msgRdBlk:
+		ev = TCCRdBlk
+	case msgWrVicBlk:
+		ev = TCCWrVicBlk
+	case msgAtomic:
+		ev = TCCAtomic
+	}
+
+	// The NonAtomicRMW bug's fast path hijacks cached atomics before
+	// the table is consulted with its real semantics; the transition is
+	// still recorded (the implementation *believes* it took it).
+	if msg.kind == msgAtomic && c.bugs.NonAtomicRMW && st == TCCStateV {
+		c.machine.Fire(st, ev)
+		c.buggyLocalAtomic(msg)
+		return
+	}
+
+	cell := c.machine.Fire(st, ev)
+	switch cell.Kind {
+	case protocol.Stall:
+		c.stalls++
+		c.stalled[line] = append(c.stalled[line], msg)
+		return
+	case protocol.Undefined:
+		return
+	}
+
+	switch msg.kind {
+	case msgRdBlk:
+		c.rdBlks++
+		if st == TCCStateV {
+			e := c.array.Lookup(line)
+			c.sendFill(msg.cu, line, e.Data)
+			return
+		}
+		c.tbes[line] = &tccTBE{kind: tbeFill, line: line, cu: msg.cu, req: msg.req}
+		c.backend.FetchLine(line, c.lineSize(), func(data []byte) {
+			c.onData(line, data)
+		})
+
+	case msgWrVicBlk:
+		c.wrVicBlks++
+		if st == TCCStateV {
+			if c.bugs.LostWriteRace && c.wbs[line] > 0 {
+				// BUG: the racing write-through skips the merge into
+				// the cached copy, leaving the L2 line stale.
+				c.droppedMerges++
+			} else {
+				c.array.Lookup(line).WriteMasked(msg.data, msg.mask)
+			}
+		}
+		c.wbs[line]++
+		c.backend.WriteLine(line, msg.data, msg.mask, func() {
+			c.onWBAck(line, msg)
+		})
+
+	case msgAtomic:
+		c.atomicsSeen++
+		if st == TCCStateV {
+			// Read-invalidate: the global copy is about to change.
+			c.array.Invalidate(line)
+		}
+		tbe := &tccTBE{kind: tbeAtomic, line: line, cu: msg.cu, req: msg.req}
+		c.tbes[line] = tbe
+		c.issueAtomic(tbe)
+	}
+}
+
+func (c *TCC) issueAtomic(tbe *tccTBE) {
+	c.backend.Atomic(tbe.req.Addr, tbe.req.Operand, func(old uint32, nack bool) {
+		if nack {
+			c.onAtomicND(tbe)
+			return
+		}
+		c.onAtomicD(tbe, old)
+	})
+}
+
+func (c *TCC) onAtomicD(tbe *tccTBE, old uint32) {
+	st := c.state(tbe.line)
+	if cell := c.machine.Fire(st, TCCAtomicD); cell.Kind != protocol.Defined {
+		return
+	}
+	delete(c.tbes, tbe.line)
+	c.sendAtomicAck(tbe.cu, tbe.line, tbe.req, old)
+	c.wake(tbe.line)
+}
+
+func (c *TCC) onAtomicND(tbe *tccTBE) {
+	st := c.state(tbe.line)
+	if cell := c.machine.Fire(st, TCCAtomicND); cell.Kind != protocol.Defined {
+		return
+	}
+	c.k.Schedule(c.retryDelay, func() { c.issueAtomic(tbe) })
+}
+
+func (c *TCC) onData(line mem.Addr, data []byte) {
+	st := c.state(line)
+	if cell := c.machine.Fire(st, TCCData); cell.Kind != protocol.Defined {
+		return
+	}
+	tbe := c.tbes[line]
+	if tbe == nil || tbe.kind != tbeFill {
+		panic(fmt.Sprintf("viper: TCC data for %#x without fill TBE", uint64(line)))
+	}
+	delete(c.tbes, line)
+	c.fills++
+	if tbe.probed {
+		// The line was probed away mid-fill: serve the data, cache
+		// nothing.
+		c.sendFill(tbe.cu, line, data)
+		c.wake(line)
+		return
+	}
+	victim := c.array.Victim(line, nil)
+	if victim != nil && victim.Valid {
+		c.machine.Fire(TCCStateV, TCCL2Repl)
+		victim.Valid = false
+	}
+	e := c.array.Install(victim, line, TCCStateV)
+	copy(e.Data, data)
+	c.sendFill(tbe.cu, line, e.Data)
+	c.wake(line)
+}
+
+func (c *TCC) onWBAck(line mem.Addr, msg *tcpMsg) {
+	st := c.state(line)
+	c.machine.Fire(st, TCCWBAck)
+	if c.wbs[line] <= 0 {
+		panic(fmt.Sprintf("viper: WBAck underflow for %#x", uint64(line)))
+	}
+	c.wbs[line]--
+	if c.wbs[line] == 0 {
+		delete(c.wbs, line)
+	}
+	c.wbAcks++
+	if c.bugs.DropWBAckEvery != 0 && c.wbAcks%c.bugs.DropWBAckEvery == 0 {
+		// BUG: the completion ack evaporates; the issuing thread's
+		// release will never drain.
+		c.droppedAcks++
+		return
+	}
+	c.send(msg.cu, &tccMsg{kind: ackWB, line: line, req: msg.req})
+}
+
+// ProbeInv is called by the directory to invalidate a line (PrbInv in
+// Table II); done runs once the TCC has given up its copy.
+func (c *TCC) ProbeInv(line mem.Addr, done func()) {
+	st := c.state(line)
+	cell := c.machine.Fire(st, TCCPrbInv)
+	switch cell.Kind {
+	case protocol.Stall:
+		c.stalls++
+		c.stalledProbes[line] = append(c.stalledProbes[line], func() { c.ProbeInv(line, done) })
+		return
+	case protocol.Undefined:
+		return
+	}
+	switch st {
+	case TCCStateV:
+		c.array.Invalidate(line)
+	case TCCStateIV:
+		c.tbes[line].probed = true
+	}
+	done()
+}
+
+// buggyLocalAtomic is the NonAtomicRMW fast path: read now, answer now,
+// write later, never serialize.
+func (c *TCC) buggyLocalAtomic(msg *tcpMsg) {
+	line := msg.line
+	e := c.array.Lookup(line)
+	off := mem.LineOffset(msg.req.Addr, c.lineSize())
+	old := binary.LittleEndian.Uint32(e.Data[off : off+mem.WordSize])
+	c.sendAtomicAck(msg.cu, line, msg.req, old)
+	newVal := old + msg.req.Operand
+	c.k.Schedule(sim.Tick(c.bugs.nonAtomicWindow()), func() {
+		if e2 := c.array.Peek(line); e2 != nil {
+			binary.LittleEndian.PutUint32(e2.Data[off:off+mem.WordSize], newVal)
+		}
+		data := make([]byte, c.lineSize())
+		mask := make([]bool, c.lineSize())
+		binary.LittleEndian.PutUint32(data[off:off+mem.WordSize], newVal)
+		for i := 0; i < mem.WordSize; i++ {
+			mask[off+i] = true
+		}
+		c.backend.WriteLine(line, data, mask, func() {})
+	})
+}
+
+// wake retries messages (and probes) stalled on line after its
+// transaction completes.
+func (c *TCC) wake(line mem.Addr) {
+	queue := c.stalled[line]
+	if len(queue) > 0 {
+		delete(c.stalled, line)
+		for _, m := range queue {
+			c.FromTCP(m)
+		}
+	}
+	probes := c.stalledProbes[line]
+	if len(probes) > 0 {
+		delete(c.stalledProbes, line)
+		for _, p := range probes {
+			p()
+		}
+	}
+}
+
+func (c *TCC) sendFill(cu int, line mem.Addr, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.send(cu, &tccMsg{kind: ackFill, line: line, data: buf})
+}
+
+func (c *TCC) sendAtomicAck(cu int, line mem.Addr, req *mem.Request, old uint32) {
+	c.send(cu, &tccMsg{kind: ackAtomic, line: line, req: req, old: old})
+}
+
+func (c *TCC) send(cu int, msg *tccMsg) {
+	c.toTCP.To(cu).Send(func() { c.tcps[cu].FromTCC(msg) })
+}
+
+// AuditAgainstStore compares every valid L2 line against the backing
+// store and returns a description of each divergence. With all
+// write-throughs drained, a correct TCC is byte-identical to memory;
+// a stale line is exactly what the LostWriteRace bug leaves behind.
+func (c *TCC) AuditAgainstStore(st *mem.Store) []string {
+	var out []string
+	buf := make([]byte, c.lineSize())
+	c.array.ForEachValid(func(l *cache.Line) {
+		st.ReadBytes(l.Tag, buf)
+		for i := range buf {
+			if l.Data[i] != buf[i] {
+				out = append(out, fmt.Sprintf("L2 line %#x byte %d holds %d, memory holds %d",
+					uint64(l.Tag), i, l.Data[i], buf[i]))
+				return
+			}
+		}
+	})
+	return out
+}
+
+// Stats returns the controller's activity counters.
+func (c *TCC) Stats() map[string]uint64 {
+	return map[string]uint64{
+		"rdblk":          c.rdBlks,
+		"wrvicblk":       c.wrVicBlks,
+		"atomics":        c.atomicsSeen,
+		"fills":          c.fills,
+		"stalls":         c.stalls,
+		"wbacks":         c.wbAcks,
+		"dropped_merges": c.droppedMerges,
+		"dropped_acks":   c.droppedAcks,
+	}
+}

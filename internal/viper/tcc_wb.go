@@ -1,0 +1,316 @@
+package viper
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"drftest/internal/cache"
+	"drftest/internal/mem"
+	"drftest/internal/network"
+	"drftest/internal/protocol"
+	"drftest/internal/sim"
+)
+
+// wbTBE tracks one line's in-flight fill at the write-back L2.
+type wbTBE struct {
+	line mem.Addr
+	// reader is the CU awaiting a fill response, or -1 when the fill
+	// was started by a write-allocate.
+	reader int
+	// atomic, when non-nil, is performed on the line once it arrives.
+	atomic   *mem.Request
+	atomicCU int
+	// pending buffers write-through bytes accepted while the fill was
+	// in flight (write-allocate); they merge over the arriving data.
+	pending     []byte
+	pendingMask []bool
+}
+
+// TCCWB is the write-back L2 controller of the VIPER-WB variant. It
+// presents the same surface to the TCPs as the write-through TCC; the
+// sequencer, L1 and tester are untouched — the paper's "minimal
+// extensions" claim made concrete.
+type TCCWB struct {
+	k          *sim.Kernel
+	sliceIndex int
+	machine    *protocol.Machine
+	array      *cache.Array
+	backend    Backend
+	tcps       []*TCP
+	toTCP      *network.Crossbar
+	bugs       BugSet
+
+	tbes    map[mem.Addr]*wbTBE
+	stalled map[mem.Addr][]*tcpMsg
+	// vicWBs counts in-flight eviction write-backs per line (probes do
+	// not exist in this GPU-only variant, so no data needs retention).
+	vicWBs map[mem.Addr]int
+
+	rdBlks, wrVicBlks, atomicsSeen, fills, stalls, evictWBs uint64
+}
+
+func newTCCWB(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l2 cache.Config, backend Backend, toTCP *network.Crossbar, bugs BugSet) *TCCWB {
+	m := protocol.NewMachine(spec, rec)
+	m.OnFault = onFault
+	return &TCCWB{
+		k:       k,
+		machine: m,
+		array:   cache.NewArray(l2),
+		backend: backend,
+		toTCP:   toTCP,
+		bugs:    bugs,
+		tbes:    make(map[mem.Addr]*wbTBE),
+		stalled: make(map[mem.Addr][]*tcpMsg),
+		vicWBs:  make(map[mem.Addr]int),
+	}
+}
+
+func (c *TCCWB) lineSize() int { return c.array.Config().LineSize }
+
+func (c *TCCWB) slice() int { return c.sliceIndex }
+
+func (c *TCCWB) attachTCP(t *TCP) { c.tcps = append(c.tcps, t) }
+
+func (c *TCCWB) state(line mem.Addr) int {
+	if tbe, ok := c.tbes[line]; ok {
+		if tbe.atomic != nil {
+			return TCCWBStateA
+		}
+		return TCCWBStateIV
+	}
+	if e := c.array.Peek(line); e != nil {
+		return e.State
+	}
+	return TCCWBStateI
+}
+
+// FromTCP processes one request from an L1.
+func (c *TCCWB) FromTCP(msg *tcpMsg) {
+	line := msg.line
+	st := c.state(line)
+
+	var ev int
+	switch msg.kind {
+	case msgRdBlk:
+		ev = TCCRdBlk
+	case msgWrVicBlk:
+		ev = TCCWrVicBlk
+	case msgAtomic:
+		ev = TCCAtomic
+	}
+
+	cell := c.machine.Fire(st, ev)
+	switch cell.Kind {
+	case protocol.Stall:
+		c.stalls++
+		c.stalled[line] = append(c.stalled[line], msg)
+		return
+	case protocol.Undefined:
+		return
+	}
+
+	switch msg.kind {
+	case msgRdBlk:
+		c.rdBlks++
+		if st == TCCWBStateV || st == TCCWBStateD {
+			c.sendFill(msg.cu, line, c.array.Lookup(line).Data)
+			return
+		}
+		c.tbes[line] = &wbTBE{line: line, reader: msg.cu}
+		c.fetch(line)
+
+	case msgWrVicBlk:
+		c.wrVicBlks++
+		switch st {
+		case TCCWBStateV, TCCWBStateD:
+			e := c.array.Lookup(line)
+			e.WriteMasked(msg.data, msg.mask)
+			e.State = TCCWBStateD
+		default: // I: write-allocate — buffer bytes, fetch the line
+			tbe := &wbTBE{line: line, reader: -1,
+				pending:     make([]byte, c.lineSize()),
+				pendingMask: make([]bool, c.lineSize())}
+			mergeMasked(tbe.pending, tbe.pendingMask, msg.data, msg.mask)
+			c.tbes[line] = tbe
+			c.fetch(line)
+		}
+		// The L2 is the visibility point: the write is globally
+		// performed on acceptance.
+		c.send(msg.cu, &tccMsg{kind: ackWB, line: line, req: msg.req})
+
+	case msgAtomic:
+		c.atomicsSeen++
+		if st == TCCWBStateV || st == TCCWBStateD {
+			c.performAtomic(line, c.array.Lookup(line), msg.req, msg.cu)
+			return
+		}
+		c.tbes[line] = &wbTBE{line: line, reader: -1, atomic: msg.req, atomicCU: msg.cu}
+		c.fetch(line)
+	}
+}
+
+func (c *TCCWB) fetch(line mem.Addr) {
+	c.backend.FetchLine(line, c.lineSize(), func(data []byte) {
+		c.onData(line, data)
+	})
+}
+
+// performAtomic executes a fetch-add on a cached line, leaving it
+// dirty. With the NonAtomicRMW bug injected, the write lands after a
+// window during which another atomic can read the same old value.
+func (c *TCCWB) performAtomic(line mem.Addr, e *cache.Line, req *mem.Request, cu int) {
+	off := mem.LineOffset(req.Addr, c.lineSize())
+	old := binary.LittleEndian.Uint32(e.Data[off : off+mem.WordSize])
+	c.sendAtomicAck(cu, line, req, old)
+	write := func() {
+		if cur := c.array.Peek(line); cur != nil && cur == e {
+			var b [mem.WordSize]byte
+			binary.LittleEndian.PutUint32(b[:], old+req.Operand)
+			for i := range b {
+				e.Data[off+i] = b[i]
+				e.Dirty[off+i] = true
+			}
+			e.State = TCCWBStateD
+		}
+	}
+	if c.bugs.NonAtomicRMW {
+		c.k.Schedule(sim.Tick(c.bugs.nonAtomicWindow()), write)
+		return
+	}
+	write()
+}
+
+func (c *TCCWB) onData(line mem.Addr, data []byte) {
+	st := c.state(line)
+	if cell := c.machine.Fire(st, TCCData); cell.Kind != protocol.Defined {
+		return
+	}
+	tbe := c.tbes[line]
+	if tbe == nil {
+		panic(fmt.Sprintf("viper: TCCWB data for %#x without TBE", uint64(line)))
+	}
+	e := c.install(line)
+	copy(e.Data, data)
+	e.State = TCCWBStateV
+	if tbe.pending != nil {
+		e.WriteMasked(tbe.pending, tbe.pendingMask)
+		e.State = TCCWBStateD
+	}
+	delete(c.tbes, line)
+	c.fills++
+	if tbe.atomic != nil {
+		c.performAtomic(line, e, tbe.atomic, tbe.atomicCU)
+	} else if tbe.reader >= 0 {
+		c.sendFill(tbe.reader, line, e.Data)
+	}
+	c.wake(line)
+}
+
+// install claims a way for line, writing dirty victims back to memory.
+func (c *TCCWB) install(line mem.Addr) *cache.Line {
+	victim := c.array.Victim(line, nil)
+	if victim != nil && victim.Valid {
+		c.machine.Fire(victim.State, TCCL2Repl)
+		if victim.State == TCCWBStateD {
+			c.evictWBs++
+			vicLine := victim.Tag
+			buf := make([]byte, len(victim.Data))
+			copy(buf, victim.Data)
+			c.vicWBs[vicLine]++
+			c.backend.WriteLine(vicLine, buf, nil, func() {
+				c.machine.Fire(c.state(vicLine), TCCWBAck)
+				c.vicWBs[vicLine]--
+				if c.vicWBs[vicLine] == 0 {
+					delete(c.vicWBs, vicLine)
+				}
+			})
+		}
+		victim.Valid = false
+	}
+	return c.array.Install(victim, line, TCCWBStateV)
+}
+
+// ProbeInv must never be called: the write-back variant is GPU-only.
+func (c *TCCWB) ProbeInv(line mem.Addr, done func()) {
+	panic("viper: VIPER-WB is a GPU-only protocol; it cannot be probed by a directory")
+}
+
+// Flush functionally writes every dirty line to the store (end-of-run
+// audit support; the simulation is already idle).
+func (c *TCCWB) Flush(st *mem.Store) {
+	c.array.ForEachValid(func(l *cache.Line) {
+		if l.State == TCCWBStateD {
+			st.WriteBytes(l.Tag, l.Data, nil)
+			l.State = TCCWBStateV
+			l.ClearDirty()
+		}
+	})
+}
+
+// AuditAgainstStore compares clean lines against memory (dirty lines
+// are legitimately newer; Flush first for a full audit).
+func (c *TCCWB) AuditAgainstStore(st *mem.Store) []string {
+	var out []string
+	buf := make([]byte, c.lineSize())
+	c.array.ForEachValid(func(l *cache.Line) {
+		if l.State != TCCWBStateV {
+			return
+		}
+		st.ReadBytes(l.Tag, buf)
+		for i := range buf {
+			if l.Data[i] != buf[i] {
+				out = append(out, fmt.Sprintf("L2WB clean line %#x byte %d holds %d, memory holds %d",
+					uint64(l.Tag), i, l.Data[i], buf[i]))
+				return
+			}
+		}
+	})
+	return out
+}
+
+func (c *TCCWB) wake(line mem.Addr) {
+	queue := c.stalled[line]
+	if len(queue) == 0 {
+		return
+	}
+	delete(c.stalled, line)
+	for _, m := range queue {
+		c.FromTCP(m)
+	}
+}
+
+func (c *TCCWB) sendFill(cu int, line mem.Addr, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.send(cu, &tccMsg{kind: ackFill, line: line, data: buf})
+}
+
+func (c *TCCWB) sendAtomicAck(cu int, line mem.Addr, req *mem.Request, old uint32) {
+	c.send(cu, &tccMsg{kind: ackAtomic, line: line, req: req, old: old})
+}
+
+func (c *TCCWB) send(cu int, msg *tccMsg) {
+	c.toTCP.To(cu).Send(func() { c.tcps[cu].FromTCC(msg) })
+}
+
+// Stats returns the controller's activity counters.
+func (c *TCCWB) Stats() map[string]uint64 {
+	return map[string]uint64{
+		"rdblk":    c.rdBlks,
+		"wrvicblk": c.wrVicBlks,
+		"atomics":  c.atomicsSeen,
+		"fills":    c.fills,
+		"stalls":   c.stalls,
+		"evictwbs": c.evictWBs,
+	}
+}
+
+// mergeMasked overlays src bytes under srcMask onto dst/dstMask.
+func mergeMasked(dst []byte, dstMask []bool, src []byte, srcMask []bool) {
+	for i := range src {
+		if srcMask == nil || srcMask[i] {
+			dst[i] = src[i]
+			dstMask[i] = true
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package viper
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"drftest/internal/cache"
+	"drftest/internal/mem"
+	"drftest/internal/network"
+	"drftest/internal/protocol"
+	"drftest/internal/sim"
+)
+
+// tcpTBE tracks one line's in-flight transaction at an L1.
+type tcpTBE struct {
+	line   mem.Addr
+	loads  []*mem.Request // coalesced load misses awaiting fill
+	atomic *mem.Request   // outstanding atomic, nil if none
+	entry  *cache.Line    // reservation entry for the atomic; nil after Repl
+}
+
+// TCP is one compute unit's L1 data cache controller (VIPER's "TCP").
+// It is write-through and write-no-allocate; atomics bypass it to the
+// L2's ordering point, reserving the line in state A while in flight.
+type TCP struct {
+	k       *sim.Kernel
+	id      int
+	machine *protocol.Machine
+	array   *cache.Array
+	toTCC   []*network.Link // one ordered link per L2 slice
+	sliceOf func(mem.Addr) l2ctrl
+	seq     *Sequencer
+
+	tbes map[mem.Addr]*tcpTBE
+	// stalled holds core requests whose (state, event) cell is Stall or
+	// that hit the load-TBE/atomic resource hazard; they are retried in
+	// arrival order when the line's transaction completes.
+	stalled map[mem.Addr][]*mem.Request
+	// wt accumulates the bytes of this CU's in-flight write-throughs
+	// per line. A fill merges them over the returned data so a thread
+	// always observes its own (and its CU's) program-order-earlier
+	// stores even when the fill was read from memory before the
+	// write-through landed — the per-byte-mask behaviour of real VIPER.
+	wt map[mem.Addr]*wtBuf
+
+	// stats
+	loads, loadHits, stores, atomics, stalls uint64
+}
+
+func newTCP(k *sim.Kernel, id int, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l1 cache.Config, toTCC []*network.Link, sliceOf func(mem.Addr) l2ctrl) *TCP {
+	m := protocol.NewMachine(spec, rec)
+	m.OnFault = onFault
+	return &TCP{
+		k:       k,
+		id:      id,
+		machine: m,
+		array:   cache.NewArray(l1),
+		toTCC:   toTCC,
+		sliceOf: sliceOf,
+		tbes:    make(map[mem.Addr]*tcpTBE),
+		stalled: make(map[mem.Addr][]*mem.Request),
+		wt:      make(map[mem.Addr]*wtBuf),
+	}
+}
+
+// wtBuf holds the merged bytes of a line's in-flight write-throughs.
+type wtBuf struct {
+	data  []byte
+	mask  []bool
+	count int
+}
+
+func (t *TCP) lineSize() int { return t.array.Config().LineSize }
+
+func (t *TCP) lineOf(a mem.Addr) mem.Addr { return mem.LineAddr(a, t.lineSize()) }
+
+// state derives the protocol state of a line: A while an atomic is in
+// flight (whether or not its reservation entry survived replacement),
+// V when a valid copy is cached, I otherwise.
+func (t *TCP) state(line mem.Addr) int {
+	if tbe, ok := t.tbes[line]; ok && tbe.atomic != nil {
+		return TCPStateA
+	}
+	if e := t.array.Peek(line); e != nil && e.State == TCPStateV {
+		return TCPStateV
+	}
+	return TCPStateI
+}
+
+func (t *TCP) tbe(line mem.Addr) *tcpTBE {
+	tbe, ok := t.tbes[line]
+	if !ok {
+		tbe = &tcpTBE{line: line}
+		t.tbes[line] = tbe
+	}
+	return tbe
+}
+
+// CoreRequest processes one request from the sequencer.
+func (t *TCP) CoreRequest(req *mem.Request) {
+	line := t.lineOf(req.Addr)
+
+	// Resource hazard (not a protocol stall): an atomic cannot start
+	// while the line has coalesced load misses in flight, because the
+	// fill response would then arrive in state A and be misread as the
+	// atomic's completion. Ruby handles this by recycling the message.
+	if req.Op == mem.OpAtomic {
+		if tbe, ok := t.tbes[line]; ok && len(tbe.loads) > 0 {
+			t.stall(line, req)
+			return
+		}
+	}
+
+	st := t.state(line)
+	var ev int
+	switch req.Op {
+	case mem.OpLoad:
+		ev = TCPLoad
+	case mem.OpStore:
+		ev = TCPStoreThrough
+	case mem.OpAtomic:
+		ev = TCPAtomic
+	default:
+		panic(fmt.Sprintf("viper: unknown op %v", req.Op))
+	}
+
+	cell := t.machine.Fire(st, ev)
+	switch cell.Kind {
+	case protocol.Stall:
+		t.stall(line, req)
+		return
+	case protocol.Undefined:
+		return
+	}
+
+	switch req.Op {
+	case mem.OpLoad:
+		t.loads++
+		if st == TCPStateV {
+			t.loadHits++
+			e := t.array.Lookup(req.Addr)
+			t.seq.respond(req, t.readWord(e, req.Addr))
+			return
+		}
+		tbe := t.tbe(line)
+		tbe.loads = append(tbe.loads, req)
+		if len(tbe.loads) == 1 {
+			t.send(&tcpMsg{kind: msgRdBlk, cu: t.id, line: line, req: req})
+		}
+
+	case mem.OpStore:
+		t.stores++
+		data, mask := t.wordWrite(req)
+		if st == TCPStateV {
+			t.array.Lookup(req.Addr).WriteMasked(data, mask)
+		}
+		buf, ok := t.wt[line]
+		if !ok {
+			buf = &wtBuf{data: make([]byte, t.lineSize()), mask: make([]bool, t.lineSize())}
+			t.wt[line] = buf
+		}
+		for i := range data {
+			if mask[i] {
+				buf.data[i] = data[i]
+				buf.mask[i] = true
+			}
+		}
+		buf.count++
+		t.send(&tcpMsg{kind: msgWrVicBlk, cu: t.id, line: line, data: data, mask: mask, req: req})
+		t.seq.noteWriteThrough(req)
+		// Plain stores complete at L1 acceptance; global visibility is
+		// deferred to the TCC_AckWB — the relaxed-model window the
+		// tester exists to stress.
+		t.seq.respond(req, req.Data)
+
+	case mem.OpAtomic:
+		t.atomics++
+		if st == TCPStateV {
+			// Read-invalidate: the atomic is performed globally, so the
+			// local copy would go stale.
+			t.array.Invalidate(line)
+		}
+		tbe := t.tbe(line)
+		tbe.atomic = req
+		tbe.entry = t.installReservation(line)
+		t.send(&tcpMsg{kind: msgAtomic, cu: t.id, line: line, req: req})
+	}
+}
+
+// installReservation claims a cache entry in state A for an in-flight
+// atomic, firing Repl on whichever valid line it displaces.
+func (t *TCP) installReservation(line mem.Addr) *cache.Line {
+	victim := t.array.Victim(line, nil)
+	t.evictVictim(victim)
+	return t.array.Install(victim, line, TCPStateA)
+}
+
+// evictVictim fires the Repl event for a victim that currently holds a
+// valid line.
+func (t *TCP) evictVictim(victim *cache.Line) {
+	if victim == nil || !victim.Valid {
+		return
+	}
+	t.machine.Fire(victim.State, TCPRepl)
+	if victim.State == TCPStateA {
+		// The displaced line's atomic stays in flight; the TBE simply
+		// loses its reservation entry.
+		if tbe, ok := t.tbes[victim.Tag]; ok {
+			tbe.entry = nil
+		}
+	}
+	victim.Valid = false
+}
+
+// FromTCC processes one response message from the L2.
+func (t *TCP) FromTCC(msg *tccMsg) {
+	line := msg.line
+	st := t.state(line)
+	switch msg.kind {
+	case ackFill:
+		cell := t.machine.Fire(st, TCPTCCAck)
+		if cell.Kind != protocol.Defined {
+			return
+		}
+		tbe := t.tbes[line]
+		if tbe == nil || len(tbe.loads) == 0 {
+			panic(fmt.Sprintf("viper: TCP%d fill for %#x without waiting loads", t.id, uint64(line)))
+		}
+		victim := t.array.Victim(line, nil)
+		t.evictVictim(victim)
+		e := t.array.Install(victim, line, TCPStateV)
+		copy(e.Data, msg.data)
+		if buf, ok := t.wt[line]; ok {
+			e.WriteMasked(buf.data, buf.mask)
+		}
+		loads := tbe.loads
+		tbe.loads = nil
+		t.dropTBE(tbe)
+		for _, ld := range loads {
+			t.seq.respond(ld, t.readWord(e, ld.Addr))
+		}
+		t.wake(line)
+
+	case ackAtomic:
+		cell := t.machine.Fire(st, TCPTCCAck)
+		if cell.Kind != protocol.Defined {
+			return
+		}
+		tbe := t.tbes[line]
+		if tbe == nil || tbe.atomic == nil {
+			panic(fmt.Sprintf("viper: TCP%d atomic ack for %#x without TBE", t.id, uint64(line)))
+		}
+		req := tbe.atomic
+		tbe.atomic = nil
+		if tbe.entry != nil {
+			tbe.entry.Valid = false // A → I: atomics do not cache data
+			tbe.entry = nil
+		}
+		t.dropTBE(tbe)
+		t.seq.respond(req, msg.old)
+		t.wake(line)
+
+	case ackWB:
+		t.machine.Fire(st, TCPTCCAckWB)
+		if buf, ok := t.wt[line]; ok {
+			buf.count--
+			if buf.count == 0 {
+				delete(t.wt, line)
+			}
+		}
+		t.seq.writeCompleted(msg.req)
+	}
+}
+
+// FlashInvalidate implements the load-acquire Evict semantic: every
+// valid line is invalidated; lines reserved by in-flight atomics are
+// kept (they hold no readable data).
+func (t *TCP) FlashInvalidate() {
+	t.array.FlashInvalidate(func(l *cache.Line) bool {
+		t.machine.Fire(l.State, TCPEvict)
+		return l.State != TCPStateA
+	})
+}
+
+func (t *TCP) stall(line mem.Addr, req *mem.Request) {
+	t.stalls++
+	t.stalled[line] = append(t.stalled[line], req)
+}
+
+// wake retries requests stalled on line, in arrival order.
+func (t *TCP) wake(line mem.Addr) {
+	queue := t.stalled[line]
+	if len(queue) == 0 {
+		return
+	}
+	delete(t.stalled, line)
+	for _, req := range queue {
+		t.CoreRequest(req)
+	}
+}
+
+func (t *TCP) dropTBE(tbe *tcpTBE) {
+	if tbe.atomic == nil && len(tbe.loads) == 0 {
+		delete(t.tbes, tbe.line)
+	}
+}
+
+func (t *TCP) send(msg *tcpMsg) {
+	l2 := t.sliceOf(msg.line)
+	link := t.toTCC[0]
+	if len(t.toTCC) > 1 {
+		link = t.toTCC[l2.slice()]
+	}
+	link.Send(func() { l2.FromTCP(msg) })
+}
+
+func (t *TCP) readWord(e *cache.Line, a mem.Addr) uint32 {
+	off := mem.LineOffset(a, t.lineSize())
+	return binary.LittleEndian.Uint32(e.Data[off : off+mem.WordSize])
+}
+
+// wordWrite builds the full-line data/mask pair for a word store.
+func (t *TCP) wordWrite(req *mem.Request) (data []byte, mask []bool) {
+	data = make([]byte, t.lineSize())
+	mask = make([]bool, t.lineSize())
+	off := mem.LineOffset(req.Addr, t.lineSize())
+	binary.LittleEndian.PutUint32(data[off:off+mem.WordSize], req.Data)
+	for i := 0; i < mem.WordSize; i++ {
+		mask[off+i] = true
+	}
+	return data, mask
+}
+
+// Stats returns the controller's activity counters.
+func (t *TCP) Stats() (loads, loadHits, stores, atomics, stalls uint64) {
+	return t.loads, t.loadHits, t.stores, t.atomics, t.stalls
+}

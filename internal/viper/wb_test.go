@@ -1,0 +1,115 @@
+package viper
+
+import (
+	"testing"
+
+	"drftest/internal/mem"
+	"drftest/internal/protocol"
+)
+
+func wbCfg() Config {
+	c := SmallCacheConfig()
+	c.NumCUs = 2
+	c.WriteBackL2 = true
+	return c
+}
+
+func TestWBSpecCounts(t *testing.T) {
+	s := NewTCCWBSpec()
+	u, st, d := s.CountKind(protocol.Undefined), s.CountKind(protocol.Stall), s.CountKind(protocol.Defined)
+	if u != 21 || st != 6 || d != 18 {
+		t.Fatalf("TCC-WB cells U=%d S=%d D=%d, want 21/6/18", u, st, d)
+	}
+}
+
+func TestWBStoreVisibleThroughL2NotMemory(t *testing.T) {
+	r := newRig(t, wbCfg())
+	r.issue(0, mem.OpStore, 0x100, 7, 0)
+	r.run()
+	// The write lives in the (dirty) L2, not memory — the defining
+	// difference from write-through VIPER.
+	if got := r.sys.Mem.Store().ReadWord(0x100); got != 0 {
+		t.Fatalf("memory holds %d before any eviction; write-back should defer", got)
+	}
+	id := r.issue(1, mem.OpLoad, 0x100, 0, 1)
+	r.run()
+	if got := r.resp(t, id).Data; got != 7 {
+		t.Fatalf("remote CU read %d through the L2, want 7", got)
+	}
+}
+
+func TestWBEvictionWritesBack(t *testing.T) {
+	r := newRig(t, wbCfg())
+	// 1KB 2-way L2 with 64B lines: 8 sets; lines 0x0, 0x200, 0x400 all
+	// map to set 0.
+	r.issue(0, mem.OpStore, 0x000, 1, 0)
+	r.run()
+	r.issue(0, mem.OpLoad, 0x200, 0, 0)
+	r.run()
+	r.issue(0, mem.OpLoad, 0x400, 0, 0)
+	r.run()
+	if got := r.sys.Mem.Store().ReadWord(0x000); got != 1 {
+		t.Fatalf("dirty L2 victim not written back: memory holds %d", got)
+	}
+	ld := r.issue(1, mem.OpLoad, 0x000, 0, 1)
+	r.run()
+	if got := r.resp(t, ld).Data; got != 1 {
+		t.Fatalf("refetched line lost its data: %d", got)
+	}
+}
+
+func TestWBAtomicsAtL2(t *testing.T) {
+	r := newRig(t, wbCfg())
+	a1 := r.issue(0, mem.OpAtomic, 0x300, 5, 0)
+	r.run()
+	a2 := r.issue(1, mem.OpAtomic, 0x300, 5, 1)
+	r.run()
+	if r.resp(t, a1).Data != 0 || r.resp(t, a2).Data != 5 {
+		t.Fatalf("atomic olds %d,%d want 0,5", r.resp(t, a1).Data, r.resp(t, a2).Data)
+	}
+	// The result lives in the L2 (dirty), not memory.
+	if got := r.sys.Mem.Store().ReadWord(0x300); got != 0 {
+		t.Fatalf("memory holds %d; WB atomics must not write through", got)
+	}
+	st := r.sys.Mem.Store()
+	r.sys.AuditL2(st) // flushes
+	if got := st.ReadWord(0x300); got != 10 {
+		t.Fatalf("flushed value %d, want 10", got)
+	}
+}
+
+func TestWBReleaseDrainsFaster(t *testing.T) {
+	measure := func(cfg Config) uint64 {
+		r := newRig(t, cfg)
+		r.issue(0, mem.OpStore, 0x600, 9, 0)
+		r.id++
+		rel := &mem.Request{ID: r.id, Op: mem.OpAtomic, Addr: 0x640, Operand: 1, Release: true, ThreadID: 0}
+		relID := r.id
+		r.sys.Seqs[0].Issue(rel)
+		r.run()
+		return r.resp(t, relID).Tick
+	}
+	wb := measure(wbCfg())
+	wt := measure(smallCfg())
+	if wb >= wt {
+		t.Fatalf("WB release (%d ticks) should drain faster than WT (%d): acks return at L2 acceptance", wb, wt)
+	}
+	t.Logf("release completion: write-back %d ticks, write-through %d ticks", wb, wt)
+}
+
+func TestWBWriteAllocate(t *testing.T) {
+	r := newRig(t, wbCfg())
+	r.issue(0, mem.OpStore, 0x700, 3, 0) // miss: write-allocate path
+	r.run()
+	id := r.issue(0, mem.OpLoad, 0x700, 0, 0)
+	r.run()
+	if got := r.resp(t, id).Data; got != 3 {
+		t.Fatalf("write-allocated byte lost: %d", got)
+	}
+	if r.col.Matrix("GPU-L2WB").Hits[TCCWBStateI][TCCWrVicBlk] == 0 {
+		t.Fatal("[I,WrVicBlk] write-allocate not recorded")
+	}
+	if r.col.Matrix("GPU-L2WB").Hits[TCCWBStateIV][TCCData] == 0 {
+		t.Fatal("[IV,Data] fill not recorded")
+	}
+}
