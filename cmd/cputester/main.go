@@ -6,6 +6,11 @@
 //
 //	cputester [-cpus 4] [-caches small|large] [-ops 10000]
 //	          [-locations 512] [-seed 1] [-grid]
+//	          [-artifact-dir DIR] [-trace-depth 4096]
+//
+// With -artifact-dir set the run records a bounded execution trace
+// and, on any checker failure, serializes a replay artifact (JSON)
+// into the directory for `replay` to re-execute.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"drftest/internal/cputester"
 	"drftest/internal/harness"
+	"drftest/internal/trace"
 )
 
 func main() {
@@ -24,6 +30,8 @@ func main() {
 	locations := flag.Int("locations", 512, "number of shared word locations")
 	seed := flag.Uint64("seed", 1, "random seed")
 	grid := flag.Bool("grid", false, "print directory classification grid")
+	artifactDir := flag.String("artifact-dir", "", "write a failure-replay artifact (JSON) into this directory on any detected bug")
+	traceDepth := flag.Int("trace-depth", harness.DefaultTraceCapacity, "execution-trace ring capacity used with -artifact-dir")
 	flag.Parse()
 
 	cacheCfg := harness.DefaultCPUCache
@@ -32,12 +40,28 @@ func main() {
 	}
 
 	b := harness.BuildCPU(*cpus, cacheCfg)
+	var ring *trace.Ring
+	if *artifactDir != "" {
+		ring = harness.EnableTrace(b.K, *traceDepth)
+	}
 	cfg := cputester.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.OpsPerCPU = *ops
 	cfg.NumLocations = *locations
 	tester := cputester.New(b.K, b.Caches, cfg)
 	rep := tester.Run()
+
+	artifactPath := ""
+	if *artifactDir != "" && !rep.Passed() {
+		setup := harness.CPUSetup{NumCPUs: *cpus, CacheCfg: cacheCfg, TestCfg: cfg}
+		art := harness.NewCPUArtifact(setup, tester, rep, b.K.Executed(), ring)
+		path, err := art.Write(*artifactDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing replay artifact: %v\n", err)
+		} else {
+			artifactPath = path
+		}
+	}
 
 	fmt.Printf("cputester: seed=%d cpus=%d caches=%s ops/cpu=%d\n", *seed, *cpus, *caches, *ops)
 	fmt.Printf("  ops completed  %d / %d\n", rep.OpsCompleted, rep.OpsIssued)
@@ -52,6 +76,9 @@ func main() {
 		fmt.Printf("\nFAIL: %d bug(s) detected\n", len(rep.Failures))
 		for _, f := range rep.Failures {
 			fmt.Println(" ", f.Message)
+		}
+		if artifactPath != "" {
+			fmt.Printf("replay artifact written to %s (re-run with: replay %s)\n", artifactPath, artifactPath)
 		}
 		os.Exit(1)
 	}

@@ -7,7 +7,13 @@
 //	          [-wfs 16] [-lanes 4] [-episodes 10] [-actions 100]
 //	          [-syncvars 10] [-datavars 100000] [-seed 1]
 //	          [-bug lostwrite|nonatomic|dropack|staleacquire]
+//	          [-artifact-dir DIR] [-trace-depth 4096]
 //	          [-heatmap] [-grid] [-v]
+//
+// With -artifact-dir set the run records a bounded execution trace
+// and, on any checker failure, serializes a replay artifact (JSON)
+// into the directory; `replay <artifact>` re-executes it and asserts
+// the failure reproduces bit-identically.
 //
 // Exit status is 0 when the protocol passes, 1 when bugs are detected.
 package main
@@ -23,7 +29,7 @@ import (
 	"drftest/internal/core"
 	"drftest/internal/coverage"
 	"drftest/internal/harness"
-	"drftest/internal/sim"
+	"drftest/internal/trace"
 	"drftest/internal/viper"
 )
 
@@ -45,6 +51,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print request latencies and the transaction log tail")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	axioms := flag.Bool("axiomcheck", false, "record the full trace and re-verify it with the independent axiomatic checker")
+	artifactDir := flag.String("artifact-dir", "", "write a failure-replay artifact (JSON) into this directory on any detected bug")
+	traceDepth := flag.Int("trace-depth", harness.DefaultTraceCapacity, "execution-trace ring capacity used with -artifact-dir")
 	flag.Parse()
 
 	var sysCfg viper.Config
@@ -97,14 +105,28 @@ func main() {
 	cfg.NumDataVars = *dataVars
 	cfg.RecordTrace = *axioms
 
-	k := sim.NewKernel()
-	col := coverage.NewCollector(viper.NewTCPSpec(), viper.NewTCCSpec(), viper.NewTCCWBSpec())
-	sys := viper.NewSystem(k, sysCfg, col)
+	b := harness.BuildGPU(sysCfg)
+	k, sys, col := b.K, b.Sys, b.Col
+	var ring *trace.Ring
+	if *artifactDir != "" {
+		ring = harness.EnableTrace(k, *traceDepth)
+	}
 	tester := core.New(k, sys, cfg)
 	rep := tester.Run()
 
+	artifactPath := ""
+	if *artifactDir != "" && !rep.Passed() {
+		art := harness.NewGPUArtifact(sysCfg, cfg, tester, rep, ring)
+		path, err := art.Write(*artifactDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing replay artifact: %v\n", err)
+		} else {
+			artifactPath = path
+		}
+	}
+
 	if *jsonOut {
-		emitJSON(sysCfg, cfg, rep, col)
+		emitJSON(sysCfg, cfg, rep, col, artifactPath)
 		if !rep.Passed() {
 			os.Exit(1)
 		}
@@ -171,13 +193,16 @@ func main() {
 		for _, f := range rep.Failures {
 			fmt.Println(f.TableV())
 		}
+		if artifactPath != "" {
+			fmt.Printf("replay artifact written to %s (re-run with: replay %s)\n", artifactPath, artifactPath)
+		}
 		os.Exit(1)
 	}
 	fmt.Println("PASS: no coherence violations detected")
 }
 
 // emitJSON writes a machine-readable run report for CI consumption.
-func emitJSON(sysCfg viper.Config, cfg core.Config, rep *core.Report, col *coverage.Collector) {
+func emitJSON(sysCfg viper.Config, cfg core.Config, rep *core.Report, col *coverage.Collector, artifactPath string) {
 	l2Name := "GPU-L2"
 	if sysCfg.WriteBackL2 {
 		l2Name = "GPU-L2WB"
@@ -204,6 +229,9 @@ func emitJSON(sysCfg viper.Config, cfg core.Config, rep *core.Report, col *cover
 		"l1":               col.Matrix("GPU-L1"),
 		"l2":               col.Matrix(l2Name),
 		"failures":         failures,
+	}
+	if artifactPath != "" {
+		out["artifact"] = artifactPath
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

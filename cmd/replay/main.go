@@ -1,0 +1,75 @@
+// Command replay re-executes a failure-replay artifact written by
+// gputester or cputester (-artifact-dir) and asserts the failure
+// reproduces bit-identically: same failure kind, tick, address and
+// values, same op counts, same final RNG state, and the same execution
+// trace tail.
+//
+// Usage:
+//
+//	replay [-trace] [-table] artifact.json...
+//
+// Exit status is 0 when every artifact reproduces, 1 when any
+// diverges (or no longer fails at all), 2 on usage errors.
+//
+// This closes the paper's debugging loop: the tester finds a
+// coherence violation autonomously, and the artifact pins the exact
+// run so the protocol designer can re-execute it — under a debugger,
+// with extra logging, or after a candidate fix (where replay's exit
+// status 1 with "replay found no failure" is the fix confirmation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drftest/internal/harness"
+)
+
+func main() {
+	showTrace := flag.Bool("trace", false, "print the artifact's execution-trace tail")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: replay [-trace] artifact.json...")
+		os.Exit(2)
+	}
+
+	failed := 0
+	for _, path := range flag.Args() {
+		if err := replayOne(path, *showTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d of %d artifact(s) did NOT reproduce\n", failed, flag.NArg())
+		os.Exit(1)
+	}
+}
+
+func replayOne(path string, showTrace bool) error {
+	art, err := harness.LoadArtifact(path)
+	if err != nil {
+		return err
+	}
+	f := art.FirstFailure()
+	fmt.Printf("%s: %s artifact, seed %d, %s at tick %d (addr %#x)\n",
+		path, art.Kind, art.Seed, f.Kind, f.Tick, f.Addr)
+	if showTrace {
+		fmt.Printf("  trace tail (%d entries, ring capacity %d):\n", len(art.Trace), art.TraceCapacity)
+		for _, e := range art.Trace {
+			fmt.Printf("    t=%-10d #%-8d %-12s %-24s %#x\n", e.Tick, e.Seq, e.Component, e.Label, e.Addr)
+		}
+	}
+
+	replayed, err := harness.Replay(art)
+	if err != nil {
+		return err
+	}
+	if err := harness.CheckReproduced(art, replayed); err != nil {
+		return err
+	}
+	fmt.Printf("  REPRODUCED: %s at tick %d, %d ops, %d kernel events — bit-identical\n",
+		f.Kind, f.Tick, replayed.Ops.Completed, replayed.Ops.KernelEvents)
+	return nil
+}

@@ -25,6 +25,25 @@ const (
 	opExtra
 )
 
+// traceComponent names the tester in kernel trace entries.
+const traceComponent = "gpu-tester"
+
+func opName(k opKind) string {
+	switch k {
+	case opAcquire:
+		return "acquire"
+	case opLoad:
+		return "load"
+	case opStore:
+		return "store"
+	case opRelease:
+		return "release"
+	case opExtra:
+		return "extra-atomic"
+	}
+	return "?"
+}
+
 // genOp is one pre-generated episode action.
 type genOp struct {
 	kind     opKind
@@ -246,6 +265,9 @@ func (t *Tester) issueOp(wf *wavefront, thr *thread, op genOp) {
 	}
 	wf.outstanding++
 	t.opsIssued++
+	if t.k.Tracing() {
+		t.k.Trace(traceComponent, "issue "+opName(op.kind), uint64(req.Addr))
+	}
 	t.log.Append(LogEntry{
 		Tick: uint64(t.k.Now()), Kind: "issue", Op: req.Op, Addr: req.Addr,
 		ThreadID: thr.id, WFID: thr.wf, EpisodeID: thr.ep.id,
@@ -340,6 +362,9 @@ func (t *Tester) HandleResponse(resp *mem.Response) {
 	op := thr.curOp
 	t.opsCompleted++
 	t.lastWorkTick = resp.Tick
+	if t.k.Tracing() {
+		t.k.Trace(traceComponent, "resp "+opName(op.kind), uint64(req.Addr))
+	}
 
 	t.log.Append(LogEntry{
 		Tick: resp.Tick, Kind: "resp", Op: req.Op, Addr: req.Addr,
@@ -498,6 +523,9 @@ func (t *Tester) heartbeat() {
 			return
 		}
 		t.deadlockSeen = true
+		if t.k.Tracing() {
+			t.k.Trace(traceComponent, "fail "+FailDeadlock.String(), uint64(r.Addr))
+		}
 		t.failures = append(t.failures, &Failure{
 			Kind: FailDeadlock, Tick: now, Addr: r.Addr,
 			Message: fmt.Sprintf("no forward progress: %s outstanding for %d ticks (threshold %d)",
@@ -526,11 +554,19 @@ func (t *Tester) outstandingCount() int {
 }
 
 func (t *Tester) fail(f *Failure) {
+	if t.k.Tracing() {
+		t.k.Trace(traceComponent, "fail "+f.Kind.String(), uint64(f.Addr))
+	}
 	t.failures = append(t.failures, f)
 	if !t.cfg.KeepGoing {
 		t.k.Stop()
 	}
 }
+
+// RNGState returns the tester's main PCG stream state, captured for
+// replay artifacts (matching states confirm a replay consumed the
+// identical randomness).
+func (t *Tester) RNGState() (state, inc uint64) { return t.rnd.State() }
 
 // Finish runs the end-of-run audits. With a correct protocol, the
 // reference memory, the simulated DRAM, and the L2's cached lines must

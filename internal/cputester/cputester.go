@@ -187,6 +187,13 @@ func (t *Tester) Run() *Report {
 // Failures returns the bugs found so far.
 func (t *Tester) Failures() []*Failure { return t.failures }
 
+// RNGState returns the tester's PCG stream state, captured for replay
+// artifacts.
+func (t *Tester) RNGState() (state, inc uint64) { return t.rnd.State() }
+
+// traceComponent names the tester in kernel trace entries.
+const traceComponent = "cpu-tester"
+
 func (t *Tester) issue(cpu *cpuState) {
 	if t.k.Stopped() {
 		return
@@ -220,6 +227,13 @@ func (t *Tester) issue(cpu *cpuState) {
 		req.Op = mem.OpLoad
 	}
 	t.opsIssued++
+	if t.k.Tracing() {
+		label := "issue load"
+		if isStore {
+			label = "issue store"
+		}
+		t.k.Trace(traceComponent, label, uint64(loc.addr))
+	}
 	t.caches[cpu.id].Issue(req)
 }
 
@@ -243,11 +257,20 @@ func (t *Tester) handle(cpu *cpuState, resp *mem.Response) {
 	t.lastWorkTick = resp.Tick
 	loc := cpu.loc
 	if cpu.isStore {
+		if t.k.Tracing() {
+			t.k.Trace(traceComponent, "resp store", uint64(loc.addr))
+		}
 		loc.writer = -1
 		loc.value = cpu.stval
 	} else {
+		if t.k.Tracing() {
+			t.k.Trace(traceComponent, "resp load", uint64(loc.addr))
+		}
 		loc.readers--
 		if resp.Data != loc.value {
+			if t.k.Tracing() {
+				t.k.Trace(traceComponent, "fail value-mismatch", uint64(loc.addr))
+			}
 			t.failures = append(t.failures, &Failure{
 				Tick: resp.Tick, Addr: loc.addr, CPU: cpu.id,
 				Expected: loc.value, Got: resp.Data,
@@ -273,6 +296,9 @@ func (t *Tester) heartbeat() {
 				return
 			}
 			t.deadlockSeen = true
+			if t.k.Tracing() {
+				t.k.Trace(traceComponent, "fail deadlock", uint64(r.Addr))
+			}
 			t.failures = append(t.failures, &Failure{
 				Tick: now, Addr: r.Addr, CPU: r.CUID, Deadlock: true,
 				Message: fmt.Sprintf("no forward progress: %s outstanding for %d ticks", r, now-r.IssueTick),

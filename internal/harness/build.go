@@ -14,8 +14,28 @@ import (
 	"drftest/internal/moesi"
 	"drftest/internal/protocol"
 	"drftest/internal/sim"
+	"drftest/internal/trace"
 	"drftest/internal/viper"
 )
+
+// traced wraps the coverage collector in a trace.Recorder bound to k,
+// so every protocol transition is mirrored into the kernel's execution
+// trace whenever one is attached (see EnableTrace). With no tracer the
+// wrapper only costs a nil-check per transition.
+func traced(k *sim.Kernel, col *coverage.Collector, specs ...*protocol.Spec) protocol.Recorder {
+	return trace.NewRecorder(k, col, specs...)
+}
+
+// EnableTrace attaches a bounded execution trace to k and returns the
+// ring. Capacity <= 0 uses DefaultTraceCapacity.
+func EnableTrace(k *sim.Kernel, capacity int) *trace.Ring {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	r := trace.NewRing(capacity)
+	k.SetTracer(r)
+	return r
+}
 
 // GPUBuild is a GPU-only system ready for a tester or workload.
 type GPUBuild struct {
@@ -29,7 +49,8 @@ type GPUBuild struct {
 func BuildGPU(cfg viper.Config) *GPUBuild {
 	k := sim.NewKernel()
 	col := coverage.NewCollector(viper.NewTCPSpec(), viper.NewTCCSpec(), viper.NewTCCWBSpec())
-	sys := viper.NewSystem(k, cfg, col)
+	rec := traced(k, col, viper.NewTCPSpec(), viper.NewTCCSpec(), viper.NewTCCWBSpec())
+	sys := viper.NewSystem(k, cfg, rec)
 	return &GPUBuild{K: k, Sys: sys, Col: col}
 }
 
@@ -54,13 +75,14 @@ type CPUBuild struct {
 func BuildCPU(numCPUs int, cacheCfg cache.Config) *CPUBuild {
 	k := sim.NewKernel()
 	col := coverage.NewCollector(moesi.NewCPUSpec(), directory.NewSpec())
+	rec := traced(k, col, moesi.NewCPUSpec(), directory.NewSpec())
 	store := mem.NewStore()
 	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store)
-	dir := directory.New(k, col, nil, ctrl, cacheCfg.LineSize)
+	dir := directory.New(k, rec, nil, ctrl, cacheCfg.LineSize)
 	spec := moesi.NewCPUSpec()
 	caches := make([]*moesi.Cache, numCPUs)
 	for i := range caches {
-		caches[i] = moesi.NewCache(k, spec, col, nil, cacheCfg, dir)
+		caches[i] = moesi.NewCache(k, spec, rec, nil, cacheCfg, dir)
 	}
 	return &CPUBuild{K: k, Caches: caches, Dir: dir, Store: store, Col: col}
 }
@@ -87,16 +109,20 @@ func BuildHetero(gpuCfg viper.Config, numCPUs int, cpuCache cache.Config) *Heter
 		viper.NewTCPSpec(), viper.NewTCCSpec(),
 		moesi.NewCPUSpec(), directory.NewSpec(),
 	)
+	rec := traced(k, col,
+		viper.NewTCPSpec(), viper.NewTCCSpec(),
+		moesi.NewCPUSpec(), directory.NewSpec(),
+	)
 	store := mem.NewStore()
 	ctrl := memctrl.New(k, gpuCfg.Mem, store)
-	dir := directory.New(k, col, nil, ctrl, gpuCfg.L1.LineSize)
-	gpu := viper.NewSystemWithBackend(k, gpuCfg, col, dir)
+	dir := directory.New(k, rec, nil, ctrl, gpuCfg.L1.LineSize)
+	gpu := viper.NewSystemWithBackend(k, gpuCfg, rec, dir)
 	dir.AttachGPU(gpu)
 
 	spec := moesi.NewCPUSpec()
 	caches := make([]*moesi.Cache, numCPUs)
 	for i := range caches {
-		caches[i] = moesi.NewCache(k, spec, col, nil, cpuCache, dir)
+		caches[i] = moesi.NewCache(k, spec, rec, nil, cpuCache, dir)
 	}
 	return &HeteroBuild{
 		K: k, GPU: gpu, Caches: caches, Dir: dir,

@@ -136,6 +136,18 @@ func (o AppSuiteOptions) withDefaults() AppSuiteOptions {
 	return o
 }
 
+// scaleProfile shortens a profile's per-lane op count by the suite's
+// Scale factor, clamped to a useful minimum. It is the single scaling
+// rule shared by the serial and parallel suite runners, so the two
+// cannot drift apart.
+func scaleProfile(p apps.Profile, scale float64) apps.Profile {
+	p.MemOpsPerLane = int(float64(p.MemOpsPerLane) * scale)
+	if p.MemOpsPerLane < 10 {
+		p.MemOpsPerLane = 10
+	}
+	return p
+}
+
 // RunAppSuite executes the application suite on the heterogeneous
 // system (GPU over the shared directory, host CPU traffic, DMA staging
 // — the paper's application-based testing setup).
@@ -147,12 +159,7 @@ func RunAppSuite(opts AppSuiteOptions) *AppSuiteResult {
 		UnionDir: coverage.NewMatrix(directory.NewSpec()),
 	}
 	for i, prof := range opts.Profiles {
-		p := prof
-		p.MemOpsPerLane = int(float64(p.MemOpsPerLane) * opts.Scale)
-		if p.MemOpsPerLane < 10 {
-			p.MemOpsPerLane = 10
-		}
-		r := runOneApp(p, opts, opts.Seed+uint64(i))
+		r := runOneApp(scaleProfile(prof, opts.Scale), opts, opts.Seed+uint64(i))
 		out.Runs = append(out.Runs, r)
 		out.UnionL1.Merge(r.L1)
 		out.UnionL2.Merge(r.L2)

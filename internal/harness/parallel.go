@@ -57,12 +57,7 @@ func RunAppSuiteParallel(opts AppSuiteOptions, workers int) *AppSuiteResult {
 	opts = opts.withDefaults()
 	results := make([]*AppRunResult, len(opts.Profiles))
 	parallelDo(len(opts.Profiles), workers, func(i int) {
-		p := opts.Profiles[i]
-		p.MemOpsPerLane = int(float64(p.MemOpsPerLane) * opts.Scale)
-		if p.MemOpsPerLane < 10 {
-			p.MemOpsPerLane = 10
-		}
-		results[i] = runOneApp(p, opts, opts.Seed+uint64(i))
+		results[i] = runOneApp(scaleProfile(opts.Profiles[i], opts.Scale), opts, opts.Seed+uint64(i))
 	})
 
 	out := &AppSuiteResult{

@@ -36,6 +36,11 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelAppSuiteMatchesSerial: for the same seeds, the parallel
+// app suite must be bit-identical to the serial one — same per-run
+// event counts and identical union coverage matrices, cell for cell.
+// This pins the shared scaleProfile path: any drift between the serial
+// and parallel profile scaling shows up as an event-count mismatch.
 func TestParallelAppSuiteMatchesSerial(t *testing.T) {
 	opts := AppSuiteOptions{Seed: 3, Scale: 0.05, NumWFs: 4,
 		Profiles: []apps.Profile{*apps.ByName("Square"), *apps.ByName("CM"), *apps.ByName("FFT")}}
@@ -44,8 +49,32 @@ func TestParallelAppSuiteMatchesSerial(t *testing.T) {
 	if serial.TotalEvents != par.TotalEvents || serial.Faults != par.Faults {
 		t.Fatalf("parallel app suite diverged: %d vs %d events", serial.TotalEvents, par.TotalEvents)
 	}
-	if serial.UnionDirSum.Active != par.UnionDirSum.Active {
-		t.Fatalf("directory unions differ: %d vs %d", serial.UnionDirSum.Active, par.UnionDirSum.Active)
+	if len(serial.Runs) != len(par.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial.Runs), len(par.Runs))
+	}
+	for i := range serial.Runs {
+		s, p := serial.Runs[i], par.Runs[i]
+		if s.Res.Events != p.Res.Events || s.Res.MemOps != p.Res.MemOps || s.Res.Faults != p.Res.Faults {
+			t.Fatalf("run %d diverged: events %d vs %d, memops %d vs %d",
+				i, s.Res.Events, p.Res.Events, s.Res.MemOps, p.Res.MemOps)
+		}
+		if s.L1Sum != p.L1Sum || s.L2Sum != p.L2Sum {
+			t.Fatalf("run %d coverage summaries diverged", i)
+		}
+	}
+	for name, pair := range map[string][2][][]uint64{
+		"L1":  {serial.UnionL1.Hits, par.UnionL1.Hits},
+		"L2":  {serial.UnionL2.Hits, par.UnionL2.Hits},
+		"Dir": {serial.UnionDir.Hits, par.UnionDir.Hits},
+	} {
+		for i := range pair[0] {
+			for j := range pair[0][i] {
+				if pair[0][i][j] != pair[1][i][j] {
+					t.Fatalf("%s union cell (%d,%d) differs: %d vs %d",
+						name, i, j, pair[0][i][j], pair[1][i][j])
+				}
+			}
+		}
 	}
 }
 

@@ -28,6 +28,11 @@ func New(seed, seq uint64) *PCG {
 	return p
 }
 
+// State returns the generator's internal state and stream increment.
+// Replay artifacts embed it so a reproduced run can be checked to have
+// consumed the exact same randomness as the failing one.
+func (p *PCG) State() (state, inc uint64) { return p.state, p.inc }
+
 // Split derives a new independent generator from p. The derived stream
 // is a pure function of p's current state, so splitting is itself
 // deterministic.

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"drftest/internal/trace"
+)
+
+// benchmarkEventLoop drives a self-rescheduling event chain — the
+// kernel's hot path — with one registered poller, the shape of a real
+// tester run (heartbeat poller + request/response events).
+func benchmarkEventLoop(b *testing.B, k *Kernel) {
+	polls := 0
+	k.AddPoller(1000, func() { polls++ })
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			k.Schedule(1, step)
+		}
+	}
+	k.Schedule(1, step)
+	b.ResetTimer()
+	k.RunUntilIdle()
+	if n != b.N {
+		b.Fatalf("ran %d of %d events", n, b.N)
+	}
+}
+
+// BenchmarkEventLoop measures the event loop with tracing disabled
+// (the default); it is the baseline the tracing subsystem must stay
+// within 2% of.
+func BenchmarkEventLoop(b *testing.B) {
+	benchmarkEventLoop(b, NewKernel())
+}
+
+// BenchmarkEventLoopTracing measures the loop with an attached ring
+// and one trace entry recorded per event — the enabled-tracing cost.
+func BenchmarkEventLoopTracing(b *testing.B) {
+	k := NewKernel()
+	k.SetTracer(trace.NewRing(4096))
+	polls := 0
+	k.AddPoller(1000, func() { polls++ })
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		k.Trace("bench", "step", uint64(n))
+		if n < b.N {
+			k.Schedule(1, step)
+		}
+	}
+	k.Schedule(1, step)
+	b.ResetTimer()
+	k.RunUntilIdle()
+}

@@ -11,6 +11,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"drftest/internal/trace"
 )
 
 // Tick is the simulated time unit. One tick is one clock cycle of the
@@ -47,17 +49,24 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// poller is one periodic service with its own cadence.
+type poller struct {
+	period Tick
+	next   Tick
+	fn     func()
+}
+
 // Kernel is a single-threaded discrete-event scheduler. The zero value
 // is ready to use.
 type Kernel struct {
-	pq        eventHeap
-	now       Tick
-	seq       uint64
-	executed  uint64
-	stopped   bool
-	pollers   []func()
-	pollEvery Tick
-	pollNext  Tick
+	pq       eventHeap
+	now      Tick
+	seq      uint64
+	executed uint64
+	stopped  bool
+	pollers  []poller
+	pollNext Tick // min over pollers' next-due ticks
+	tracer   *trace.Ring
 }
 
 // NewKernel returns a fresh kernel at tick zero.
@@ -95,28 +104,39 @@ func (k *Kernel) ScheduleAt(when Tick, fn func()) {
 
 // AddPoller registers fn to run every period ticks while the simulation
 // has work. Pollers implement periodic services such as the tester's
-// forward-progress (deadlock) scan.
+// forward-progress (deadlock) scan. Each poller keeps its own cadence:
+// registering a fast poller does not make a slow one fire faster.
 func (k *Kernel) AddPoller(period Tick, fn func()) {
 	if period == 0 {
 		panic("sim: poller with zero period")
 	}
-	k.pollers = append(k.pollers, fn)
-	if k.pollEvery == 0 || period < k.pollEvery {
-		k.pollEvery = period
+	if fn == nil {
+		panic("sim: AddPoller with nil fn")
 	}
+	p := poller{period: period, next: k.now, fn: fn}
+	if len(k.pollers) == 0 || p.next < k.pollNext {
+		k.pollNext = p.next
+	}
+	k.pollers = append(k.pollers, p)
 }
 
 // Stop makes the current Run call return after the in-flight event
 // completes. It is how checkers abort a simulation on a detected bug.
+// The flag is sticky: later Run calls return immediately until
+// ClearStop, so a Stop issued between phases is never lost.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
+// ClearStop re-arms a stopped kernel so a subsequent Run proceeds.
+func (k *Kernel) ClearStop() { k.stopped = false }
+
 // Run executes events in order until the queue drains, the horizon is
 // passed, or Stop is called. It returns the tick at which it stopped.
+// A pre-set stop flag (a Stop issued outside any Run, e.g. by a
+// checker during drain or setup) makes Run return immediately.
 func (k *Kernel) Run(until Tick) Tick {
-	k.stopped = false
 	for len(k.pq) > 0 && !k.stopped {
 		e := k.pq[0]
 		if e.when > until {
@@ -137,11 +157,40 @@ func (k *Kernel) Run(until Tick) Tick {
 func (k *Kernel) RunUntilIdle() Tick { return k.Run(MaxTick) }
 
 func (k *Kernel) firePollers() {
-	if k.pollEvery == 0 || k.now < k.pollNext {
+	if len(k.pollers) == 0 || k.now < k.pollNext {
 		return
 	}
-	k.pollNext = k.now + k.pollEvery
-	for _, p := range k.pollers {
-		p()
+	next := MaxTick
+	for i := range k.pollers {
+		p := &k.pollers[i]
+		if k.now >= p.next {
+			p.next = k.now + p.period
+			p.fn()
+		}
+		if p.next < next {
+			next = p.next
+		}
 	}
+	k.pollNext = next
+}
+
+// SetTracer attaches ring as the kernel's execution trace (nil, or a
+// zero-capacity ring, disables tracing). The kernel stamps entries
+// with its current tick; components record through Trace.
+func (k *Kernel) SetTracer(r *trace.Ring) { k.tracer = r }
+
+// Tracer returns the attached trace ring, which may be nil.
+func (k *Kernel) Tracer() *trace.Ring { return k.tracer }
+
+// Tracing reports whether trace entries are being recorded. Components
+// check it before building labels so tracing is free when disabled.
+func (k *Kernel) Tracing() bool { return k.tracer.Enabled() }
+
+// Trace records one event at the current tick. It is a no-op without
+// an enabled tracer.
+func (k *Kernel) Trace(component, label string, addr uint64) {
+	if k.tracer == nil {
+		return
+	}
+	k.tracer.Append(uint64(k.now), component, label, addr)
 }

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"drftest/internal/trace"
 )
 
 func TestRunsInTimeOrder(t *testing.T) {
@@ -129,6 +131,81 @@ func TestPollerFiresPeriodically(t *testing.T) {
 	k.RunUntilIdle()
 	if polls < 9 || polls > 12 {
 		t.Fatalf("poller fired %d times over 100 ticks at period 10", polls)
+	}
+}
+
+// TestPollersKeepOwnPeriods: two pollers registered with different
+// periods each fire at their own cadence (regression: firePollers used
+// to run every poller at the minimum registered period).
+func TestPollersKeepOwnPeriods(t *testing.T) {
+	k := NewKernel()
+	fast, slow := 0, 0
+	k.AddPoller(10, func() { fast++ })
+	k.AddPoller(30, func() { slow++ })
+	for i := Tick(0); i <= 300; i += 5 {
+		k.Schedule(i, func() {})
+	}
+	k.RunUntilIdle()
+	// Events land on every multiple of 5 in [0, 300], so the pollers
+	// fire exactly at multiples of their own periods.
+	if fast != 31 {
+		t.Fatalf("period-10 poller fired %d times over 300 ticks, want 31", fast)
+	}
+	if slow != 11 {
+		t.Fatalf("period-30 poller fired %d times over 300 ticks, want 11", slow)
+	}
+}
+
+// TestStopBeforeRunHonored: a Stop issued between Run calls must not
+// be discarded (regression: Run reset the flag on entry).
+func TestStopBeforeRunHonored(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(1, func() { fired++ })
+	k.Stop()
+	if got := k.Run(MaxTick); got != 0 {
+		t.Fatalf("stopped Run advanced time to %d", got)
+	}
+	if fired != 0 || k.Pending() != 1 {
+		t.Fatalf("stopped Run executed events (fired=%d pending=%d)", fired, k.Pending())
+	}
+	if !k.Stopped() {
+		t.Fatal("stop flag lost across Run")
+	}
+	k.ClearStop()
+	k.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("ClearStop did not re-arm the kernel (fired=%d)", fired)
+	}
+}
+
+func TestKernelTrace(t *testing.T) {
+	k := NewKernel()
+	if k.Tracing() {
+		t.Fatal("fresh kernel reports tracing enabled")
+	}
+	k.Trace("c", "before-tracer", 0) // must not panic with nil tracer
+
+	ring := k.Tracer()
+	if ring != nil {
+		t.Fatal("fresh kernel has a tracer")
+	}
+	k.SetTracer(nil)
+	k.Schedule(7, func() { k.Trace("comp", "ev", 0x40) })
+	k.RunUntilIdle()
+
+	k2 := NewKernel()
+	r := trace.NewRing(8)
+	k2.SetTracer(r)
+	if !k2.Tracing() {
+		t.Fatal("tracing not enabled after SetTracer")
+	}
+	k2.Schedule(7, func() { k2.Trace("comp", "ev", 0x40) })
+	k2.RunUntilIdle()
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].Tick != 7 || got[0].Seq != 1 ||
+		got[0].Component != "comp" || got[0].Label != "ev" || got[0].Addr != 0x40 {
+		t.Fatalf("trace recorded %+v", got)
 	}
 }
 

@@ -1,0 +1,60 @@
+package trace
+
+import "drftest/internal/protocol"
+
+// Sink receives trace events. *sim.Kernel implements it; the
+// indirection keeps this package free of a dependency on sim (which
+// itself depends on the Ring).
+type Sink interface {
+	// Tracing reports whether events are being recorded; callers use
+	// it to skip label construction entirely when tracing is off.
+	Tracing() bool
+	// Trace records one event at the sink's current time.
+	Trace(component, label string, addr uint64)
+}
+
+// Recorder wires the protocol engine into the trace: it implements
+// protocol.Recorder, forwards every fired transition to the wrapped
+// recorder (normally the coverage collector), and — only while the
+// sink is tracing — appends a "State×Event" entry for the machine.
+// Transition labels are precomputed per spec so the hot path does no
+// string building.
+type Recorder struct {
+	sink   Sink
+	next   protocol.Recorder
+	labels map[string][][]string // machine name → [state][event] label
+}
+
+// NewRecorder builds a Recorder over sink that forwards to next (which
+// may be nil) and can label transitions of the given specs. Machines
+// whose spec is not listed are forwarded but not traced.
+func NewRecorder(sink Sink, next protocol.Recorder, specs ...*protocol.Spec) *Recorder {
+	r := &Recorder{sink: sink, next: next, labels: make(map[string][][]string)}
+	for _, s := range specs {
+		if _, dup := r.labels[s.Name]; dup {
+			continue
+		}
+		tbl := make([][]string, len(s.States))
+		for i, st := range s.States {
+			tbl[i] = make([]string, len(s.Events))
+			for j, ev := range s.Events {
+				tbl[i][j] = st + "×" + ev
+			}
+		}
+		r.labels[s.Name] = tbl
+	}
+	return r
+}
+
+// Record implements protocol.Recorder.
+func (r *Recorder) Record(machine string, state, event int, kind protocol.Kind) {
+	if r.next != nil {
+		r.next.Record(machine, state, event, kind)
+	}
+	if !r.sink.Tracing() {
+		return
+	}
+	if tbl, ok := r.labels[machine]; ok {
+		r.sink.Trace(machine, tbl[state][event], 0)
+	}
+}

@@ -1,0 +1,111 @@
+// Package trace provides the bounded execution trace behind the
+// failure-replay workflow: a fixed-capacity ring buffer of simulation
+// events (tick, sequence number, component, label, address) that the
+// sim kernel records into and that replay artifacts embed.
+//
+// The trace exists for one reason: when a checker flags a coherence
+// violation, the harness must be able to serialize *what just
+// happened* alongside the seed and configuration, so the failing run
+// can be re-executed and the protocol bug debugged (paper §V). The
+// ring is bounded so tracing is usable on arbitrarily long soak runs,
+// and a zero-capacity ring is a no-op so tracing costs nothing when
+// disabled.
+package trace
+
+// Entry is one recorded simulation event.
+type Entry struct {
+	// Tick is the simulated time the event was recorded at.
+	Tick uint64 `json:"tick"`
+	// Seq is the entry's position in the whole recorded stream,
+	// starting at 1; it totally orders entries within a tick.
+	Seq uint64 `json:"seq"`
+	// Component names the recording component ("gpu-tester", "GPU-L1",
+	// "Directory", ...).
+	Component string `json:"component"`
+	// Label describes the event: an op ("issue load"), a protocol
+	// transition ("V×Load"), or a failure ("fail value-mismatch").
+	Label string `json:"label"`
+	// Addr is the memory address involved, or 0 when the layer that
+	// recorded the entry does not know one (protocol transitions).
+	Addr uint64 `json:"addr"`
+}
+
+// Ring is a bounded event trace. A nil Ring and a Ring with capacity
+// zero are both valid, permanently disabled traces: Append is a no-op.
+type Ring struct {
+	buf   []Entry
+	total uint64
+}
+
+// NewRing returns a trace holding the last capacity entries.
+// Capacity <= 0 returns a disabled ring.
+func NewRing(capacity int) *Ring {
+	r := &Ring{}
+	if capacity > 0 {
+		r.buf = make([]Entry, capacity)
+	}
+	return r
+}
+
+// Enabled reports whether Append records anything.
+func (r *Ring) Enabled() bool { return r != nil && len(r.buf) > 0 }
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total returns how many entries were ever appended, including those
+// already overwritten.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Len returns how many entries the ring currently holds.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Append records one entry, assigning it the next sequence number.
+func (r *Ring) Append(tick uint64, component, label string, addr uint64) {
+	if !r.Enabled() {
+		return
+	}
+	r.total++
+	r.buf[int((r.total-1)%uint64(len(r.buf)))] = Entry{
+		Tick: tick, Seq: r.total, Component: component, Label: label, Addr: addr,
+	}
+}
+
+// Last returns the most recent n entries, oldest first. It returns
+// fewer when the ring holds fewer.
+func (r *Ring) Last(n int) []Entry {
+	held := r.Len()
+	if n > held {
+		n = held
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Entry, 0, n)
+	c := uint64(len(r.buf))
+	for i := r.total - uint64(n); i < r.total; i++ {
+		out = append(out, r.buf[int(i%c)])
+	}
+	return out
+}
+
+// Snapshot returns every held entry, oldest first.
+func (r *Ring) Snapshot() []Entry { return r.Last(r.Len()) }

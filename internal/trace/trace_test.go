@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drftest/internal/protocol"
+)
+
+func TestDisabledRing(t *testing.T) {
+	for _, r := range []*Ring{nil, NewRing(0), NewRing(-3), {}} {
+		if r.Enabled() {
+			t.Fatal("zero-capacity ring reports enabled")
+		}
+		r.Append(1, "c", "l", 2)
+		if r.Len() != 0 || r.Total() != 0 || r.Last(5) != nil || r.Snapshot() != nil {
+			t.Fatal("disabled ring recorded an entry")
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Append(uint64(i*10), "c", "l", uint64(i))
+	}
+	if r.Len() != 4 || r.Total() != 10 || r.Cap() != 4 {
+		t.Fatalf("len=%d total=%d cap=%d, want 4/10/4", r.Len(), r.Total(), r.Cap())
+	}
+	got := r.Snapshot()
+	for i, e := range got {
+		want := uint64(7 + i) // entries 7..10 survive
+		if e.Seq != want || e.Addr != want || e.Tick != want*10 {
+			t.Fatalf("entry %d = %+v, want seq/addr %d", i, e, want)
+		}
+	}
+}
+
+func TestRingLastOrdering(t *testing.T) {
+	r := NewRing(8)
+	for i := 1; i <= 5; i++ {
+		r.Append(uint64(i), "c", "l", 0)
+	}
+	last := r.Last(3)
+	if len(last) != 3 || last[0].Seq != 3 || last[2].Seq != 5 {
+		t.Fatalf("Last(3) = %+v", last)
+	}
+	if got := r.Last(99); len(got) != 5 {
+		t.Fatalf("Last(99) returned %d entries, want all 5", len(got))
+	}
+	if r.Last(0) != nil || r.Last(-1) != nil {
+		t.Fatal("Last with n<=0 must return nil")
+	}
+}
+
+// TestRingProperty: for any capacity and append count, the ring holds
+// the newest min(appends, capacity) entries with consecutive sequence
+// numbers ending at the total, oldest first.
+func TestRingProperty(t *testing.T) {
+	err := quick.Check(func(capRaw uint8, appends uint16) bool {
+		capacity := int(capRaw % 33) // 0..32, including disabled
+		r := NewRing(capacity)
+		n := int(appends % 200)
+		for i := 1; i <= n; i++ {
+			r.Append(uint64(i), "c", "l", uint64(i))
+		}
+		if capacity == 0 {
+			return r.Len() == 0 && r.Total() == 0
+		}
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		got := r.Snapshot()
+		if len(got) != want || r.Total() != uint64(n) {
+			return false
+		}
+		for i, e := range got {
+			wantSeq := uint64(n - want + 1 + i)
+			if e.Seq != wantSeq || e.Addr != wantSeq || e.Tick != wantSeq {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzRing drives the same invariants from fuzzed (capacity, count)
+// pairs, including the wraparound boundary cases.
+func FuzzRing(f *testing.F) {
+	f.Add(0, 10)
+	f.Add(1, 1)
+	f.Add(4, 4)
+	f.Add(4, 5)
+	f.Add(16, 1000)
+	f.Fuzz(func(t *testing.T, capacity, n int) {
+		if capacity > 1<<12 || n > 1<<14 || n < 0 {
+			t.Skip()
+		}
+		r := NewRing(capacity)
+		for i := 1; i <= n; i++ {
+			r.Append(uint64(i), "c", "l", uint64(i))
+		}
+		if capacity <= 0 {
+			if r.Enabled() || r.Len() != 0 {
+				t.Fatal("disabled ring held entries")
+			}
+			return
+		}
+		if r.Total() != uint64(n) {
+			t.Fatalf("total=%d want %d", r.Total(), n)
+		}
+		got := r.Snapshot()
+		for i := 1; i < len(got); i++ {
+			if got[i].Seq != got[i-1].Seq+1 {
+				t.Fatalf("non-consecutive seqs at %d: %d after %d", i, got[i].Seq, got[i-1].Seq)
+			}
+		}
+		if len(got) > 0 && got[len(got)-1].Seq != uint64(n) {
+			t.Fatalf("newest seq %d, want %d", got[len(got)-1].Seq, n)
+		}
+	})
+}
+
+// fakeSink collects Trace calls for recorder tests.
+type fakeSink struct {
+	on      bool
+	entries []Entry
+}
+
+func (s *fakeSink) Tracing() bool { return s.on }
+func (s *fakeSink) Trace(component, label string, addr uint64) {
+	s.entries = append(s.entries, Entry{Component: component, Label: label, Addr: addr})
+}
+
+type countRecorder struct{ n int }
+
+func (c *countRecorder) Record(string, int, int, protocol.Kind) { c.n++ }
+
+func TestRecorderLabelsAndForwards(t *testing.T) {
+	spec := protocol.NewSpec("M", []string{"I", "V"}, []string{"Load", "Evict"})
+	spec.Trans(0, 0, 1, "fill")
+	next := &countRecorder{}
+	sink := &fakeSink{on: true}
+	rec := NewRecorder(sink, next, spec)
+
+	m := protocol.NewMachine(spec, rec)
+	m.Fire(0, 0)
+	if next.n != 1 {
+		t.Fatalf("wrapped recorder saw %d records, want 1", next.n)
+	}
+	if len(sink.entries) != 1 || sink.entries[0].Label != "I×Load" || sink.entries[0].Component != "M" {
+		t.Fatalf("trace entries = %+v", sink.entries)
+	}
+
+	// Unknown machines forward but do not trace; a quiet sink records
+	// nothing.
+	rec.Record("other", 0, 0, protocol.Defined)
+	if next.n != 2 || len(sink.entries) != 1 {
+		t.Fatalf("unknown machine handling wrong: next=%d entries=%d", next.n, len(sink.entries))
+	}
+	sink.on = false
+	m.Fire(0, 0)
+	if next.n != 3 || len(sink.entries) != 1 {
+		t.Fatal("recorder traced while sink was off")
+	}
+}
