@@ -32,7 +32,16 @@ func main() {
 	grid := flag.Bool("grid", false, "print directory classification grid")
 	artifactDir := flag.String("artifact-dir", "", "write a failure-replay artifact (JSON) into this directory on any detected bug")
 	traceDepth := flag.Int("trace-depth", harness.DefaultTraceCapacity, "execution-trace ring capacity used with -artifact-dir")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	flag.Parse()
+
+	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	cacheCfg := harness.DefaultCPUCache
 	if *caches == "large" {
@@ -80,6 +89,7 @@ func main() {
 		if artifactPath != "" {
 			fmt.Printf("replay artifact written to %s (re-run with: replay %s)\n", artifactPath, artifactPath)
 		}
+		stopProf()
 		os.Exit(1)
 	}
 	fmt.Println("PASS: no coherence violations detected")

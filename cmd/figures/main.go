@@ -34,7 +34,16 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master random seed")
 	out := flag.String("out", "", "output file (default stdout)")
 	workers := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	flag.Parse()
+
+	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {

@@ -53,7 +53,23 @@ func main() {
 	axioms := flag.Bool("axiomcheck", false, "record the full trace and re-verify it with the independent axiomatic checker")
 	artifactDir := flag.String("artifact-dir", "", "write a failure-replay artifact (JSON) into this directory on any detected bug")
 	traceDepth := flag.Int("trace-depth", harness.DefaultTraceCapacity, "execution-trace ring capacity used with -artifact-dir")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	flag.Parse()
+
+	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
+	// exit flushes the profiles before terminating: os.Exit skips
+	// deferred calls, and a failing run is exactly the one worth
+	// profiling.
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
 
 	var sysCfg viper.Config
 	switch *caches {
@@ -128,7 +144,7 @@ func main() {
 	if *jsonOut {
 		emitJSON(sysCfg, cfg, rep, col, artifactPath)
 		if !rep.Passed() {
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -196,7 +212,7 @@ func main() {
 		if artifactPath != "" {
 			fmt.Printf("replay artifact written to %s (re-run with: replay %s)\n", artifactPath, artifactPath)
 		}
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Println("PASS: no coherence violations detected")
 }

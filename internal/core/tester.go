@@ -80,6 +80,9 @@ type wavefront struct {
 	threads     []*thread
 	outstanding int
 	finished    bool
+	// issueFn is the wavefront's pre-bound next-round closure, built
+	// once at construction so per-round scheduling never allocates.
+	issueFn func()
 }
 
 // Tester is the autonomous DRF GPU tester: it generates wavefronts of
@@ -108,6 +111,14 @@ type Tester struct {
 	storeValue    uint32
 	finishedWFs   int
 	done          bool
+
+	// reqSlab hands out requests in chunks so the issue path pays one
+	// allocation per reqSlabSize ops instead of one per op; heartbeatFn
+	// is the pre-bound poller closure; epFree recycles retired episodes
+	// (their maps and op slices) for the next generation.
+	reqSlab     []mem.Request
+	heartbeatFn func()
+	epFree      []*episode
 
 	// stats
 	opsIssued, opsCompleted, episodesRetired uint64
@@ -148,6 +159,7 @@ func NewMulti(k *sim.Kernel, systems []*viper.System, cfg Config) *Tester {
 	numCUs := len(t.seqs)
 	for w := 0; w < cfg.NumWavefronts; w++ {
 		wf := &wavefront{id: w, cu: w % numCUs}
+		wf.issueFn = func() { t.issueRound(wf) }
 		for l := 0; l < cfg.ThreadsPerWF; l++ {
 			thr := &thread{id: len(t.threads), wf: w, lane: l}
 			t.threads = append(t.threads, thr)
@@ -155,6 +167,7 @@ func NewMulti(k *sim.Kernel, systems []*viper.System, cfg Config) *Tester {
 		}
 		t.wfs = append(t.wfs, wf)
 	}
+	t.heartbeatFn = t.heartbeat
 	for _, seq := range t.seqs {
 		seq.SetClient(t)
 	}
@@ -187,10 +200,9 @@ func (t *Tester) Trace() *checker.Trace {
 // forward-progress heartbeat.
 func (t *Tester) Start() {
 	for _, wf := range t.wfs {
-		wf := wf
-		t.k.Schedule(0, func() { t.issueRound(wf) })
+		t.k.Schedule(0, wf.issueFn)
 	}
-	t.k.Schedule(t.cfg.CheckPeriod, t.heartbeat)
+	t.k.Schedule(t.cfg.CheckPeriod, t.heartbeatFn)
 }
 
 // Run executes the whole test: start, simulate to completion, final
@@ -233,9 +245,19 @@ func (t *Tester) issueRound(wf *wavefront) {
 	}
 }
 
+// reqSlabSize is the request-arena chunk length. Chunks stay reachable
+// while any of their requests is in flight, so larger chunks trade a
+// little retention for fewer allocations.
+const reqSlabSize = 256
+
 func (t *Tester) issueOp(wf *wavefront, thr *thread, op genOp) {
 	t.nextReqID++
-	req := &mem.Request{
+	if len(t.reqSlab) == 0 {
+		t.reqSlab = make([]mem.Request, reqSlabSize)
+	}
+	req := &t.reqSlab[0]
+	t.reqSlab = t.reqSlab[1:]
+	*req = mem.Request{
 		ID:        t.nextReqID,
 		Addr:      op.v.addr,
 		ThreadID:  thr.id,
@@ -280,19 +302,35 @@ func (t *Tester) issueOp(wf *wavefront, thr *thread, op genOp) {
 // rules against every live episode.
 func (t *Tester) newEpisode() *episode {
 	t.nextEpisodeID++
-	ep := &episode{
-		id:     t.nextEpisodeID,
-		sync:   t.space.syncVars[t.rnd.Intn(len(t.space.syncVars))],
-		writes: make(map[int]uint32),
-		claims: make(map[int]*variable),
+	var ep *episode
+	if n := len(t.epFree); n > 0 {
+		ep = t.epFree[n-1]
+		t.epFree = t.epFree[:n-1]
+		clear(ep.writes)
+		clear(ep.claims)
+		*ep = episode{
+			writes:     ep.writes,
+			claims:     ep.claims,
+			ops:        ep.ops[:0],
+			claimOrder: ep.claimOrder[:0],
+		}
+	} else {
+		ep = &episode{
+			writes: make(map[int]uint32),
+			claims: make(map[int]*variable),
+		}
 	}
+	ep.id = t.nextEpisodeID
+	ep.sync = t.space.syncVars[t.rnd.Intn(len(t.space.syncVars))]
 	t.genSeq++
 	ep.createSeq = t.genSeq
 	if t.trace != nil {
 		t.epMeta[ep.id] = &checker.EpisodeMeta{ID: ep.id, CreateSeq: ep.createSeq}
 	}
 	n := t.cfg.ActionsPerEpisode
-	ep.ops = make([]genOp, 0, n)
+	if cap(ep.ops) < n {
+		ep.ops = make([]genOp, 0, n)
+	}
 	ep.ops = append(ep.ops, genOp{kind: opAcquire, v: ep.sync})
 	for i := 0; i < n-2; i++ {
 		ep.ops = append(ep.ops, t.genDataOp(ep))
@@ -400,7 +438,7 @@ func (t *Tester) HandleResponse(resp *mem.Response) {
 
 	wf.outstanding--
 	if wf.outstanding == 0 && !t.k.Stopped() {
-		t.k.Schedule(1, func() { t.issueRound(wf) })
+		t.k.Schedule(1, wf.issueFn)
 	}
 }
 

@@ -57,6 +57,16 @@ func (v *variable) canLoad(eps uint64) bool {
 	return v.writer == 0 || v.writer == eps
 }
 
+// ensureReaders lazily allocates the reader-claim map. Most data
+// variables in a large address space are never claimed, so the map is
+// built on first claim instead of at address-space construction.
+func (v *variable) ensureReaders() map[uint64]struct{} {
+	if v.readers == nil {
+		v.readers = make(map[uint64]struct{})
+	}
+	return v.readers
+}
+
 // canStore reports whether episode eps may generate a store of v: no
 // other live episode may be loading or storing it.
 func (v *variable) canStore(eps uint64) bool {
@@ -71,7 +81,7 @@ func (v *variable) canStore(eps uint64) bool {
 	return true
 }
 
-func (v *variable) claimRead(eps uint64)  { v.readers[eps] = struct{}{} }
+func (v *variable) claimRead(eps uint64)  { v.ensureReaders()[eps] = struct{}{} }
 func (v *variable) claimWrite(eps uint64) { v.writer = eps }
 
 func (v *variable) release(eps uint64) {
@@ -112,14 +122,16 @@ func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *a
 	}
 	// The first numSync sampled slots become sync variables; sampling
 	// order is random, so sync variables scatter across the range.
+	// Variables live in one slab: a 100k-variable space costs one
+	// allocation, not 100k, and reader-claim maps are built lazily on
+	// first claim (ensureReaders).
 	sp := &addressSpace{byAddr: make(map[mem.Addr]*variable, total)}
+	slab := make([]variable, total)
 	for i, a := range addrs {
-		v := &variable{
-			id:      i,
-			sync:    i < numSync,
-			addr:    a,
-			readers: make(map[uint64]struct{}),
-		}
+		v := &slab[i]
+		v.id = i
+		v.sync = i < numSync
+		v.addr = a
 		if v.sync {
 			v.seenOld = make(map[uint32]AccessRecord)
 			sp.syncVars = append(sp.syncVars, v)

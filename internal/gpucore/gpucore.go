@@ -49,6 +49,18 @@ type wfCtx struct {
 	prog     Program
 	pending  int
 	finished bool
+
+	// In-flight instruction group: alu instructions still to execute
+	// before op issues, and the pipeline stage of the current one.
+	alu   int
+	op    MemOp
+	stage uint8
+
+	// Pre-bound continuations, created once per wavefront so the
+	// per-instruction event chain schedules no new closures.
+	fetchFn func()
+	stageFn func()
+	issueFn func()
 }
 
 // Core is one CU's pipeline front-end driving any number of wavefronts
@@ -81,6 +93,9 @@ func New(k *sim.Kernel, cfg Config, seq *viper.Sequencer, onWFDone func()) *Core
 // assigns it here.
 func (c *Core) AddWavefront(prog Program) int {
 	wf := &wfCtx{id: len(c.wfs), prog: prog}
+	wf.fetchFn = func() { c.fetch(wf) }
+	wf.stageFn = func() { c.stepALU(wf) }
+	wf.issueFn = func() { c.issueLanes(wf) }
 	c.wfs = append(c.wfs, wf)
 	return wf.id
 }
@@ -88,8 +103,7 @@ func (c *Core) AddWavefront(prog Program) int {
 // Start begins executing every wavefront.
 func (c *Core) Start() {
 	for _, wf := range c.wfs {
-		wf := wf
-		c.k.Schedule(0, func() { c.fetch(wf) })
+		c.k.Schedule(0, wf.fetchFn)
 	}
 }
 
@@ -111,45 +125,59 @@ func (c *Core) fetch(wf *wfCtx) {
 		}
 		return
 	}
-	c.runALU(wf, alu, op)
+	wf.alu, wf.op = alu, op
+	c.advance(wf)
 }
 
-// runALU pushes alu instructions through the pipeline one at a time —
-// this event chain is the "detailed model" cost — then issues the
-// memory instruction.
-func (c *Core) runALU(wf *wfCtx, alu int, op MemOp) {
-	if alu <= 0 {
-		c.issueMem(wf, op)
+// advance starts the next ALU instruction of the in-flight group —
+// this event chain is the "detailed model" cost — or, once the group
+// is drained, issues its memory instruction.
+func (c *Core) advance(wf *wfCtx) {
+	if wf.alu <= 0 {
+		c.issueMem(wf)
 		return
 	}
 	c.instructions++
 	c.aluOps++
-	c.k.Schedule(c.cfg.FetchLatency, func() {
-		c.k.Schedule(c.cfg.DecodeLatency, func() {
-			c.k.Schedule(c.cfg.ExecuteLatency, func() {
-				c.runALU(wf, alu-1, op)
-			})
-		})
-	})
+	wf.stage = 0
+	c.k.Schedule(c.cfg.FetchLatency, wf.stageFn)
 }
 
-func (c *Core) issueMem(wf *wfCtx, op MemOp) {
+// stepALU walks one ALU instruction through fetch → decode → execute,
+// one event per stage.
+func (c *Core) stepALU(wf *wfCtx) {
+	switch wf.stage {
+	case 0:
+		wf.stage = 1
+		c.k.Schedule(c.cfg.DecodeLatency, wf.stageFn)
+	case 1:
+		wf.stage = 2
+		c.k.Schedule(c.cfg.ExecuteLatency, wf.stageFn)
+	default:
+		wf.alu--
+		c.advance(wf)
+	}
+}
+
+func (c *Core) issueMem(wf *wfCtx) {
 	c.instructions++
 	c.memOps++
-	wf.pending = len(op.Reqs)
+	wf.pending = len(wf.op.Reqs)
 	if wf.pending == 0 {
-		c.k.Schedule(1, func() { c.fetch(wf) })
+		c.k.Schedule(1, wf.fetchFn)
 		return
 	}
 	// The memory instruction also traverses the pipeline before its
 	// lanes reach the sequencer.
 	lat := c.cfg.FetchLatency + c.cfg.DecodeLatency + c.cfg.ExecuteLatency
-	c.k.Schedule(lat, func() {
-		for _, req := range op.Reqs {
-			req.WFID = wf.id
-			c.seq.Issue(req)
-		}
-	})
+	c.k.Schedule(lat, wf.issueFn)
+}
+
+func (c *Core) issueLanes(wf *wfCtx) {
+	for _, req := range wf.op.Reqs {
+		req.WFID = wf.id
+		c.seq.Issue(req)
+	}
 }
 
 // HandleResponse implements mem.Requestor: lockstep — the wavefront
@@ -158,6 +186,6 @@ func (c *Core) HandleResponse(resp *mem.Response) {
 	wf := c.wfs[resp.Req.WFID]
 	wf.pending--
 	if wf.pending == 0 {
-		c.k.Schedule(1, func() { c.fetch(wf) })
+		c.k.Schedule(1, wf.fetchFn)
 	}
 }

@@ -157,3 +157,23 @@ func TestArtifactValidation(t *testing.T) {
 		t.Fatal("unknown-kind artifact loaded without error")
 	}
 }
+
+// TestGoldenArtifactReplay: testdata holds a replay artifact recorded
+// by the original container/heap event kernel (PR 1). It must keep
+// reproducing bit-identically — same failure, op counts, RNG state and
+// trace tail — on the current scheduler, proving the rewrite preserved
+// the kernel's deterministic ordering contract across releases, not
+// just within one build.
+func TestGoldenArtifactReplay(t *testing.T) {
+	loaded, err := LoadArtifact("testdata/replay-gpu-seed5-tick1263.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckReproduced(loaded, replayed); err != nil {
+		t.Fatalf("PR 1 golden artifact no longer reproduces: %v", err)
+	}
+}

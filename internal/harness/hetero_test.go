@@ -12,7 +12,10 @@ type hclient struct {
 	responses map[uint64]*mem.Response
 }
 
-func (c *hclient) HandleResponse(r *mem.Response) { c.responses[r.Req.ID] = r }
+func (c *hclient) HandleResponse(r *mem.Response) {
+	cp := *r // the Response is only valid during the call (mem.Requestor)
+	c.responses[r.Req.ID] = &cp
+}
 
 // TestGPUWriteVisibleToCPU: a drained GPU store must be observed by a
 // subsequent CPU load — the write-through went through the directory

@@ -119,8 +119,15 @@ func parallelDo(n, workers int, do func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	// Fill the buffered work channel before starting workers: the
+	// producer never blocks interleaved with them, and workers drain a
+	// closed channel, so any n (including 0) terminates.
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -130,9 +137,5 @@ func parallelDo(n, workers int, do func(i int)) {
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }

@@ -1,10 +1,71 @@
 package harness
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"drftest/internal/apps"
 )
+
+// runWithTimeout fails the test if fn does not return promptly — the
+// regression mode for parallelDo is a deadlock, not a wrong answer.
+func runWithTimeout(t *testing.T, name string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		fn()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s did not complete (deadlock)", name)
+	}
+}
+
+func TestParallelDoZeroItems(t *testing.T) {
+	runWithTimeout(t, "parallelDo(0, …)", func() {
+		parallelDo(0, 4, func(i int) {
+			t.Errorf("do called with i=%d for n=0", i)
+		})
+	})
+}
+
+func TestParallelDoMoreWorkersThanItems(t *testing.T) {
+	runWithTimeout(t, "parallelDo(3, 16, …)", func() {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		parallelDo(3, 16, func(i int) {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+		})
+		if len(seen) != 3 {
+			t.Fatalf("visited %d indices, want 3", len(seen))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("index %d visited %d times", i, c)
+			}
+		}
+	})
+}
+
+func TestParallelDoDefaultWorkers(t *testing.T) {
+	runWithTimeout(t, "parallelDo(8, 0, …)", func() {
+		var mu sync.Mutex
+		n := 0
+		parallelDo(8, 0, func(int) {
+			mu.Lock()
+			n++
+			mu.Unlock()
+		})
+		if n != 8 {
+			t.Fatalf("did %d items, want 8", n)
+		}
+	})
+}
 
 // TestParallelSweepMatchesSerial: the parallel runner must produce
 // exactly the serial sweep's coverage (per-run determinism is per-run;

@@ -105,6 +105,10 @@ type Response struct {
 // Requestor is the core-side endpoint: it receives responses for the
 // requests it issued. Sequencers and CPU caches take a Requestor as
 // their client; the testers and core models implement it.
+//
+// The *Response is only valid for the duration of the HandleResponse
+// call: producers may reuse the backing struct for the next delivery.
+// Implementations must copy any fields they need to retain.
 type Requestor interface {
 	HandleResponse(resp *Response)
 }

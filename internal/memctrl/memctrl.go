@@ -8,6 +8,11 @@
 // masks so write-through merging is observable, and (c) introduce
 // queuing delay so request lifetimes vary and transient protocol states
 // stay occupied.
+//
+// The controller sits on every miss and write-through path, so its
+// steady state is allocation-free: requests are held by value in a
+// head-indexed queue, completion closures are pre-bound, and line
+// buffers are recycled through free lists.
 package memctrl
 
 import (
@@ -29,16 +34,20 @@ func DefaultConfig() Config {
 	return Config{AccessLatency: 100, ServicePeriod: 4}
 }
 
-// request is one queued DRAM command.
+// request is one queued DRAM command. Exactly one of the on* callbacks
+// is set, matching kind; the typed fields avoid a per-request adapter
+// closure.
 type request struct {
-	kind  kind
-	line  mem.Addr
-	size  int
-	data  []byte
-	mask  []bool
-	addr  mem.Addr // word address for atomics
-	delta uint32
-	done  func(data []byte, old uint32)
+	kind     kind
+	line     mem.Addr
+	size     int
+	data     []byte
+	mask     []bool
+	addr     mem.Addr // word address for atomics
+	delta    uint32
+	onRead   func(data []byte)
+	onWrite  func()
+	onAtomic func(old uint32)
 }
 
 type kind uint8
@@ -56,8 +65,27 @@ type Controller struct {
 	cfg   Config
 	store *mem.Store
 
+	// queue is head-indexed: pops advance head and the backing array is
+	// reset (not reallocated) whenever the queue drains.
 	queue []request
+	head  int
 	busy  bool
+
+	// inflight holds dequeued requests awaiting completion, drained
+	// FIFO by completeFn: every dequeue schedules completion exactly
+	// AccessLatency ticks out and dequeues happen at nondecreasing
+	// ticks, so completions fire in dequeue order.
+	inflight   []request
+	inflightHd int
+
+	serviceFn  func()
+	completeFn func()
+
+	// Free lists for the data/mask copies made by WriteLine and the
+	// buffers handed to ReadLine callbacks. Misses fall back to
+	// allocation, so an unrecycled buffer is a leak, never a bug.
+	freeData  [][]byte
+	freeMasks [][]bool
 
 	// stats
 	reads, writes, atomics uint64
@@ -66,83 +94,128 @@ type Controller struct {
 
 // New creates a controller on kernel k over backing store st.
 func New(k *sim.Kernel, cfg Config, st *mem.Store) *Controller {
-	return &Controller{k: k, cfg: cfg, store: st}
+	c := &Controller{k: k, cfg: cfg, store: st}
+	c.serviceFn = c.service
+	c.completeFn = c.complete
+	return c
 }
 
 // Store exposes the backing memory (used to seed initial values and by
 // end-of-run consistency audits).
 func (c *Controller) Store() *mem.Store { return c.store }
 
+func (c *Controller) getData(n int) []byte {
+	for i := len(c.freeData) - 1; i >= 0; i-- {
+		if cap(c.freeData[i]) >= n {
+			b := c.freeData[i][:n]
+			c.freeData[i] = c.freeData[len(c.freeData)-1]
+			c.freeData[len(c.freeData)-1] = nil
+			c.freeData = c.freeData[:len(c.freeData)-1]
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+func (c *Controller) getMask(n int) []bool {
+	for i := len(c.freeMasks) - 1; i >= 0; i-- {
+		if cap(c.freeMasks[i]) >= n {
+			m := c.freeMasks[i][:n]
+			c.freeMasks[i] = c.freeMasks[len(c.freeMasks)-1]
+			c.freeMasks[len(c.freeMasks)-1] = nil
+			c.freeMasks = c.freeMasks[:len(c.freeMasks)-1]
+			return m
+		}
+	}
+	return make([]bool, n)
+}
+
 // ReadLine fetches size bytes at line and calls done with the data.
+// The data slice is only valid for the duration of the done call: the
+// controller recycles the buffer for later reads. Callers must copy
+// anything they retain.
 func (c *Controller) ReadLine(line mem.Addr, size int, done func(data []byte)) {
-	c.enqueue(request{kind: kindRead, line: line, size: size,
-		done: func(d []byte, _ uint32) { done(d) }})
+	c.enqueue(request{kind: kindRead, line: line, size: size, onRead: done})
 }
 
 // WriteLine writes data (length = line size) at line under mask and
 // calls done when the write is globally performed.
 func (c *Controller) WriteLine(line mem.Addr, data []byte, mask []bool, done func()) {
 	// Copy: the caller may reuse its buffers before service time.
-	d := make([]byte, len(data))
+	d := c.getData(len(data))
 	copy(d, data)
 	var m []bool
 	if mask != nil {
-		m = make([]bool, len(mask))
+		m = c.getMask(len(mask))
 		copy(m, mask)
 	}
-	c.enqueue(request{kind: kindWrite, line: line, data: d, mask: m,
-		done: func([]byte, uint32) { done() }})
+	c.enqueue(request{kind: kindWrite, line: line, data: d, mask: m, onWrite: done})
 }
 
 // Atomic performs a fetch-add at word address addr and calls done with
 // the old value. Atomicity is inherent: the controller services one
 // request at a time against the functional store.
 func (c *Controller) Atomic(addr mem.Addr, delta uint32, done func(old uint32)) {
-	c.enqueue(request{kind: kindAtomic, addr: addr, delta: delta,
-		done: func(_ []byte, old uint32) { done(old) }})
+	c.enqueue(request{kind: kindAtomic, addr: addr, delta: delta, onAtomic: done})
 }
 
 func (c *Controller) enqueue(r request) {
 	c.queue = append(c.queue, r)
-	if len(c.queue) > c.peakQueue {
-		c.peakQueue = len(c.queue)
+	if n := len(c.queue) - c.head; n > c.peakQueue {
+		c.peakQueue = n
 	}
 	if !c.busy {
 		c.busy = true
-		c.k.Schedule(0, c.service)
+		c.k.Schedule(0, c.serviceFn)
 	}
 }
 
 func (c *Controller) service() {
-	if len(c.queue) == 0 {
+	if c.head == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.head = 0
 		c.busy = false
 		return
 	}
-	r := c.queue[0]
-	c.queue = c.queue[1:]
-	c.k.Schedule(c.cfg.AccessLatency, func() { c.complete(r) })
+	r := c.queue[c.head]
+	c.queue[c.head] = request{}
+	c.head++
+	c.inflight = append(c.inflight, r)
+	c.k.Schedule(c.cfg.AccessLatency, c.completeFn)
 	period := c.cfg.ServicePeriod
 	if period == 0 {
 		period = 1
 	}
-	c.k.Schedule(period, c.service)
+	c.k.Schedule(period, c.serviceFn)
 }
 
-func (c *Controller) complete(r request) {
+func (c *Controller) complete() {
+	r := c.inflight[c.inflightHd]
+	c.inflight[c.inflightHd] = request{}
+	c.inflightHd++
+	if c.inflightHd == len(c.inflight) {
+		c.inflight = c.inflight[:0]
+		c.inflightHd = 0
+	}
 	switch r.kind {
 	case kindRead:
 		c.reads++
-		data := make([]byte, r.size)
+		data := c.getData(r.size)
 		c.store.ReadBytes(r.line, data)
-		r.done(data, 0)
+		r.onRead(data)
+		c.freeData = append(c.freeData, data)
 	case kindWrite:
 		c.writes++
 		c.store.WriteBytes(r.line, r.data, r.mask)
-		r.done(nil, 0)
+		c.freeData = append(c.freeData, r.data)
+		if r.mask != nil {
+			c.freeMasks = append(c.freeMasks, r.mask)
+		}
+		r.onWrite()
 	case kindAtomic:
 		c.atomics++
 		old := c.store.AtomicAdd(r.addr, r.delta)
-		r.done(nil, old)
+		r.onAtomic(old)
 	}
 }
 

@@ -18,7 +18,7 @@ func TestReadAfterWriteFIFO(t *testing.T) {
 	data[3] = 0xEE
 	var got []byte
 	c.WriteLine(0x1000, data, nil, func() {})
-	c.ReadLine(0x1000, 64, func(d []byte) { got = d })
+	c.ReadLine(0x1000, 64, func(d []byte) { got = append([]byte(nil), d...) })
 	k.RunUntilIdle()
 	if got == nil || got[3] != 0xEE {
 		t.Fatal("read did not observe earlier queued write (FIFO broken)")
@@ -37,7 +37,7 @@ func TestMaskedWrite(t *testing.T) {
 	patch[2], mask[2] = 0x99, true
 	c.WriteLine(0, patch, mask, func() {})
 	var got []byte
-	c.ReadLine(0, 8, func(d []byte) { got = d })
+	c.ReadLine(0, 8, func(d []byte) { got = append([]byte(nil), d...) })
 	k.RunUntilIdle()
 	if got[2] != 0x99 || got[1] != 0x11 {
 		t.Fatalf("masked write produced %v", got)
@@ -51,7 +51,7 @@ func TestWriteBuffersAreCopied(t *testing.T) {
 	c.WriteLine(0, data, nil, func() {})
 	data[0] = 99 // caller reuses the buffer before service time
 	var got []byte
-	c.ReadLine(0, 4, func(d []byte) { got = d })
+	c.ReadLine(0, 4, func(d []byte) { got = append([]byte(nil), d...) })
 	k.RunUntilIdle()
 	if got[0] != 1 {
 		t.Fatal("controller aliased the caller's write buffer")

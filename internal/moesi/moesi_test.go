@@ -17,7 +17,10 @@ type client struct {
 	responses map[uint64]*mem.Response
 }
 
-func (c *client) HandleResponse(r *mem.Response) { c.responses[r.Req.ID] = r }
+func (c *client) HandleResponse(r *mem.Response) {
+	cp := *r // the Response is only valid during the call (mem.Requestor)
+	c.responses[r.Req.ID] = &cp
+}
 
 type rig struct {
 	k      *sim.Kernel

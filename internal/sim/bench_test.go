@@ -21,6 +21,7 @@ func benchmarkEventLoop(b *testing.B, k *Kernel) {
 		}
 	}
 	k.Schedule(1, step)
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.RunUntilIdle()
 	if n != b.N {
@@ -33,6 +34,33 @@ func benchmarkEventLoop(b *testing.B, k *Kernel) {
 // within 2% of.
 func BenchmarkEventLoop(b *testing.B) {
 	benchmarkEventLoop(b, NewKernel())
+}
+
+// BenchmarkEventLoopDeep measures the loop with 10k pending events of
+// mixed delays, so most scheduling traffic lands in the far heap
+// rather than the near-tick lanes: the worst-case ordering load, where
+// sift-up/down depth is what's being paid for.
+func BenchmarkEventLoopDeep(b *testing.B) {
+	k := NewKernel()
+	delays := [8]Tick{1, 3, 900, 40, 7, 2500, 170, 12}
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			k.Schedule(delays[n&7], step)
+		}
+	}
+	const depth = 10_000
+	for i := 0; i < depth; i++ {
+		k.Schedule(delays[i&7]+Tick(i), step)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.RunUntilIdle()
+	if n < b.N {
+		b.Fatalf("ran %d of %d events", n, b.N)
+	}
 }
 
 // BenchmarkEventLoopTracing measures the loop with an attached ring

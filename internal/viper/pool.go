@@ -1,0 +1,99 @@
+package viper
+
+// msgPool recycles the protocol-layer message structs and line-sized
+// buffers that flow between a system's TCPs and TCCs, so the
+// steady-state load/store/atomic paths allocate nothing. The
+// simulation is single-threaded, so plain stacks suffice.
+//
+// Safety model: every get falls back to allocation when the pool is
+// empty, so a message that is never released (a stalled fault path, a
+// controller variant that does not recycle) merely leaks — only a
+// release while the object is still referenced can corrupt, and each
+// release point is chosen where the object is provably dead (see
+// FromTCP / onWBAck / TCC.send).
+type msgPool struct {
+	lineSize int
+	tcpMsgs  []*tcpMsg
+	tccMsgs  []*tccMsg
+	data     [][]byte
+	masks    [][]bool
+}
+
+func newMsgPool(lineSize int) *msgPool { return &msgPool{lineSize: lineSize} }
+
+// getData returns a zeroed line-sized byte buffer (make semantics).
+func (p *msgPool) getData() []byte {
+	if n := len(p.data); n > 0 {
+		b := p.data[n-1]
+		p.data[n-1] = nil
+		p.data = p.data[:n-1]
+		clear(b)
+		return b
+	}
+	return make([]byte, p.lineSize)
+}
+
+// getMask returns a zeroed line-sized mask (make semantics).
+func (p *msgPool) getMask() []bool {
+	if n := len(p.masks); n > 0 {
+		m := p.masks[n-1]
+		p.masks[n-1] = nil
+		p.masks = p.masks[:n-1]
+		clear(m)
+		return m
+	}
+	return make([]bool, p.lineSize)
+}
+
+func (p *msgPool) putData(b []byte) {
+	if len(b) == p.lineSize {
+		p.data = append(p.data, b)
+	}
+}
+
+func (p *msgPool) putMask(m []bool) {
+	if len(m) == p.lineSize {
+		p.masks = append(p.masks, m)
+	}
+}
+
+func (p *msgPool) getTCPMsg() *tcpMsg {
+	if n := len(p.tcpMsgs); n > 0 {
+		m := p.tcpMsgs[n-1]
+		p.tcpMsgs[n-1] = nil
+		p.tcpMsgs = p.tcpMsgs[:n-1]
+		return m
+	}
+	return &tcpMsg{}
+}
+
+// putTCPMsg releases m along with its payload buffers.
+func (p *msgPool) putTCPMsg(m *tcpMsg) {
+	if m.data != nil {
+		p.putData(m.data)
+	}
+	if m.mask != nil {
+		p.putMask(m.mask)
+	}
+	*m = tcpMsg{}
+	p.tcpMsgs = append(p.tcpMsgs, m)
+}
+
+func (p *msgPool) getTCCMsg() *tccMsg {
+	if n := len(p.tccMsgs); n > 0 {
+		m := p.tccMsgs[n-1]
+		p.tccMsgs[n-1] = nil
+		p.tccMsgs = p.tccMsgs[:n-1]
+		return m
+	}
+	return &tccMsg{}
+}
+
+// putTCCMsg releases m along with its fill buffer.
+func (p *msgPool) putTCCMsg(m *tccMsg) {
+	if m.data != nil {
+		p.putData(m.data)
+	}
+	*m = tccMsg{}
+	p.tccMsgs = append(p.tccMsgs, m)
+}

@@ -31,6 +31,15 @@ type Sequencer struct {
 	heldReleases map[int][]*mem.Request
 	outstanding  map[uint64]*mem.Request
 
+	// Completed requests awaiting delivery, drained FIFO by deliverFn.
+	// The response latency is a constant, so delivery order equals
+	// completion order and one pre-bound closure serves every response —
+	// the steady-state respond path allocates nothing.
+	respQ     []pendingResp
+	respHead  int
+	deliverFn func()
+	scratch   mem.Response
+
 	lat *stats.LatencySet
 
 	issued, completed uint64
@@ -48,8 +57,15 @@ func newSequencer(k *sim.Kernel, cu int, tcp *TCP, respLatency sim.Tick, bugs Bu
 		outstanding:  make(map[uint64]*mem.Request),
 		lat:          stats.NewLatencySet(fmt.Sprintf("cu%d", cu)),
 	}
+	s.deliverFn = s.deliverNext
 	tcp.seq = s
 	return s
+}
+
+// pendingResp is one completed request queued for core delivery.
+type pendingResp struct {
+	req  *mem.Request
+	data uint32
 }
 
 // SetClient wires the core-side response sink. It must be called
@@ -83,15 +99,33 @@ func (s *Sequencer) Issue(req *mem.Request) {
 // respond delivers a completed request back to the core after the L1
 // response latency, applying acquire semantics at delivery time.
 func (s *Sequencer) respond(req *mem.Request, data uint32) {
-	s.k.Schedule(s.respLatency, func() {
-		if req.Acquire && !s.bugs.StaleAcquire {
-			s.tcp.FlashInvalidate()
-		}
-		delete(s.outstanding, req.ID)
-		s.completed++
-		s.recordLatency(req, uint64(s.k.Now())-req.IssueTick)
-		s.client.HandleResponse(&mem.Response{Req: req, Data: data, Tick: uint64(s.k.Now())})
-	})
+	s.respQ = append(s.respQ, pendingResp{req: req, data: data})
+	s.k.Schedule(s.respLatency, s.deliverFn)
+}
+
+// deliverNext completes the oldest queued response. FIFO matching is
+// sound because every respond schedules deliverFn exactly respLatency
+// ticks out and simulated time never runs backwards, so deliveries fire
+// in queue order. The Response handed to the client is a reused scratch
+// value, valid only for the duration of the HandleResponse call (see
+// mem.Requestor).
+func (s *Sequencer) deliverNext() {
+	p := s.respQ[s.respHead]
+	s.respQ[s.respHead] = pendingResp{}
+	s.respHead++
+	if s.respHead == len(s.respQ) {
+		s.respQ = s.respQ[:0]
+		s.respHead = 0
+	}
+	req := p.req
+	if req.Acquire && !s.bugs.StaleAcquire {
+		s.tcp.FlashInvalidate()
+	}
+	delete(s.outstanding, req.ID)
+	s.completed++
+	s.recordLatency(req, uint64(s.k.Now())-req.IssueTick)
+	s.scratch = mem.Response{Req: req, Data: p.data, Tick: uint64(s.k.Now())}
+	s.client.HandleResponse(&s.scratch)
 }
 
 // noteWriteThrough records that req's thread gained one in-flight

@@ -232,6 +232,7 @@ func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, back
 	}
 
 	jrnd := rng.New(cfg.JitterSeed, 0x31771)
+	pool := newMsgPool(cfg.L1.LineSize)
 	tccSpec := NewTCCSpec()
 	wbSpec := NewTCCWBSpec()
 	for sl := 0; sl < cfg.NumL2Slices; sl++ {
@@ -246,7 +247,7 @@ func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, back
 			wb.sliceIndex = sl
 			s.l2s = append(s.l2s, wb)
 		} else {
-			tcc := newTCC(k, tccSpec, rec, onFault, cfg.L2, backend, respXBar, cfg.Bugs)
+			tcc := newTCC(k, tccSpec, rec, onFault, cfg.L2, backend, respXBar, cfg.Bugs, pool)
 			tcc.sliceIndex = sl
 			s.TCCs = append(s.TCCs, tcc)
 			s.l2s = append(s.l2s, tcc)
@@ -262,7 +263,7 @@ func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, back
 		for sl := range links {
 			links[sl] = network.NewLink(k, fmt.Sprintf("tcp%d->tcc%d", cu, sl), cfg.ReqLatency)
 		}
-		tcp := newTCP(k, cu, tcpSpec, rec, onFault, cfg.L1, links, s.sliceOf)
+		tcp := newTCP(k, cu, tcpSpec, rec, onFault, cfg.L1, links, s.sliceOf, pool)
 		for _, l2 := range s.l2s {
 			l2.attachTCP(tcp)
 		}

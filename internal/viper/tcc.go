@@ -33,7 +33,10 @@ const (
 	tbeAtomic
 )
 
-// tccTBE tracks one line's in-flight transaction at the L2.
+// tccTBE tracks one line's in-flight transaction at the L2. TBEs are
+// recycled through the TCC's free list; the backend continuations are
+// bound once per TBE (getTBE), so a miss or atomic schedules no new
+// closures.
 type tccTBE struct {
 	kind tbeKind
 	line mem.Addr
@@ -44,6 +47,10 @@ type tccTBE struct {
 	// predate the probing writer, which is legal under DRF) but must
 	// not be installed.
 	probed bool
+
+	fetchFn  func(data []byte)
+	atomicFn func(old uint32, nack bool)
+	retryFn  func()
 }
 
 // TCC is the GPU's shared L2 cache controller (VIPER's "TCC"). It
@@ -59,11 +66,13 @@ type TCC struct {
 	tcps       []*TCP
 	toTCP      *network.Crossbar
 	bugs       BugSet
+	pool       *msgPool
 
 	// retryDelay spaces out atomic retries after an AtomicND.
 	retryDelay sim.Tick
 
 	tbes          map[mem.Addr]*tccTBE
+	tbeFree       []*tccTBE
 	stalled       map[mem.Addr][]*tcpMsg
 	stalledProbes map[mem.Addr][]func()
 	wbs           map[mem.Addr]int // in-flight memory writes per line
@@ -73,7 +82,7 @@ type TCC struct {
 	wbAcks, droppedMerges, droppedAcks            uint64
 }
 
-func newTCC(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l2 cache.Config, backend Backend, toTCP *network.Crossbar, bugs BugSet) *TCC {
+func newTCC(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l2 cache.Config, backend Backend, toTCP *network.Crossbar, bugs BugSet, pool *msgPool) *TCC {
 	m := protocol.NewMachine(spec, rec)
 	m.OnFault = onFault
 	return &TCC{
@@ -83,12 +92,45 @@ func newTCC(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault f
 		backend:       backend,
 		toTCP:         toTCP,
 		bugs:          bugs,
+		pool:          pool,
 		retryDelay:    20,
 		tbes:          make(map[mem.Addr]*tccTBE),
 		stalled:       make(map[mem.Addr][]*tcpMsg),
 		stalledProbes: make(map[mem.Addr][]func()),
 		wbs:           make(map[mem.Addr]int),
 	}
+}
+
+// getTBE takes a TBE from the free list (or builds one, binding its
+// backend continuations to it for life). The caller fills the
+// identity fields.
+func (c *TCC) getTBE() *tccTBE {
+	if n := len(c.tbeFree); n > 0 {
+		t := c.tbeFree[n-1]
+		c.tbeFree[n-1] = nil
+		c.tbeFree = c.tbeFree[:n-1]
+		return t
+	}
+	t := &tccTBE{}
+	t.fetchFn = func(data []byte) { c.onData(t.line, data) }
+	t.atomicFn = func(old uint32, nack bool) {
+		if nack {
+			c.onAtomicND(t)
+			return
+		}
+		c.onAtomicD(t, old)
+	}
+	t.retryFn = func() { c.issueAtomic(t) }
+	return t
+}
+
+// putTBE releases a completed transaction's TBE. Safe only once no
+// backend callback or retry can still fire for it (the completion
+// paths in onData / onAtomicD).
+func (c *TCC) putTBE(t *tccTBE) {
+	t.req = nil
+	t.probed = false
+	c.tbeFree = append(c.tbeFree, t)
 }
 
 func (c *TCC) lineSize() int { return c.array.Config().LineSize }
@@ -138,6 +180,7 @@ func (c *TCC) FromTCP(msg *tcpMsg) {
 	if msg.kind == msgAtomic && c.bugs.NonAtomicRMW && st == TCCStateV {
 		c.machine.Fire(st, ev)
 		c.buggyLocalAtomic(msg)
+		c.pool.putTCPMsg(msg)
 		return
 	}
 
@@ -148,21 +191,28 @@ func (c *TCC) FromTCP(msg *tcpMsg) {
 		c.stalled[line] = append(c.stalled[line], msg)
 		return
 	case protocol.Undefined:
+		c.pool.putTCPMsg(msg)
 		return
 	}
 
+	// Release points: RdBlk and Atomic messages are dead once this
+	// dispatch returns (the TBE holds the core request, not the
+	// message); a WrVicBlk stays live until its write-through ack
+	// (onWBAck) because it carries the data/mask payload.
 	switch msg.kind {
 	case msgRdBlk:
 		c.rdBlks++
 		if st == TCCStateV {
 			e := c.array.Lookup(line)
 			c.sendFill(msg.cu, line, e.Data)
+			c.pool.putTCPMsg(msg)
 			return
 		}
-		c.tbes[line] = &tccTBE{kind: tbeFill, line: line, cu: msg.cu, req: msg.req}
-		c.backend.FetchLine(line, c.lineSize(), func(data []byte) {
-			c.onData(line, data)
-		})
+		tbe := c.getTBE()
+		tbe.kind, tbe.line, tbe.cu, tbe.req = tbeFill, line, msg.cu, msg.req
+		c.tbes[line] = tbe
+		c.backend.FetchLine(line, c.lineSize(), tbe.fetchFn)
+		c.pool.putTCPMsg(msg)
 
 	case msgWrVicBlk:
 		c.wrVicBlks++
@@ -186,20 +236,16 @@ func (c *TCC) FromTCP(msg *tcpMsg) {
 			// Read-invalidate: the global copy is about to change.
 			c.array.Invalidate(line)
 		}
-		tbe := &tccTBE{kind: tbeAtomic, line: line, cu: msg.cu, req: msg.req}
+		tbe := c.getTBE()
+		tbe.kind, tbe.line, tbe.cu, tbe.req = tbeAtomic, line, msg.cu, msg.req
 		c.tbes[line] = tbe
 		c.issueAtomic(tbe)
+		c.pool.putTCPMsg(msg)
 	}
 }
 
 func (c *TCC) issueAtomic(tbe *tccTBE) {
-	c.backend.Atomic(tbe.req.Addr, tbe.req.Operand, func(old uint32, nack bool) {
-		if nack {
-			c.onAtomicND(tbe)
-			return
-		}
-		c.onAtomicD(tbe, old)
-	})
+	c.backend.Atomic(tbe.req.Addr, tbe.req.Operand, tbe.atomicFn)
 }
 
 func (c *TCC) onAtomicD(tbe *tccTBE, old uint32) {
@@ -210,6 +256,7 @@ func (c *TCC) onAtomicD(tbe *tccTBE, old uint32) {
 	delete(c.tbes, tbe.line)
 	c.sendAtomicAck(tbe.cu, tbe.line, tbe.req, old)
 	c.wake(tbe.line)
+	c.putTBE(tbe)
 }
 
 func (c *TCC) onAtomicND(tbe *tccTBE) {
@@ -217,7 +264,7 @@ func (c *TCC) onAtomicND(tbe *tccTBE) {
 	if cell := c.machine.Fire(st, TCCAtomicND); cell.Kind != protocol.Defined {
 		return
 	}
-	c.k.Schedule(c.retryDelay, func() { c.issueAtomic(tbe) })
+	c.k.Schedule(c.retryDelay, tbe.retryFn)
 }
 
 func (c *TCC) onData(line mem.Addr, data []byte) {
@@ -236,6 +283,7 @@ func (c *TCC) onData(line mem.Addr, data []byte) {
 		// nothing.
 		c.sendFill(tbe.cu, line, data)
 		c.wake(line)
+		c.putTBE(tbe)
 		return
 	}
 	victim := c.array.Victim(line, nil)
@@ -247,6 +295,7 @@ func (c *TCC) onData(line mem.Addr, data []byte) {
 	copy(e.Data, data)
 	c.sendFill(tbe.cu, line, e.Data)
 	c.wake(line)
+	c.putTBE(tbe)
 }
 
 func (c *TCC) onWBAck(line mem.Addr, msg *tcpMsg) {
@@ -264,9 +313,14 @@ func (c *TCC) onWBAck(line mem.Addr, msg *tcpMsg) {
 		// BUG: the completion ack evaporates; the issuing thread's
 		// release will never drain.
 		c.droppedAcks++
+		c.pool.putTCPMsg(msg)
 		return
 	}
-	c.send(msg.cu, &tccMsg{kind: ackWB, line: line, req: msg.req})
+	cu, req := msg.cu, msg.req
+	c.pool.putTCPMsg(msg) // write performed; payload buffers are dead
+	ack := c.pool.getTCCMsg()
+	ack.kind, ack.line, ack.req = ackWB, line, req
+	c.send(cu, ack)
 }
 
 // ProbeInv is called by the directory to invalidate a line (PrbInv in
@@ -334,17 +388,27 @@ func (c *TCC) wake(line mem.Addr) {
 }
 
 func (c *TCC) sendFill(cu int, line mem.Addr, data []byte) {
-	buf := make([]byte, len(data))
+	buf := c.pool.getData()
 	copy(buf, data)
-	c.send(cu, &tccMsg{kind: ackFill, line: line, data: buf})
+	m := c.pool.getTCCMsg()
+	m.kind, m.line, m.data = ackFill, line, buf
+	c.send(cu, m)
 }
 
 func (c *TCC) sendAtomicAck(cu int, line mem.Addr, req *mem.Request, old uint32) {
-	c.send(cu, &tccMsg{kind: ackAtomic, line: line, req: req, old: old})
+	m := c.pool.getTCCMsg()
+	m.kind, m.line, m.req, m.old = ackAtomic, line, req, old
+	c.send(cu, m)
 }
 
+// send delivers msg to a TCP and recycles it afterwards: FromTCC never
+// retains the message or its fill buffer (fills are copied into the
+// cache array at delivery).
 func (c *TCC) send(cu int, msg *tccMsg) {
-	c.toTCP.To(cu).Send(func() { c.tcps[cu].FromTCC(msg) })
+	c.toTCP.To(cu).Send(func() {
+		c.tcps[cu].FromTCC(msg)
+		c.pool.putTCCMsg(msg)
+	})
 }
 
 // AuditAgainstStore compares every valid L2 line against the backing

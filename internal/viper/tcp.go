@@ -30,6 +30,7 @@ type TCP struct {
 	toTCC   []*network.Link // one ordered link per L2 slice
 	sliceOf func(mem.Addr) l2ctrl
 	seq     *Sequencer
+	pool    *msgPool
 
 	tbes map[mem.Addr]*tcpTBE
 	// stalled holds core requests whose (state, event) cell is Stall or
@@ -47,7 +48,7 @@ type TCP struct {
 	loads, loadHits, stores, atomics, stalls uint64
 }
 
-func newTCP(k *sim.Kernel, id int, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l1 cache.Config, toTCC []*network.Link, sliceOf func(mem.Addr) l2ctrl) *TCP {
+func newTCP(k *sim.Kernel, id int, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l1 cache.Config, toTCC []*network.Link, sliceOf func(mem.Addr) l2ctrl, pool *msgPool) *TCP {
 	m := protocol.NewMachine(spec, rec)
 	m.OnFault = onFault
 	return &TCP{
@@ -57,6 +58,7 @@ func newTCP(k *sim.Kernel, id int, spec *protocol.Spec, rec protocol.Recorder, o
 		array:   cache.NewArray(l1),
 		toTCC:   toTCC,
 		sliceOf: sliceOf,
+		pool:    pool,
 		tbes:    make(map[mem.Addr]*tcpTBE),
 		stalled: make(map[mem.Addr][]*mem.Request),
 		wt:      make(map[mem.Addr]*wtBuf),
@@ -145,7 +147,9 @@ func (t *TCP) CoreRequest(req *mem.Request) {
 		tbe := t.tbe(line)
 		tbe.loads = append(tbe.loads, req)
 		if len(tbe.loads) == 1 {
-			t.send(&tcpMsg{kind: msgRdBlk, cu: t.id, line: line, req: req})
+			m := t.pool.getTCPMsg()
+			m.kind, m.cu, m.line, m.req = msgRdBlk, t.id, line, req
+			t.send(m)
 		}
 
 	case mem.OpStore:
@@ -156,7 +160,7 @@ func (t *TCP) CoreRequest(req *mem.Request) {
 		}
 		buf, ok := t.wt[line]
 		if !ok {
-			buf = &wtBuf{data: make([]byte, t.lineSize()), mask: make([]bool, t.lineSize())}
+			buf = &wtBuf{data: t.pool.getData(), mask: t.pool.getMask()}
 			t.wt[line] = buf
 		}
 		for i := range data {
@@ -166,7 +170,9 @@ func (t *TCP) CoreRequest(req *mem.Request) {
 			}
 		}
 		buf.count++
-		t.send(&tcpMsg{kind: msgWrVicBlk, cu: t.id, line: line, data: data, mask: mask, req: req})
+		m := t.pool.getTCPMsg()
+		m.kind, m.cu, m.line, m.data, m.mask, m.req = msgWrVicBlk, t.id, line, data, mask, req
+		t.send(m)
 		t.seq.noteWriteThrough(req)
 		// Plain stores complete at L1 acceptance; global visibility is
 		// deferred to the TCC_AckWB — the relaxed-model window the
@@ -183,7 +189,9 @@ func (t *TCP) CoreRequest(req *mem.Request) {
 		tbe := t.tbe(line)
 		tbe.atomic = req
 		tbe.entry = t.installReservation(line)
-		t.send(&tcpMsg{kind: msgAtomic, cu: t.id, line: line, req: req})
+		m := t.pool.getTCPMsg()
+		m.kind, m.cu, m.line, m.req = msgAtomic, t.id, line, req
+		t.send(m)
 	}
 }
 
@@ -265,6 +273,8 @@ func (t *TCP) FromTCC(msg *tccMsg) {
 		if buf, ok := t.wt[line]; ok {
 			buf.count--
 			if buf.count == 0 {
+				t.pool.putData(buf.data)
+				t.pool.putMask(buf.mask)
 				delete(t.wt, line)
 			}
 		}
@@ -319,10 +329,13 @@ func (t *TCP) readWord(e *cache.Line, a mem.Addr) uint32 {
 	return binary.LittleEndian.Uint32(e.Data[off : off+mem.WordSize])
 }
 
-// wordWrite builds the full-line data/mask pair for a word store.
+// wordWrite builds the full-line data/mask pair for a word store. The
+// buffers come from the system pool; they travel with the WrVicBlk
+// message and are recycled when its write-through completes (see
+// TCC.onWBAck).
 func (t *TCP) wordWrite(req *mem.Request) (data []byte, mask []bool) {
-	data = make([]byte, t.lineSize())
-	mask = make([]bool, t.lineSize())
+	data = t.pool.getData()
+	mask = t.pool.getMask()
 	off := mem.LineOffset(req.Addr, t.lineSize())
 	binary.LittleEndian.PutUint32(data[off:off+mem.WordSize], req.Data)
 	for i := 0; i < mem.WordSize; i++ {

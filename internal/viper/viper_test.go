@@ -19,9 +19,10 @@ type client struct {
 func newClient() *client { return &client{responses: make(map[uint64]*mem.Response)} }
 
 func (c *client) HandleResponse(r *mem.Response) {
-	c.responses[r.Req.ID] = r
+	cp := *r // the Response is only valid during the call (mem.Requestor)
+	c.responses[r.Req.ID] = &cp
 	if c.onResp != nil {
-		c.onResp(r)
+		c.onResp(&cp)
 	}
 }
 

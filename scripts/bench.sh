@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench.sh — run the performance-gate benchmarks and emit a JSON
+# summary (ns/op, allocs/op, B/op, and every custom metric such as
+# memops/s) per benchmark.
+#
+# Usage:
+#   scripts/bench.sh [-o out.json] [-t benchtime] [-b 'EventLoop|Speed_']
+#
+# The benchmark set defaults to the PR-gate pair: the event-loop
+# microbenchmarks (internal/sim) and the end-to-end memops/s
+# benchmarks (repo root). Everything go test prints still goes to
+# stderr, so the JSON on -o (or stdout) stays machine-readable.
+set -euo pipefail
+
+out=""
+benchtime="0.5s"
+pattern='EventLoop|Speed_'
+while getopts "o:t:b:" opt; do
+  case "$opt" in
+    o) out="$OPTARG" ;;
+    t) benchtime="$OPTARG" ;;
+    b) pattern="$OPTARG" ;;
+    *) echo "usage: $0 [-o out.json] [-t benchtime] [-b pattern]" >&2; exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./ ./internal/sim/)
+echo "$raw" >&2
+
+json=$(echo "$raw" | awk '
+  /^goos:/    { goos = $2 }
+  /^goarch:/  { goarch = $2 }
+  /^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    iters = $2
+    m = ""
+    # fields come in (value, unit) pairs after the iteration count
+    for (i = 3; i + 1 <= NF; i += 2) {
+      unit = $(i + 1)
+      gsub(/"/, "", unit)
+      if (m != "") m = m ","
+      m = m sprintf("\"%s\":%s", unit, $i)
+    }
+    if (benches != "") benches = benches ","
+    benches = benches sprintf("\"%s\":{\"iterations\":%s,%s}", name, iters, m)
+  }
+  END {
+    printf "{\"goos\":\"%s\",\"goarch\":\"%s\",\"cpu\":\"%s\",\"benchtime\":\"%s\",\"benchmarks\":{%s}}\n",
+      goos, goarch, cpu, BENCHTIME, benches
+  }
+' BENCHTIME="$benchtime")
+
+# pretty-print if a json formatter is around; otherwise emit raw
+if command -v python3 >/dev/null 2>&1; then
+  json=$(echo "$json" | python3 -m json.tool)
+fi
+
+if [ -n "$out" ]; then
+  echo "$json" > "$out"
+  echo "wrote $out" >&2
+else
+  echo "$json"
+fi
