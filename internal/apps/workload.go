@@ -60,7 +60,13 @@ func (w *Workload) Tracker() *LocalityTracker { return w.tracker }
 // Program returns wavefront wf's instruction stream (wf is the global
 // wavefront index).
 func (w *Workload) Program(wf int) gpucore.Program {
-	return &wfProgram{w: w, wf: wf, rnd: w.rnd.Split(), streamCursor: 0}
+	p := &wfProgram{w: w, wf: wf, rnd: w.rnd.Split()}
+	p.reqs = make([]mem.Request, w.lanes)
+	p.reqPtrs = make([]*mem.Request, w.lanes)
+	for i := range p.reqs {
+		p.reqPtrs[i] = &p.reqs[i]
+	}
+	return p
 }
 
 type wfProgram struct {
@@ -70,6 +76,18 @@ type wfProgram struct {
 	opsDone      int
 	streamCursor mem.Addr
 	interCursor  mem.Addr
+
+	// Per-lane request storage, reused for every memory instruction.
+	// Safe because the core resumes a wavefront (and calls Next again)
+	// only after every lane of the previous instruction completed, and
+	// the only pointer the memory system retains past completion — the
+	// in-flight write-through ack — reads just ThreadID, which is
+	// lane-stable (see gpucore.Program).
+	reqs    []mem.Request
+	reqPtrs []*mem.Request
+	// lineScratch dedups the distinct lines one SIMT instruction
+	// touches (at most lanes entries, usually 1-2).
+	lineScratch []mem.Addr
 }
 
 // Next implements gpucore.Program.
@@ -93,11 +111,11 @@ func (p *wfProgram) Next() (int, gpucore.MemOp, bool) {
 // (spread one per cache line, as padded locks are), with occasional
 // acquire/release semantics as synchronization code has.
 func (p *wfProgram) atomicOp() gpucore.MemOp {
-	op := gpucore.MemOp{Reqs: make([]*mem.Request, p.w.lanes)}
-	lines := map[mem.Addr]bool{}
+	op := gpucore.MemOp{Reqs: p.reqPtrs}
+	p.lineScratch = p.lineScratch[:0]
 	for l := range op.Reqs {
 		addr := syncBase + mem.Addr(p.rnd.Intn(numSyncWords)*p.w.lineSize)
-		lines[mem.LineAddr(addr, p.w.lineSize)] = true
+		p.noteLine(mem.LineAddr(addr, p.w.lineSize))
 		req := p.newReq(l, addr)
 		req.Op = mem.OpAtomic
 		req.Operand = 1
@@ -107,9 +125,8 @@ func (p *wfProgram) atomicOp() gpucore.MemOp {
 		case 1:
 			req.Release = true
 		}
-		op.Reqs[l] = req
 	}
-	p.trackOp(lines)
+	p.trackOp()
 	return op
 }
 
@@ -125,7 +142,7 @@ func (p *wfProgram) plainOp() gpucore.MemOp {
 	})]
 	isStore := p.rnd.Bool(prof.StoreFrac)
 
-	op := gpucore.MemOp{Reqs: make([]*mem.Request, p.w.lanes)}
+	op := gpucore.MemOp{Reqs: p.reqPtrs}
 	var base mem.Addr
 	coalesced := false
 	switch class {
@@ -146,7 +163,7 @@ func (p *wfProgram) plainOp() gpucore.MemOp {
 		base = p.sharedLine()
 	}
 	wordsPerLine := p.w.lineSize / mem.WordSize
-	lines := map[mem.Addr]bool{}
+	p.lineScratch = p.lineScratch[:0]
 	for l := range op.Reqs {
 		var addr mem.Addr
 		if coalesced {
@@ -164,7 +181,7 @@ func (p *wfProgram) plainOp() gpucore.MemOp {
 				addr += mem.Addr(p.rnd.Intn(wordsPerLine) * mem.WordSize)
 			}
 		}
-		lines[mem.LineAddr(addr, p.w.lineSize)] = true
+		p.noteLine(mem.LineAddr(addr, p.w.lineSize))
 		req := p.newReq(l, addr)
 		if isStore {
 			req.Op = mem.OpStore
@@ -172,17 +189,28 @@ func (p *wfProgram) plainOp() gpucore.MemOp {
 		} else {
 			req.Op = mem.OpLoad
 		}
-		op.Reqs[l] = req
 	}
-	p.trackOp(lines)
+	p.trackOp()
 	return op
+}
+
+// noteLine adds line to the instruction's distinct-line scratch. A
+// linear scan beats a map here: a SIMT instruction touches at most a
+// handful of lines (1 when coalesced).
+func (p *wfProgram) noteLine(line mem.Addr) {
+	for _, l := range p.lineScratch {
+		if l == line {
+			return
+		}
+	}
+	p.lineScratch = append(p.lineScratch, line)
 }
 
 // trackOp records one locality access per distinct line the memory
 // instruction touched: a coalesced SIMT access is a single use of its
 // line, matching Koo et al.'s line-granularity reuse profiling.
-func (p *wfProgram) trackOp(lines map[mem.Addr]bool) {
-	for line := range lines {
+func (p *wfProgram) trackOp() {
+	for _, line := range p.lineScratch {
 		p.w.tracker.Access(p.wf, line)
 	}
 }
@@ -203,11 +231,14 @@ func (p *wfProgram) sharedLine() mem.Addr {
 	return sharedBase + mem.Addr(p.rnd.Intn(n)*p.w.lineSize)
 }
 
+// newReq resets lane's reusable request slot for the next instruction.
 func (p *wfProgram) newReq(lane int, addr mem.Addr) *mem.Request {
 	p.w.nextID++
-	return &mem.Request{
+	r := &p.reqs[lane]
+	*r = mem.Request{
 		ID:       p.w.nextID,
 		Addr:     addr,
 		ThreadID: p.wf*p.w.lanes + lane,
 	}
+	return r
 }

@@ -1,0 +1,57 @@
+package checker
+
+import "testing"
+
+// BenchmarkChecker compares the two verification modes on the same
+// tester-shaped trace: the streaming replay (Verify) against the
+// map-building reference (VerifyPostHoc), plus the pure online fold
+// (Stream fed episode by episode, the tester-wiring hot path).
+func BenchmarkChecker(b *testing.B) {
+	cfg := genCfg{threads: 8, episodes: 200, opsPerEp: 8,
+		dataVars: 8, syncVars: 4, private: true, delta: 1}
+	tr := genTrace(42, cfg)
+	opsPerRun := len(tr.Ops)
+
+	b.Run("StreamVerify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if vs := Verify(tr); vs != nil {
+				b.Fatalf("clean trace flagged: %v", vs)
+			}
+		}
+		b.ReportMetric(float64(opsPerRun), "ops/run")
+	})
+	b.Run("PostHoc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if vs := VerifyPostHoc(tr); vs != nil {
+				b.Fatalf("clean trace flagged: %v", vs)
+			}
+		}
+		b.ReportMetric(float64(opsPerRun), "ops/run")
+	})
+	b.Run("OnlineFold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewStream(1)
+			var gseq, id uint64
+			var atomic uint32
+			for ep := 0; ep < 1000; ep++ {
+				id++
+				gseq++
+				s.BeginEpisode(id, gseq)
+				s.Observe(Op{Kind: OpAtomic, Var: 1000, Sync: true, Value: atomic, Episode: id, Seq: 1})
+				atomic++
+				s.Observe(Op{Kind: OpStore, Var: 1, Value: uint32(id), Episode: id, Seq: 2})
+				s.Observe(Op{Kind: OpLoad, Var: 1, Value: uint32(id), Episode: id, Seq: 3})
+				s.Observe(Op{Kind: OpAtomic, Var: 1000, Sync: true, Value: atomic, Episode: id, Seq: 4})
+				atomic++
+				gseq++
+				s.RetireEpisode(id, gseq)
+			}
+			if vs := s.Finish(); vs != nil {
+				b.Fatalf("clean fold flagged: %v", vs)
+			}
+		}
+	})
+}

@@ -93,7 +93,53 @@ func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Axiom, v.Mes
 
 // Verify checks the trace against the axioms and returns every
 // violation found (nil for a consistent execution).
+//
+// It replays the trace through the online Stream checker: episodes
+// are begun in creation order, retirements are interleaved with the
+// operation walk at the points the tester's global sequence counter
+// dictates (every episode that retired before episode E was created
+// has all its operations before E's in completion order, so its
+// retirement can be folded before E's next operation), and Finish
+// assembles the violations. VerifyPostHoc is the map-building
+// reference implementation the stream is tested against.
 func Verify(tr *Trace) []Violation {
+	s := NewStream(tr.AtomicDelta)
+	metas := make(map[uint64]*EpisodeMeta, len(tr.Episodes))
+	byCreate := make([]*EpisodeMeta, 0, len(tr.Episodes))
+	var retires []*EpisodeMeta
+	for i := range tr.Episodes {
+		m := &tr.Episodes[i]
+		metas[m.ID] = m
+		byCreate = append(byCreate, m)
+		if m.RetireSeq != 0 {
+			retires = append(retires, m)
+		}
+	}
+	sort.Slice(byCreate, func(i, j int) bool { return byCreate[i].CreateSeq < byCreate[j].CreateSeq })
+	sort.Slice(retires, func(i, j int) bool { return retires[i].RetireSeq < retires[j].RetireSeq })
+	for _, m := range byCreate {
+		s.BeginEpisode(m.ID, m.CreateSeq)
+	}
+	ri := 0
+	for _, op := range tr.Ops {
+		if m := metas[op.Episode]; m != nil {
+			for ri < len(retires) && retires[ri].RetireSeq < m.CreateSeq {
+				s.RetireEpisode(retires[ri].ID, retires[ri].RetireSeq)
+				ri++
+			}
+		}
+		s.Observe(op)
+	}
+	for ; ri < len(retires); ri++ {
+		s.RetireEpisode(retires[ri].ID, retires[ri].RetireSeq)
+	}
+	return s.Finish()
+}
+
+// VerifyPostHoc checks the trace the original way: collect the whole
+// execution, build per-axiom maps, and scan. It is kept as the
+// independent oracle the streaming checker is validated against.
+func VerifyPostHoc(tr *Trace) []Violation {
 	var out []Violation
 	episodes := make(map[uint64]*EpisodeMeta, len(tr.Episodes))
 	for i := range tr.Episodes {
@@ -150,16 +196,24 @@ type interval struct {
 	writes bool
 }
 
+// varEp is the typed (variable, episode) dedup key for A2: comparable
+// without boxing, so membership tests cost no allocation and the two
+// fields can't be swapped silently.
+type varEp struct {
+	v  int
+	ep uint64
+}
+
 // checkExclusivity: axiom A2.
 func checkExclusivity(tr *Trace, episodes map[uint64]*EpisodeMeta) []Violation {
 	var out []Violation
 	perVar := map[int][]interval{}
-	seen := map[[2]interface{}]bool{}
+	seen := map[varEp]bool{}
 	for _, op := range tr.Ops {
 		if op.Sync {
 			continue
 		}
-		key := [2]interface{}{op.Var, op.Episode}
+		key := varEp{op.Var, op.Episode}
 		meta := episodes[op.Episode]
 		if meta == nil {
 			out = append(out, Violation{"A2-exclusivity", fmt.Sprintf("op references unknown episode %d", op.Episode)})

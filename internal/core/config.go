@@ -74,6 +74,14 @@ type Config struct {
 	// independent axiomatic checker (internal/checker) can re-verify
 	// the run offline, TSOTool-style.
 	RecordTrace bool
+
+	// StreamCheck runs the axiomatic checker online: every completed
+	// operation and episode retirement is folded into the bounded
+	// per-variable state of a checker.Stream as the run progresses, and
+	// Report.StreamViolations carries its findings. Unlike RecordTrace
+	// it never materializes the execution, so it can ride along on
+	// arbitrarily long runs.
+	StreamCheck bool
 }
 
 // DefaultConfig returns a moderate tester configuration suitable for a

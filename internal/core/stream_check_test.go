@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"drftest/internal/checker"
+	"drftest/internal/viper"
+)
+
+// TestStreamCheckCleanRun runs the tester with the online axiomatic
+// checker riding along and asserts it agrees with the offline checker
+// replaying the recorded trace: both must find a correct protocol
+// clean.
+func TestStreamCheckCleanRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumWavefronts = 8
+	cfg.EpisodesPerWF = 5
+	cfg.ActionsPerEpisode = 20
+	cfg.RecordTrace = true
+	cfg.StreamCheck = true
+	rep, _ := runTester(t, viper.SmallCacheConfig(), cfg)
+	for _, f := range rep.Failures {
+		t.Errorf("unexpected failure: %s", f.TableV())
+	}
+	if len(rep.StreamViolations) != 0 {
+		t.Fatalf("online checker flagged a clean run: %v", rep.StreamViolations)
+	}
+	if rep.Trace == nil {
+		t.Fatal("no trace recorded")
+	}
+	if vs := checker.Verify(rep.Trace); len(vs) != 0 {
+		t.Fatalf("offline checker disagrees: %v", vs)
+	}
+}
+
+// TestStreamCheckWithoutTrace verifies StreamCheck works alone: the
+// online fold needs no recorded trace, which is its entire point —
+// bounded memory on arbitrarily long runs.
+func TestStreamCheckWithoutTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumWavefronts = 4
+	cfg.EpisodesPerWF = 4
+	cfg.ActionsPerEpisode = 16
+	cfg.StreamCheck = true
+	rep, _ := runTester(t, viper.SmallCacheConfig(), cfg)
+	if rep.Trace != nil {
+		t.Fatal("trace recorded without RecordTrace")
+	}
+	if len(rep.StreamViolations) != 0 {
+		t.Fatalf("online checker flagged a clean run: %v", rep.StreamViolations)
+	}
+}

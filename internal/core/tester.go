@@ -105,6 +105,7 @@ type Tester struct {
 	lastWorkTick  uint64
 	genSeq        uint64
 	trace         *checker.Trace
+	stream        *checker.Stream
 	epMeta        map[uint64]*checker.EpisodeMeta
 	nextReqID     uint64
 	nextEpisodeID uint64
@@ -154,6 +155,9 @@ func NewMulti(k *sim.Kernel, systems []*viper.System, cfg Config) *Tester {
 	if cfg.RecordTrace {
 		t.trace = &checker.Trace{AtomicDelta: cfg.AtomicDelta}
 		t.epMeta = make(map[uint64]*checker.EpisodeMeta)
+	}
+	if cfg.StreamCheck {
+		t.stream = checker.NewStream(cfg.AtomicDelta)
 	}
 
 	numCUs := len(t.seqs)
@@ -327,6 +331,9 @@ func (t *Tester) newEpisode() *episode {
 	if t.trace != nil {
 		t.epMeta[ep.id] = &checker.EpisodeMeta{ID: ep.id, CreateSeq: ep.createSeq}
 	}
+	if t.stream != nil {
+		t.stream.BeginEpisode(ep.id, ep.createSeq)
+	}
 	n := t.cfg.ActionsPerEpisode
 	if cap(ep.ops) < n {
 		ep.ops = make([]genOp, 0, n)
@@ -415,8 +422,14 @@ func (t *Tester) HandleResponse(resp *mem.Response) {
 		Addr: req.Addr, Cycle: resp.Tick, Value: resp.Data,
 	}
 
-	if t.trace != nil {
-		t.recordTraceOp(thr, ep, op, req, resp)
+	if t.trace != nil || t.stream != nil {
+		top := t.buildTraceOp(thr, ep, op, req, resp)
+		if t.trace != nil {
+			t.trace.Ops = append(t.trace.Ops, top)
+		}
+		if t.stream != nil {
+			t.stream.Observe(top)
+		}
 	}
 
 	switch op.kind {
@@ -501,9 +514,9 @@ func (t *Tester) checkAtomic(v *variable, rec AccessRecord) {
 	}
 }
 
-// recordTraceOp appends the completed operation to the axiomatic
-// checker's trace.
-func (t *Tester) recordTraceOp(thr *thread, ep *episode, op genOp, req *mem.Request, resp *mem.Response) {
+// buildTraceOp converts a completed operation into the axiomatic
+// checker's form, shared by the recorded trace and the online stream.
+func (t *Tester) buildTraceOp(thr *thread, ep *episode, op genOp, req *mem.Request, resp *mem.Response) checker.Op {
 	ep.traceSeq++
 	top := checker.Op{
 		Var:     op.v.id,
@@ -523,7 +536,7 @@ func (t *Tester) recordTraceOp(thr *thread, ep *episode, op genOp, req *mem.Requ
 		top.Kind = checker.OpAtomic
 		top.Value = resp.Data
 	}
-	t.trace.Ops = append(t.trace.Ops, top)
+	return top
 }
 
 // retire completes an episode: its writes become the globally visible
@@ -537,6 +550,9 @@ func (t *Tester) retire(thr *thread, ep *episode) {
 			m.Thread = thr.id
 			m.RetireSeq = t.genSeq
 		}
+	}
+	if t.stream != nil {
+		t.stream.RetireEpisode(ep.id, t.genSeq)
 	}
 	for id, val := range ep.writes {
 		ep.claims[id].value = val
@@ -686,7 +702,11 @@ type Report struct {
 	// Trace is the recorded execution when Config.RecordTrace is set
 	// (nil otherwise); feed it to checker.Verify for an independent
 	// axiomatic re-verification.
-	Trace            *checker.Trace
+	Trace *checker.Trace
+	// StreamViolations holds the online axiomatic checker's findings
+	// when Config.StreamCheck is set (nil otherwise, and nil for a
+	// clean run).
+	StreamViolations []checker.Violation
 	SimTicks         uint64
 	EventsExecuted   uint64
 	OpsIssued        uint64
@@ -720,9 +740,14 @@ func (t *Tester) report() *Report {
 			t.trace.Episodes = append(t.trace.Episodes, *t.epMeta[id])
 		}
 	}
+	var streamViols []checker.Violation
+	if t.stream != nil {
+		streamViols = t.stream.Finish()
+	}
 	return &Report{
 		Failures:         t.failures,
 		Trace:            t.trace,
+		StreamViolations: streamViols,
 		SimTicks:         t.lastWorkTick,
 		EventsExecuted:   t.k.Executed(),
 		OpsIssued:        t.opsIssued,

@@ -99,7 +99,6 @@ func (v *variable) release(eps uint64) {
 type addressSpace struct {
 	syncVars []*variable
 	dataVars []*variable
-	byAddr   map[mem.Addr]*variable
 }
 
 func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *addressSpace {
@@ -109,15 +108,19 @@ func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *a
 		panic(fmt.Sprintf("core: address range %dB too small for %d variables", rangeBytes, total))
 	}
 
-	// Sample `total` distinct word slots from [0, slots).
-	chosen := make(map[int]struct{}, total)
+	// Sample `total` distinct word slots from [0, slots). A bitset
+	// tracks occupancy: the range is by construction only a small
+	// multiple of the variable count, so the set costs slots/8 bytes
+	// in one allocation where a map would cost tens of bytes per entry
+	// and a hash per probe.
+	chosen := make([]uint64, (slots+63)/64)
 	addrs := make([]mem.Addr, 0, total)
 	for len(addrs) < total {
 		s := rnd.Intn(slots)
-		if _, dup := chosen[s]; dup {
+		if chosen[s>>6]&(1<<(s&63)) != 0 {
 			continue
 		}
-		chosen[s] = struct{}{}
+		chosen[s>>6] |= 1 << (s & 63)
 		addrs = append(addrs, mem.Addr(s*mem.WordSize))
 	}
 	// The first numSync sampled slots become sync variables; sampling
@@ -125,7 +128,10 @@ func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *a
 	// Variables live in one slab: a 100k-variable space costs one
 	// allocation, not 100k, and reader-claim maps are built lazily on
 	// first claim (ensureReaders).
-	sp := &addressSpace{byAddr: make(map[mem.Addr]*variable, total)}
+	sp := &addressSpace{
+		syncVars: make([]*variable, 0, numSync),
+		dataVars: make([]*variable, 0, numData),
+	}
 	slab := make([]variable, total)
 	for i, a := range addrs {
 		v := &slab[i]
@@ -138,7 +144,6 @@ func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *a
 		} else {
 			sp.dataVars = append(sp.dataVars, v)
 		}
-		sp.byAddr[a] = v
 	}
 	return sp
 }
@@ -147,12 +152,25 @@ func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *a
 // data variable — a measure of how much cross-class false sharing the
 // mapping created.
 func (sp *addressSpace) falseSharingPairs(lineSize int) int {
-	kind := make(map[mem.Addr]uint8)
+	// Variables live in a dense range, so a flat per-line table beats a
+	// map: index by line number, two role bits per line.
+	maxLine := mem.Addr(0)
 	for _, v := range sp.syncVars {
-		kind[mem.LineAddr(v.addr, lineSize)] |= 1
+		if l := mem.LineAddr(v.addr, lineSize); l > maxLine {
+			maxLine = l
+		}
 	}
 	for _, v := range sp.dataVars {
-		kind[mem.LineAddr(v.addr, lineSize)] |= 2
+		if l := mem.LineAddr(v.addr, lineSize); l > maxLine {
+			maxLine = l
+		}
+	}
+	kind := make([]uint8, maxLine/mem.Addr(lineSize)+1)
+	for _, v := range sp.syncVars {
+		kind[mem.LineAddr(v.addr, lineSize)/mem.Addr(lineSize)] |= 1
+	}
+	for _, v := range sp.dataVars {
+		kind[mem.LineAddr(v.addr, lineSize)/mem.Addr(lineSize)] |= 2
 	}
 	n := 0
 	for _, k := range kind {

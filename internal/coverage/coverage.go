@@ -230,6 +230,20 @@ func (c *Collector) Record(machine string, state, event int, _ protocol.Kind) {
 	m.Hits[state][event]++
 }
 
+// Counters implements protocol.CounterSource: a machine whose spec is
+// registered gets direct access to its aggregate hit matrix, turning
+// per-transition recording into a slice-index increment with no map
+// lookup. Machines sharing a spec name still aggregate into one
+// matrix, because they receive the same Hits table. Unregistered
+// specs decline the fast path (nil, nil), so such machines fall back
+// to Record and keep its loud unregistered-machine panic.
+func (c *Collector) Counters(spec *protocol.Spec) ([][]uint64, protocol.Recorder) {
+	if m, ok := c.matrices[spec.Name]; ok {
+		return m.Hits, nil
+	}
+	return nil, nil
+}
+
 // Matrix returns the named machine's matrix, or nil.
 func (c *Collector) Matrix(machine string) *Matrix { return c.matrices[machine] }
 

@@ -32,6 +32,28 @@ func TestCollectorAggregatesByName(t *testing.T) {
 	}
 }
 
+// TestCollectorCountersFastPath pins the CounterSource contract: a
+// registered spec gets the matrix's own Hits table (so machine-side
+// increments are immediately visible in reports) and no tee;
+// unregistered specs are declined so the Record panic still guards
+// forgotten registrations.
+func TestCollectorCountersFastPath(t *testing.T) {
+	spec := demoSpec()
+	c := NewCollector(spec)
+	hits, tee := c.Counters(spec)
+	if hits == nil || tee != nil {
+		t.Fatalf("Counters = (%v, %v), want (hits, nil)", hits, tee)
+	}
+	hits[1][2] = 41
+	hits[1][2]++
+	if got := c.Matrix("demo").Hits[1][2]; got != 42 {
+		t.Fatalf("matrix does not see direct increments: %d", got)
+	}
+	if h, _ := c.Counters(protocol.NewSpec("ghost", []string{"I"}, []string{"E"})); h != nil {
+		t.Fatal("unregistered spec was granted counters")
+	}
+}
+
 func TestCollectorUnknownMachinePanics(t *testing.T) {
 	c := NewCollector()
 	defer func() {

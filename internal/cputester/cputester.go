@@ -110,6 +110,14 @@ type cpuState struct {
 	loc     *location
 	isStore bool
 	stval   uint32
+
+	// req is the core's reusable request slot: each CPU has exactly one
+	// operation in flight and the cache retains no pointer to it past
+	// the response, so a fresh struct per op buys nothing. issueFn is
+	// the pre-bound continuation scheduled after every response, so the
+	// steady-state issue loop allocates neither requests nor closures.
+	req     mem.Request
+	issueFn func()
 }
 
 // Tester drives one moesi cache per simulated CPU core.
@@ -146,6 +154,7 @@ func New(k *sim.Kernel, caches []*moesi.Cache, cfg Config) *Tester {
 	}
 	for i, c := range caches {
 		st := &cpuState{id: i}
+		st.issueFn = func() { t.issue(st) }
 		t.cpus = append(t.cpus, st)
 		c.SetClient(&cpuClient{t: t, cpu: st})
 	}
@@ -163,8 +172,7 @@ func (c *cpuClient) HandleResponse(resp *mem.Response) { c.t.handle(c.cpu, resp)
 // Start schedules every core's first operation and the deadlock scan.
 func (t *Tester) Start() {
 	for _, cpu := range t.cpus {
-		cpu := cpu
-		t.k.Schedule(0, func() { t.issue(cpu) })
+		t.k.Schedule(0, cpu.issueFn)
 	}
 	t.k.Schedule(t.cfg.CheckPeriod, t.heartbeat)
 }
@@ -210,13 +218,14 @@ func (t *Tester) issue(cpu *cpuState) {
 	}
 	if loc == nil {
 		// Every location is being written; retry shortly.
-		t.k.Schedule(10, func() { t.issue(cpu) })
+		t.k.Schedule(10, cpu.issueFn)
 		return
 	}
 	cpu.loc = loc
 	cpu.isStore = isStore
 	t.nextID++
-	req := &mem.Request{ID: t.nextID, Addr: loc.addr, ThreadID: cpu.id}
+	cpu.req = mem.Request{ID: t.nextID, Addr: loc.addr, ThreadID: cpu.id}
+	req := &cpu.req
 	if isStore {
 		loc.writer = cpu.id
 		cpu.stval = uint32(t.nextID)
@@ -282,7 +291,7 @@ func (t *Tester) handle(cpu *cpuState, resp *mem.Response) {
 		}
 	}
 	cpu.done++
-	t.k.Schedule(1, func() { t.issue(cpu) })
+	t.k.Schedule(1, cpu.issueFn)
 }
 
 func (t *Tester) heartbeat() {

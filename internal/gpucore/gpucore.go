@@ -41,6 +41,14 @@ type Program interface {
 	// the next memory instruction, the memory instruction itself, and
 	// done=true when the wavefront has finished (remaining fields are
 	// then ignored).
+	//
+	// Borrow contract: the returned MemOp's Reqs slice and the Request
+	// structs it points to remain the program's property. The core
+	// reads them only between this call and the completion of the last
+	// lane's response, so a program may reuse one lane-indexed slice
+	// and its Request slots across calls (each slot must keep a
+	// lane-stable ThreadID: write-through acks that are still in
+	// flight after the wavefront resumes are routed by ThreadID).
 	Next() (aluOps int, op MemOp, done bool)
 }
 

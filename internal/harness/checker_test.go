@@ -43,6 +43,36 @@ func TestCheckersAgreeOnCorrectProtocol(t *testing.T) {
 	}
 }
 
+// TestStreamMatchesPostHocOnCorpus: on full tester-produced traces —
+// correct and bug-injected — the streaming Verify must return exactly
+// the violation list of the map-building reference implementation,
+// element for element in the same order.
+func TestStreamMatchesPostHocOnCorpus(t *testing.T) {
+	bugSets := []viper.BugSet{
+		{},
+		{LostWriteRace: true},
+		{NonAtomicRMW: true},
+		{StaleAcquire: true},
+	}
+	for _, bugs := range bugSets {
+		for seed := uint64(1); seed <= 4; seed++ {
+			rep := tracedRun(t, bugs, seed)
+			got := checker.Verify(rep.Trace)
+			want := checker.VerifyPostHoc(rep.Trace)
+			if len(got) != len(want) {
+				t.Fatalf("bugs=%+v seed=%d: stream found %d violations, post-hoc %d\nstream: %v\nposthoc: %v",
+					bugs, seed, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("bugs=%+v seed=%d: violation %d differs\nstream:  %s\nposthoc: %s",
+						bugs, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 // TestCheckersAgreeOnBugs: when the online checker catches an injected
 // bug, the independent axiomatic verifier must flag the same execution.
 func TestCheckersAgreeOnBugs(t *testing.T) {

@@ -1,0 +1,78 @@
+package mem
+
+import "testing"
+
+// BenchmarkStoreAccess measures the store's per-access cost in the
+// regimes the tester and DRAM model actually drive: word ops that stay
+// within one page (last-page cache), word ops alternating between two
+// pages (directory index), line-sized span reads/writes (the memctrl
+// hot path), and far-map pages. The gate is 0 allocs/op on all of
+// them (also pinned by TestStoreAccessZeroAllocs).
+func BenchmarkStoreAccess(b *testing.B) {
+	b.Run("WordSamePage", func(b *testing.B) {
+		s := NewStore()
+		s.WriteWord(0x40, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.WriteWord(0x40, uint32(i))
+			if s.ReadWord(0x40) != uint32(i) {
+				b.Fatal("readback mismatch")
+			}
+		}
+	})
+	b.Run("WordAlternatingPages", func(b *testing.B) {
+		s := NewStore()
+		s.WriteWord(0x40, 1)
+		s.WriteWord(pageSize+0x40, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := Addr((i & 1) << pageShift)
+			s.WriteWord(a+0x40, uint32(i))
+			if s.ReadWord(a+0x40) != uint32(i) {
+				b.Fatal("readback mismatch")
+			}
+		}
+	})
+	b.Run("Line64", func(b *testing.B) {
+		s := NewStore()
+		line := make([]byte, 64)
+		mask := make([]bool, 64)
+		for i := range mask {
+			mask[i] = i%2 == 0
+		}
+		s.WriteBytes(0, line, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.WriteBytes(0, line, mask)
+			s.ReadBytes(0, line)
+		}
+	})
+	b.Run("Atomic", func(b *testing.B) {
+		s := NewStore()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s.AtomicAdd(0x80, 1) != uint32(i) {
+				b.Fatal("atomic progression broken")
+			}
+		}
+	})
+	b.Run("FarPage", func(b *testing.B) {
+		s := NewStore()
+		far := Addr(dirCapPages+3) << pageShift
+		s.WriteWord(far, 1)
+		s.WriteWord(0x40, 1) // keep a near page thrashing the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.WriteWord(far, uint32(i))
+			_ = s.ReadWord(0x40)
+			if s.ReadWord(far) != uint32(i) {
+				b.Fatal("far readback mismatch")
+			}
+		}
+	})
+}

@@ -117,29 +117,123 @@ type Requestor interface {
 // DRAM contents behind the protocol stack and as the reference memory
 // the tester checks responses against. Uninitialized bytes read as
 // zero.
+//
+// The store sits on every DRAM access and every tester verify, so page
+// resolution is built to do zero map hashes on the common path: a
+// single-entry last-page cache catches the run of accesses that stay
+// within one page, a two-level chunked directory covers the low
+// address range with two slice indexes, and only pages beyond the
+// directory's reach fall back to a map. All three tiers hold the same
+// page buffers, so semantics — byte-exact contents, zero-fill
+// first-touch reads, page-granular footprint — are identical to the
+// original all-map store.
 type Store struct {
-	pages map[Addr][]byte
+	// lastPN/lastPage cache the most recently resolved page; lastPage
+	// is nil when nothing has been resolved yet.
+	lastPN   Addr
+	lastPage []byte
+
+	// dir is the chunked page directory for page numbers <
+	// dirCapPages: dir[pn>>chunkShift][pn&(chunkPages-1)] is the page,
+	// nil when absent. Chunks are allocated on first touch of their
+	// 1 MiB window, so a workload whose regions are scattered across
+	// the range pays pointers only for the windows it actually uses —
+	// a flat directory here costs a megabyte of GC-scanned pointers
+	// per Store the moment one high page is touched.
+	dir [][][]byte
+
+	// far holds the sparse pages beyond the directory's range.
+	far map[Addr][]byte
+
+	// touched counts allocated pages across dir and far (Footprint).
+	touched int
 }
 
 const pageShift = 12
 const pageSize = 1 << pageShift
 
+// chunkShift sizes a directory chunk: 256 pages = 1 MiB of address
+// space per chunk, 2 KiB of pointers when touched.
+const chunkShift = 8
+const chunkPages = 1 << chunkShift
+
+// dirCapPages bounds the directory: pages below this number (a
+// 512 MiB address range) resolve with two slice indexes; pages above
+// it live in the fallback map. The top level is at most
+// dirCapPages/chunkPages entries (512 pointers, 4 KiB), grown by
+// doubling.
+const dirCapPages = 1 << 17
+
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{pages: make(map[Addr][]byte)}
+	return &Store{}
 }
 
+// page resolves the page containing a, allocating it when create is
+// set, and returns the page (nil if absent and !create) plus a's
+// offset within it.
 func (s *Store) page(a Addr, create bool) ([]byte, int) {
 	pn := a >> pageShift
-	p, ok := s.pages[pn]
-	if !ok {
-		if !create {
-			return nil, 0
-		}
-		p = make([]byte, pageSize)
-		s.pages[pn] = p
+	off := int(a & (pageSize - 1))
+	if s.lastPage != nil && pn == s.lastPN {
+		return s.lastPage, off
 	}
-	return p, int(a & (pageSize - 1))
+	var p []byte
+	if pn < dirCapPages {
+		ci := pn >> chunkShift
+		if ci < Addr(len(s.dir)) && s.dir[ci] != nil {
+			p = s.dir[ci][pn&(chunkPages-1)]
+		}
+		if p == nil {
+			if !create {
+				return nil, off
+			}
+			p = s.newPageInDir(pn)
+		}
+	} else {
+		p = s.far[pn]
+		if p == nil {
+			if !create {
+				return nil, off
+			}
+			if s.far == nil {
+				s.far = make(map[Addr][]byte)
+			}
+			p = make([]byte, pageSize)
+			s.far[pn] = p
+			s.touched++
+		}
+	}
+	s.lastPN, s.lastPage = pn, p
+	return p, off
+}
+
+// newPageInDir allocates page pn, growing the top-level directory by
+// doubling until pn's chunk is indexable and allocating the chunk on
+// its first touch.
+func (s *Store) newPageInDir(pn Addr) []byte {
+	ci := pn >> chunkShift
+	if ci >= Addr(len(s.dir)) {
+		n := len(s.dir)
+		if n == 0 {
+			n = 8
+		}
+		for Addr(n) <= ci {
+			n *= 2
+		}
+		grown := make([][][]byte, n)
+		copy(grown, s.dir)
+		s.dir = grown
+	}
+	chunk := s.dir[ci]
+	if chunk == nil {
+		chunk = make([][]byte, chunkPages)
+		s.dir[ci] = chunk
+	}
+	p := make([]byte, pageSize)
+	chunk[pn&(chunkPages-1)] = p
+	s.touched++
+	return p
 }
 
 // ByteAt returns the byte at a.
@@ -157,22 +251,68 @@ func (s *Store) SetByte(a Addr, v byte) {
 	p[off] = v
 }
 
-// ReadBytes fills dst starting at a.
+// ReadBytes fills dst starting at a. The span may straddle any number
+// of page boundaries; absent pages read as zero without being
+// allocated.
 func (s *Store) ReadBytes(a Addr, dst []byte) {
-	for i := range dst {
-		dst[i] = s.ByteAt(a + Addr(i))
+	for len(dst) > 0 {
+		p, off := s.page(a, false)
+		n := pageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p == nil {
+			clear(dst[:n])
+		} else {
+			copy(dst[:n], p[off:off+n])
+		}
+		a += Addr(n)
+		dst = dst[n:]
 	}
 }
 
 // WriteBytes writes src starting at a, honoring mask when non-nil
 // (mask[i] false skips byte i). Per-byte masks are how VIPER's
-// write-through merging is modelled.
+// write-through merging is modelled. A page is only allocated when at
+// least one byte is actually written into it, so fully masked-off
+// spans leave the footprint unchanged.
 func (s *Store) WriteBytes(a Addr, src []byte, mask []bool) {
-	for i := range src {
-		if mask != nil && !mask[i] {
-			continue
+	for len(src) > 0 {
+		off := int(a & (pageSize - 1))
+		n := pageSize - off
+		if n > len(src) {
+			n = len(src)
 		}
-		s.SetByte(a+Addr(i), src[i])
+		if mask == nil {
+			p, off := s.page(a, true)
+			copy(p[off:off+n], src[:n])
+		} else {
+			s.writeMasked(a, src[:n], mask[:n])
+			mask = mask[n:]
+		}
+		a += Addr(n)
+		src = src[n:]
+	}
+}
+
+// writeMasked writes one within-page span under its mask, allocating
+// the page only if some byte is enabled.
+func (s *Store) writeMasked(a Addr, src []byte, mask []bool) {
+	any := false
+	for _, m := range mask {
+		if m {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	p, off := s.page(a, true)
+	for i := range src {
+		if mask[i] {
+			p[off+i] = src[i]
+		}
 	}
 }
 
@@ -200,4 +340,4 @@ func (s *Store) AtomicAdd(a Addr, delta uint32) uint32 {
 
 // Footprint returns the number of distinct pages touched, a cheap
 // proxy for an application's memory footprint.
-func (s *Store) Footprint() int { return len(s.pages) }
+func (s *Store) Footprint() int { return s.touched }

@@ -91,3 +91,147 @@ func TestRequestString(t *testing.T) {
 		t.Fatalf("Request.String() = %q, want %q", r.String(), want)
 	}
 }
+
+// TestStoreStraddlingPageBoundarySpans exercises multi-page ReadBytes
+// and WriteBytes spans, masked and unmasked, across the directory's
+// page seams.
+func TestStoreStraddlingPageBoundarySpans(t *testing.T) {
+	s := NewStore()
+	base := Addr(3*pageSize - 5) // span covers pages 2, 3 and 4
+	src := make([]byte, 2*pageSize+10)
+	for i := range src {
+		src[i] = byte(i*7 + 1)
+	}
+	s.WriteBytes(base, src, nil)
+	got := make([]byte, len(src))
+	s.ReadBytes(base, got)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("byte %d: got %d want %d", i, got[i], src[i])
+		}
+	}
+	if s.Footprint() != 4 { // [3P-5, 5P+5) touches pages 2, 3, 4 and 5
+		t.Fatalf("footprint %d, want 4 pages", s.Footprint())
+	}
+
+	// A masked write straddling the same boundary only lands where the
+	// mask allows.
+	mask := make([]bool, len(src))
+	repl := make([]byte, len(src))
+	for i := range repl {
+		repl[i] = 0xEE
+		mask[i] = i%3 == 0
+	}
+	s.WriteBytes(base, repl, mask)
+	s.ReadBytes(base, got)
+	for i := range src {
+		want := src[i]
+		if i%3 == 0 {
+			want = 0xEE
+		}
+		if got[i] != want {
+			t.Fatalf("masked byte %d: got %d want %d", i, got[i], want)
+		}
+	}
+}
+
+// TestStoreFirstTouchReadsAllocateNothing pins the zero-fill contract:
+// reads of untouched memory return zeroes and never create pages, in
+// every tier (directory range, far range, page-straddling spans).
+func TestStoreFirstTouchReadsAllocateNothing(t *testing.T) {
+	s := NewStore()
+	farAddr := Addr(dirCapPages+5) << pageShift
+	buf := make([]byte, 3*pageSize)
+	for _, a := range []Addr{0, pageSize - 2, farAddr, farAddr + pageSize - 2} {
+		s.ReadBytes(a, buf)
+		for i, b := range buf {
+			if b != 0 {
+				t.Fatalf("untouched read at %#x byte %d = %d", uint64(a), i, b)
+			}
+		}
+		if s.ByteAt(a) != 0 || s.ReadWord(a&^3) != 0 {
+			t.Fatalf("untouched scalar read at %#x nonzero", uint64(a))
+		}
+	}
+	if s.Footprint() != 0 {
+		t.Fatalf("reads allocated %d pages", s.Footprint())
+	}
+	// Fully masked-off writes must not allocate either.
+	s.WriteBytes(farAddr, []byte{1, 2, 3, 4}, []bool{false, false, false, false})
+	if s.Footprint() != 0 {
+		t.Fatalf("masked-off write allocated %d pages", s.Footprint())
+	}
+}
+
+// TestStoreNearFarInterleaving hammers the last-page cache with
+// alternating near (directory) and far (map) pages: every switch must
+// invalidate the cached page, never serve stale bytes.
+func TestStoreNearFarInterleaving(t *testing.T) {
+	s := NewStore()
+	near := Addr(2 * pageSize)
+	far := Addr(dirCapPages+99) << pageShift
+	far2 := far + 4*pageSize
+	addrs := []Addr{near, far, near + pageSize, far2, near + 2*pageSize, far + pageSize}
+	for round := 0; round < 4; round++ {
+		for i, a := range addrs {
+			v := uint32(round*100 + i + 1)
+			s.WriteWord(a+Addr(4*round), v)
+			if got := s.ReadWord(a + Addr(4*round)); got != v {
+				t.Fatalf("round %d addr %#x: got %d want %d", round, uint64(a), got, v)
+			}
+		}
+		// Re-read every earlier value through the cache-thrashing mix.
+		for i, a := range addrs {
+			v := uint32(round*100 + i + 1)
+			if got := s.ReadWord(a + Addr(4*round)); got != v {
+				t.Fatalf("round %d reread addr %#x: got %d want %d", round, uint64(a), got, v)
+			}
+		}
+	}
+	if s.Footprint() != 6 {
+		t.Fatalf("footprint %d, want 6", s.Footprint())
+	}
+}
+
+// TestStoreFarPagesUseMap pins the tiering: far pages must not grow
+// the flat directory.
+func TestStoreFarPagesUseMap(t *testing.T) {
+	s := NewStore()
+	s.WriteWord(Addr(dirCapPages)<<pageShift, 7)
+	if len(s.dir) != 0 {
+		t.Fatalf("far write grew the directory to %d entries", len(s.dir))
+	}
+	if len(s.far) != 1 {
+		t.Fatalf("far map holds %d pages, want 1", len(s.far))
+	}
+	s.WriteWord(0, 9)
+	if len(s.dir) == 0 {
+		t.Fatal("near write did not populate the directory")
+	}
+	if s.ReadWord(Addr(dirCapPages)<<pageShift) != 7 || s.ReadWord(0) != 9 {
+		t.Fatal("tier mixup corrupted values")
+	}
+}
+
+// TestStoreAccessZeroAllocs pins the O(1) hot path: once a page
+// exists, word reads/writes, line reads/writes and atomics allocate
+// nothing — in the last-page-cache regime and in the page-alternating
+// regime.
+func TestStoreAccessZeroAllocs(t *testing.T) {
+	s := NewStore()
+	line := make([]byte, 64)
+	s.WriteWord(0x40, 1)
+	s.WriteWord(pageSize+0x40, 1) // both pages exist
+	if n := testing.AllocsPerRun(200, func() {
+		s.WriteWord(0x40, 3)
+		_ = s.ReadWord(0x40)
+		_ = s.AtomicAdd(0x40, 1)
+		s.ReadBytes(0x00, line)
+		s.WriteBytes(0x00, line, nil)
+		// alternate pages to defeat-then-refill the last-page cache
+		_ = s.ReadWord(pageSize + 0x40)
+		_ = s.ReadWord(0x40)
+	}); n != 0 {
+		t.Fatalf("hot-path store access allocates %v allocs/op, want 0", n)
+	}
+}

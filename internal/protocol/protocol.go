@@ -128,6 +128,21 @@ type Recorder interface {
 	Record(machine string, state, event int, kind Kind)
 }
 
+// CounterSource is the fast-path extension of Recorder. A recorder
+// that implements it can hand a machine direct access to the
+// [state][event] hit-count table it would otherwise maintain through
+// Record. NewMachine queries it once at bind time; when Counters
+// returns a non-nil table, the machine increments
+// hits[state][event] itself on every Fire — no per-transition name
+// lookup — and forwards to tee (which may be nil) for any remaining
+// side effects, such as tracing. Returning (nil, nil) declines the
+// fast path for that spec and the machine falls back to calling
+// Record, preserving whatever behavior (including panics on unknown
+// machines) the recorder implements there.
+type CounterSource interface {
+	Counters(spec *Spec) (hits [][]uint64, tee Recorder)
+}
+
 // FaultError reports an undefined transition: the protocol
 // implementation let an event reach a state that cannot accept it.
 type FaultError struct {
@@ -145,15 +160,30 @@ func (e *FaultError) Error() string {
 type Machine struct {
 	Spec *Spec
 	rec  Recorder
+	// hits, when non-nil, is the CounterSource fast path: Fire bumps
+	// hits[state][event] directly and forwards to tee (if non-nil)
+	// instead of calling rec.Record.
+	hits [][]uint64
+	tee  Recorder
 	// OnFault is invoked for undefined transitions. If nil, Fire
 	// panics, which is the right default for a simulator: an undefined
 	// transition means the model itself is broken.
 	OnFault func(*FaultError)
 }
 
-// NewMachine binds spec to recorder rec (which may be nil).
+// NewMachine binds spec to recorder rec (which may be nil). If rec is
+// a CounterSource that grants direct counters for spec, the machine
+// records through them; otherwise every Fire goes through rec.Record.
+// With no recorder and no counters, recording is a no-op.
 func NewMachine(spec *Spec, rec Recorder) *Machine {
-	return &Machine{Spec: spec, rec: rec}
+	m := &Machine{Spec: spec, rec: rec}
+	if cs, ok := rec.(CounterSource); ok {
+		if hits, tee := cs.Counters(spec); hits != nil {
+			m.hits, m.tee = hits, tee
+			m.rec = nil
+		}
+	}
+	return m
 }
 
 // Fire looks up (state, event), records it, and returns the cell.
@@ -161,7 +191,12 @@ func NewMachine(spec *Spec, rec Recorder) *Machine {
 // so the caller can abandon the message.
 func (m *Machine) Fire(state, event int) Cell {
 	c := m.Spec.Cell(state, event)
-	if m.rec != nil {
+	if m.hits != nil {
+		m.hits[state][event]++
+		if m.tee != nil {
+			m.tee.Record(m.Spec.Name, state, event, c.Kind)
+		}
+	} else if m.rec != nil {
 		m.rec.Record(m.Spec.Name, state, event, c.Kind)
 	}
 	if c.Kind == Undefined {

@@ -68,6 +68,69 @@ func TestMachineFireRecords(t *testing.T) {
 	}
 }
 
+// counterSink grants the fast path for every spec and remembers what
+// its tee saw.
+type counterSink struct {
+	hits [][]uint64
+	tee  *recordingSink
+}
+
+func (c *counterSink) Record(string, int, int, Kind) {
+	panic("fast-path machine must not call Record")
+}
+
+func (c *counterSink) Counters(spec *Spec) ([][]uint64, Recorder) {
+	if c.hits == nil {
+		c.hits = make([][]uint64, len(spec.States))
+		for i := range c.hits {
+			c.hits[i] = make([]uint64, len(spec.Events))
+		}
+	}
+	return c.hits, c.tee
+}
+
+func TestMachineCounterFastPath(t *testing.T) {
+	src := &counterSink{tee: &recordingSink{}}
+	m := NewMachine(demoSpec(), src)
+	m.Fire(0, 0)
+	m.Fire(0, 0)
+	m.Fire(1, 1)
+	if src.hits[0][0] != 2 || src.hits[1][1] != 1 {
+		t.Fatalf("direct counters = %v", src.hits)
+	}
+	if len(src.tee.fired) != 3 {
+		t.Fatalf("tee saw %d records, want 3", len(src.tee.fired))
+	}
+}
+
+// decliningSource is a CounterSource that refuses the fast path, so
+// the machine must stay on Record.
+type decliningSource struct{ recordingSink }
+
+func (d *decliningSource) Counters(*Spec) ([][]uint64, Recorder) { return nil, nil }
+
+func TestMachineDeclinedCountersFallBack(t *testing.T) {
+	src := &decliningSource{}
+	m := NewMachine(demoSpec(), src)
+	m.Fire(0, 0)
+	if len(src.fired) != 1 {
+		t.Fatal("declined fast path did not fall back to Record")
+	}
+}
+
+// TestMachineNoRecorderNoOp pins the nil-safety contract: a machine
+// with no recorder (and hence no counters) records nothing and must
+// not panic on defined transitions.
+func TestMachineNoRecorderNoOp(t *testing.T) {
+	m := NewMachine(demoSpec(), nil)
+	if cell := m.Fire(0, 0); cell.Kind != Defined {
+		t.Fatalf("Fire returned %+v", cell)
+	}
+	if m.hits != nil || m.rec != nil {
+		t.Fatal("recorder-less machine holds recording state")
+	}
+}
+
 func TestMachineUndefinedFaults(t *testing.T) {
 	var fault *FaultError
 	m := NewMachine(demoSpec(), nil)

@@ -51,10 +51,47 @@ func (r *Recorder) Record(machine string, state, event int, kind protocol.Kind) 
 	if r.next != nil {
 		r.next.Record(machine, state, event, kind)
 	}
+	r.trace(machine, state, event)
+}
+
+func (r *Recorder) trace(machine string, state, event int) {
 	if !r.sink.Tracing() {
 		return
 	}
 	if tbl, ok := r.labels[machine]; ok {
 		r.sink.Trace(machine, tbl[state][event], 0)
 	}
+}
+
+// Counters implements protocol.CounterSource by delegating to the
+// wrapped recorder. When the inner recorder grants direct counters for
+// spec, the machine increments those itself and this recorder's
+// remaining job — tracing — comes back as the tee, chained after any
+// tee the inner recorder returned. When the inner recorder declines
+// (or is not a CounterSource), so does this one, and recording stays
+// on the Record slow path.
+func (r *Recorder) Counters(spec *protocol.Spec) ([][]uint64, protocol.Recorder) {
+	cs, ok := r.next.(protocol.CounterSource)
+	if !ok {
+		return nil, nil
+	}
+	hits, inner := cs.Counters(spec)
+	if hits == nil {
+		return nil, nil
+	}
+	return hits, &traceTee{rec: r, inner: inner}
+}
+
+// traceTee is the Counters tee: counting is already done by the
+// machine, so Record here only runs the inner tee and the trace.
+type traceTee struct {
+	rec   *Recorder
+	inner protocol.Recorder
+}
+
+func (t *traceTee) Record(machine string, state, event int, kind protocol.Kind) {
+	if t.inner != nil {
+		t.inner.Record(machine, state, event, kind)
+	}
+	t.rec.trace(machine, state, event)
 }

@@ -168,3 +168,64 @@ func TestRecorderLabelsAndForwards(t *testing.T) {
 		t.Fatal("recorder traced while sink was off")
 	}
 }
+
+// grantingSource fakes an inner recorder that grants the counter fast
+// path (like the coverage collector does).
+type grantingSource struct {
+	hits [][]uint64
+}
+
+func (g *grantingSource) Record(string, int, int, protocol.Kind) {
+	panic("fast path must bypass Record")
+}
+
+func (g *grantingSource) Counters(spec *protocol.Spec) ([][]uint64, protocol.Recorder) {
+	g.hits = make([][]uint64, len(spec.States))
+	for i := range g.hits {
+		g.hits[i] = make([]uint64, len(spec.Events))
+	}
+	return g.hits, nil
+}
+
+// TestRecorderCountersDelegation: when the wrapped recorder grants
+// direct counters, the trace recorder passes them through and keeps
+// only the tracing half as the tee — counting and tracing both still
+// happen, with no Record call in between.
+func TestRecorderCountersDelegation(t *testing.T) {
+	spec := protocol.NewSpec("M", []string{"I", "V"}, []string{"Load", "Evict"})
+	spec.Trans(0, 0, 1, "fill")
+	inner := &grantingSource{}
+	sink := &fakeSink{on: true}
+	rec := NewRecorder(sink, inner, spec)
+
+	m := protocol.NewMachine(spec, rec)
+	m.Fire(0, 0)
+	if inner.hits[0][0] != 1 {
+		t.Fatalf("direct counters = %v", inner.hits)
+	}
+	if len(sink.entries) != 1 || sink.entries[0].Label != "I×Load" {
+		t.Fatalf("trace entries = %+v", sink.entries)
+	}
+	sink.on = false
+	m.Fire(0, 0)
+	if inner.hits[0][0] != 2 || len(sink.entries) != 1 {
+		t.Fatal("counting or quiet-sink behavior broken on the fast path")
+	}
+}
+
+// TestRecorderCountersDeclines: a plain Recorder next (no
+// CounterSource) keeps everything on the Record slow path.
+func TestRecorderCountersDeclines(t *testing.T) {
+	spec := protocol.NewSpec("M", []string{"I"}, []string{"Load"})
+	spec.Trans(0, 0, 0, "hit")
+	next := &countRecorder{}
+	rec := NewRecorder(&fakeSink{}, next, spec)
+	if hits, tee := rec.Counters(spec); hits != nil || tee != nil {
+		t.Fatal("recorder granted counters its inner recorder cannot back")
+	}
+	m := protocol.NewMachine(spec, rec)
+	m.Fire(0, 0)
+	if next.n != 1 {
+		t.Fatal("slow path lost the record")
+	}
+}

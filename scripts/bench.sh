@@ -6,15 +6,17 @@
 # Usage:
 #   scripts/bench.sh [-o out.json] [-t benchtime] [-b 'EventLoop|Speed_']
 #
-# The benchmark set defaults to the PR-gate pair: the event-loop
-# microbenchmarks (internal/sim) and the end-to-end memops/s
-# benchmarks (repo root). Everything go test prints still goes to
-# stderr, so the JSON on -o (or stdout) stays machine-readable.
+# The benchmark set defaults to the PR gate: the event-loop
+# microbenchmarks (internal/sim), the end-to-end memops/s benchmarks
+# (repo root), and the hot-path microbenchmarks for the reference
+# memory (internal/mem) and the verification engine
+# (internal/checker). Everything go test prints still goes to stderr,
+# so the JSON on -o (or stdout) stays machine-readable.
 set -euo pipefail
 
 out=""
 benchtime="0.5s"
-pattern='EventLoop|Speed_'
+pattern='EventLoop|Speed_|StoreAccess|Checker'
 while getopts "o:t:b:" opt; do
   case "$opt" in
     o) out="$OPTARG" ;;
@@ -26,7 +28,7 @@ done
 
 cd "$(dirname "$0")/.."
 
-raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./ ./internal/sim/)
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./ ./internal/sim/ ./internal/mem/ ./internal/checker/)
 echo "$raw" >&2
 
 json=$(echo "$raw" | awk '
