@@ -420,6 +420,44 @@ func BenchmarkProtocolPerf_WTvsWB(b *testing.B) {
 	b.ReportMetric(float64(wt)/float64(wb), "WB-speedup")
 }
 
+// BenchmarkCampaignReuse / BenchmarkCampaignRebuild measure the
+// campaign engine's seed throughput with reusable run contexts (reset
+// per seed) against the rebuild baseline (fresh system per seed). The
+// configuration is paper-scale on the address-space axis — tens of
+// thousands of variables, as in Table III — which is exactly where
+// per-seed reconstruction hurts: the variable slab, reference memory
+// and cache arrays dwarf the work of one short run.
+func BenchmarkCampaignReuse(b *testing.B)   { benchCampaign(b, false) }
+func BenchmarkCampaignRebuild(b *testing.B) { benchCampaign(b, true) }
+
+func benchCampaign(b *testing.B, rebuild bool) {
+	b.Helper()
+	testCfg := core.DefaultConfig()
+	testCfg.NumWavefronts = 8
+	testCfg.EpisodesPerWF = 1
+	testCfg.ActionsPerEpisode = 8
+	testCfg.NumSyncVars = 16
+	testCfg.NumDataVars = 100_000
+	seeds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := harness.RunGPUCampaign(harness.CampaignConfig{
+			SysCfg:    viper.SmallCacheConfig(),
+			TestCfg:   testCfg,
+			BaseSeed:  uint64(i)*1000 + 1,
+			BatchSize: 8,
+			MaxSeeds:  32,
+			Rebuild:   rebuild,
+		})
+		if len(res.Failures) != 0 {
+			b.Fatalf("campaign failed: seed %d: %v", res.Failures[0].Seed, res.Failures[0].Failures[0])
+		}
+		seeds += res.SeedsRun
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(seeds)/b.Elapsed().Seconds(), "seeds/sec")
+}
+
 // BenchmarkAxiomaticChecker measures the offline verifier's throughput
 // over a recorded correct execution.
 func BenchmarkAxiomaticChecker(b *testing.B) {

@@ -9,11 +9,19 @@
 //	          [-bug lostwrite|nonatomic|dropack|staleacquire]
 //	          [-artifact-dir DIR] [-trace-depth 4096]
 //	          [-heatmap] [-grid] [-v]
+//	          [-campaign] [-saturate-k 3] [-max-seeds 1024]
+//	          [-batch 16] [-workers 0] [-campaign-rebuild]
 //
 // With -artifact-dir set the run records a bounded execution trace
 // and, on any checker failure, serializes a replay artifact (JSON)
 // into the directory; `replay <artifact>` re-executes it and asserts
 // the failure reproduces bit-identically.
+//
+// With -campaign the tester runs a coverage-saturation campaign
+// instead of a single seed: seeds -seed, -seed+1, ... execute on a
+// pool of reusable run contexts until -saturate-k consecutive batches
+// of -batch seeds add no new transition coverage (or -max-seeds is
+// reached). The outcome is independent of -workers.
 //
 // Exit status is 0 when the protocol passes, 1 when bugs are detected.
 package main
@@ -23,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"drftest/internal/checker"
 
@@ -55,6 +64,12 @@ func main() {
 	traceDepth := flag.Int("trace-depth", harness.DefaultTraceCapacity, "execution-trace ring capacity used with -artifact-dir")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
+	campaign := flag.Bool("campaign", false, "run a coverage-saturation campaign over seeds seed, seed+1, ...")
+	saturateK := flag.Int("saturate-k", 3, "campaign: stop after this many consecutive batches with no new coverage (0 = run exactly max-seeds)")
+	maxSeeds := flag.Int("max-seeds", harness.DefaultCampaignMaxSeeds, "campaign: hard cap on seeds run")
+	batch := flag.Int("batch", 16, "campaign: seeds per batch between coverage merges")
+	workers := flag.Int("workers", 0, "campaign: worker pool size (0 = GOMAXPROCS); does not affect the outcome")
+	campaignRebuild := flag.Bool("campaign-rebuild", false, "campaign: rebuild the system for every seed instead of reusing run contexts (baseline mode)")
 	flag.Parse()
 
 	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
@@ -120,6 +135,20 @@ func main() {
 	cfg.NumSyncVars = *syncVars
 	cfg.NumDataVars = *dataVars
 	cfg.RecordTrace = *axioms
+
+	if *campaign {
+		runCampaign(harness.CampaignConfig{
+			SysCfg:    sysCfg,
+			TestCfg:   cfg,
+			BaseSeed:  *seed,
+			Workers:   *workers,
+			BatchSize: *batch,
+			SaturateK: *saturateK,
+			MaxSeeds:  *maxSeeds,
+			Rebuild:   *campaignRebuild,
+		}, *protocolName, *caches, *jsonOut, *heatmap, exit)
+		return
+	}
 
 	b := harness.BuildGPU(sysCfg)
 	k, sys, col := b.K, b.Sys, b.Col
@@ -215,6 +244,95 @@ func main() {
 		exit(1)
 	}
 	fmt.Println("PASS: no coherence violations detected")
+}
+
+// runCampaign executes a coverage-saturation campaign and reports the
+// merged result. Exit status 1 means at least one seed found a bug.
+func runCampaign(cc harness.CampaignConfig, protocolName, caches string, jsonOut, heatmap bool, exit func(int)) {
+	res := harness.RunGPUCampaign(cc)
+
+	if jsonOut {
+		failures := make([]map[string]any, 0, len(res.Failures))
+		for _, sf := range res.Failures {
+			for _, f := range sf.Failures {
+				failures = append(failures, map[string]any{
+					"seed":    sf.Seed,
+					"kind":    f.Kind.String(),
+					"tick":    f.Tick,
+					"addr":    uint64(f.Addr),
+					"message": f.Message,
+				})
+			}
+		}
+		out := map[string]any{
+			"passed":          len(res.Failures) == 0,
+			"baseSeed":        cc.BaseSeed,
+			"seedsRun":        res.SeedsRun,
+			"batches":         res.Batches,
+			"saturated":       res.Saturated,
+			"newCellsByBatch": res.NewCellsByBatch,
+			"opsIssued":       res.TotalOps,
+			"kernelEvents":    res.TotalEvents,
+			"wallSeconds":     res.Wall.Seconds(),
+			"seedsPerSec":     res.SeedsPerSec(),
+			"l1":              res.UnionL1,
+			"l2":              res.UnionL2,
+			"failures":        failures,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		if len(res.Failures) > 0 {
+			exit(1)
+		}
+		return
+	}
+
+	mode := "reuse"
+	if cc.Rebuild {
+		mode = "rebuild"
+	}
+	fmt.Printf("gputester campaign: baseSeed=%d protocol=%s caches=%s batch=%d saturateK=%d maxSeeds=%d mode=%s\n",
+		cc.BaseSeed, protocolName, caches, cc.BatchSize, cc.SaturateK, cc.MaxSeeds, mode)
+	fmt.Printf("  seeds run      %d in %d batches (%.1f seeds/sec, wall %s)\n",
+		res.SeedsRun, res.Batches, res.SeedsPerSec(), res.Wall.Round(time.Millisecond))
+	if res.Saturated {
+		fmt.Printf("  saturated      yes: %d consecutive batches added no coverage\n", cc.SaturateK)
+	} else {
+		fmt.Printf("  saturated      no: hit the %d-seed cap first\n", cc.MaxSeeds)
+	}
+	fmt.Printf("  new cells      %v\n", res.NewCellsByBatch)
+	fmt.Printf("  ops issued     %d (kernel events %d)\n", res.TotalOps, res.TotalEvents)
+
+	var impsb coverage.CellSet
+	if cc.SysCfg.WriteBackL2 {
+		impsb = harness.TCCWBImpossible()
+	} else {
+		impsb = harness.TCCImpossibleGPUOnly()
+	}
+	fmt.Printf("  %s\n  %s\n", res.UnionL1.Summarize(nil), res.UnionL2.Summarize(impsb))
+	if heatmap {
+		res.UnionL1.RenderHeatmap(os.Stdout, nil)
+		res.UnionL2.RenderHeatmap(os.Stdout, impsb)
+	}
+
+	if len(res.Failures) > 0 {
+		n := 0
+		for _, sf := range res.Failures {
+			n += len(sf.Failures)
+		}
+		fmt.Printf("\nFAIL: %d bug(s) across %d seed(s)\n", n, len(res.Failures))
+		for _, sf := range res.Failures {
+			for _, f := range sf.Failures {
+				fmt.Printf("seed %d:\n%s\n", sf.Seed, f.TableV())
+			}
+		}
+		exit(1)
+	}
+	fmt.Println("PASS: no coherence violations detected across the campaign")
 }
 
 // emitJSON writes a machine-readable run report for CI consumption.

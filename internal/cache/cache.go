@@ -115,6 +115,23 @@ func NewArray(cfg Config) *Array {
 // Config returns the array's configuration.
 func (a *Array) Config() Config { return a.cfg }
 
+// Reset invalidates every line and zeroes the LRU clock and stats,
+// returning the array to its just-built state without reallocating.
+// Stale line data and dirty masks need not be cleared: invalid lines
+// are never read (Valid gates every lookup, and Victim prefers an
+// invalid way regardless of tag), and Install zeroes both when a way
+// is claimed.
+func (a *Array) Reset() {
+	for s := range a.sets {
+		for w := range a.sets[s] {
+			a.sets[s][w].Valid = false
+			a.sets[s][w].lastUse = 0
+		}
+	}
+	a.useClock = 0
+	a.lookups, a.hits = 0, 0
+}
+
 func (a *Array) setIndex(line mem.Addr) int {
 	return int(line/mem.Addr(a.cfg.LineSize)) & (a.cfg.Sets() - 1)
 }

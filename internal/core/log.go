@@ -59,6 +59,15 @@ func (l *EventLog) Append(e LogEntry) {
 	}
 }
 
+// Reset empties the log without reallocating its ring. Stale entries
+// past the write cursor are unreachable (snapshot reads [:next] until
+// the ring wraps again), so they need no clearing.
+func (l *EventLog) Reset() {
+	l.next = 0
+	l.full = false
+	l.total = 0
+}
+
 // Total returns the number of transactions ever recorded.
 func (l *EventLog) Total() uint64 { return l.total }
 

@@ -28,6 +28,10 @@ const (
 // traceComponent names the tester in kernel trace entries.
 const traceComponent = "gpu-tester"
 
+// testerStream is the PCG stream selector of the tester's main RNG
+// (arbitrary, fixed: Reset must reproduce the construction-time stream).
+const testerStream = 0xD2F
+
 func opName(k opKind) string {
 	switch k {
 	case opAcquire:
@@ -141,7 +145,7 @@ func NewMulti(k *sim.Kernel, systems []*viper.System, cfg Config) *Tester {
 		k:       k,
 		cfg:     cfg,
 		systems: systems,
-		rnd:     rng.New(cfg.Seed, 0xD2F),
+		rnd:     rng.New(cfg.Seed, testerStream),
 		log:     NewEventLog(cfg.LogCapacity),
 	}
 	lineSize := systems[0].Cfg.L1.LineSize
@@ -176,6 +180,50 @@ func NewMulti(k *sim.Kernel, systems []*viper.System, cfg Config) *Tester {
 		seq.SetClient(t)
 	}
 	return t
+}
+
+// Reset rearms the tester for a fresh run from seed over the same
+// (already-reset) kernel and systems: episode, claim, reference and
+// failure state is cleared, the main RNG is reseeded, and the random
+// variable→address mapping is regenerated, so the subsequent Run is
+// bit-identical to the run of a freshly constructed Tester with
+// cfg.Seed = seed. The request slab, episode free list, wavefront
+// wiring, and pre-bound closures are retained — their contents are
+// fully reinitialized on reuse — which is what makes a campaign's
+// reset-per-seed loop allocation-light. The caller must reset the
+// kernel (and each system) first; the tester's pending events must be
+// gone before its state is recycled.
+func (t *Tester) Reset(seed uint64) {
+	t.cfg.Seed = seed
+	*t.rnd = *rng.New(seed, testerStream)
+	t.log.Reset()
+	t.space.rebuild(t.rnd.Split(), t.cfg.NumSyncVars, t.cfg.NumDataVars, t.cfg.AddressRangeBytes)
+	for _, thr := range t.threads {
+		thr.ep = nil
+		thr.episodesDone = 0
+		thr.curOp = genOp{}
+	}
+	for _, wf := range t.wfs {
+		wf.outstanding = 0
+		wf.finished = false
+	}
+	t.failures = nil
+	t.deadlockSeen = false
+	t.lastWorkTick = 0
+	t.genSeq = 0
+	if t.cfg.RecordTrace {
+		t.trace = &checker.Trace{AtomicDelta: t.cfg.AtomicDelta}
+		t.epMeta = make(map[uint64]*checker.EpisodeMeta)
+	}
+	if t.cfg.StreamCheck {
+		t.stream = checker.NewStream(t.cfg.AtomicDelta)
+	}
+	t.nextReqID = 0
+	t.nextEpisodeID = 0
+	t.storeValue = 0
+	t.finishedWFs = 0
+	t.done = false
+	t.opsIssued, t.opsCompleted, t.episodesRetired = 0, 0, 0
 }
 
 // FalseSharingLines reports how many cache lines mix sync and data
@@ -465,12 +513,15 @@ func (t *Tester) checkLoad(ep *episode, v *variable, rec AccessRecord, resp *mem
 	if resp.Data == expected {
 		return
 	}
+	// Copy rec on the failure path only: taking &rec itself would make
+	// the parameter escape and heap-allocate on every clean load.
+	r := rec
 	f := &Failure{
 		Kind: FailValueMismatch, Tick: resp.Tick, Addr: v.addr,
 		Expected: expected, Got: resp.Data,
 		Message: fmt.Sprintf("load of %#x returned %d, expected %d (own-write=%v)",
 			uint64(v.addr), resp.Data, expected, own),
-		LastReader: &rec,
+		LastReader: &r,
 		Window:     t.log.ForAddr(v.addr, 16),
 	}
 	if v.hasWriter {
@@ -485,33 +536,33 @@ func (t *Tester) checkLoad(ep *episode, v *variable, rec AccessRecord, resp *mem
 // number of issued atomics.
 func (t *Tester) checkAtomic(v *variable, rec AccessRecord) {
 	old := rec.Value
-	defer func() {
-		v.seenOld[old] = rec
-		v.completed++
-	}()
+	// rec copies live on the failure paths only: a defer closing over
+	// rec (or &rec in a Failure) would heap-allocate on every clean
+	// atomic.
 	if old%t.cfg.AtomicDelta != 0 {
+		r := rec
 		t.fail(&Failure{
 			Kind: FailBadAtomicValue, Tick: rec.Cycle, Addr: v.addr,
 			Got: old,
 			Message: fmt.Sprintf("atomic on %#x returned %d, not a multiple of delta %d",
 				uint64(v.addr), old, t.cfg.AtomicDelta),
-			LastReader: &rec,
+			LastReader: &r,
 			Window:     t.log.ForAddr(v.addr, 16),
 		})
-		return
-	}
-	if prev, dup := v.seenOld[old]; dup {
-		p := prev
+	} else if prev, dup := v.seenOld[old]; dup {
+		p, r := prev, rec
 		t.fail(&Failure{
 			Kind: FailDuplicateAtomic, Tick: rec.Cycle, Addr: v.addr,
 			Got: old,
 			Message: fmt.Sprintf("two atomics on %#x returned the same old value %d: atomicity violated",
 				uint64(v.addr), old),
 			LastReader: &p,
-			LastWriter: &rec,
+			LastWriter: &r,
 			Window:     t.log.ForAddr(v.addr, 16),
 		})
 	}
+	v.seenOld[old] = rec
+	v.completed++
 }
 
 // buildTraceOp converts a completed operation into the axiomatic
@@ -561,6 +612,10 @@ func (t *Tester) retire(thr *thread, ep *episode) {
 		v.release(ep.id)
 	}
 	t.episodesRetired++
+	// Nothing references a retired episode (its last op has completed
+	// and thr.ep is cleared below), so its maps and slices go back to
+	// the free list for the next generation.
+	t.epFree = append(t.epFree, ep)
 	thr.ep = nil
 	thr.episodesDone++
 }
@@ -572,25 +627,34 @@ func (t *Tester) heartbeat() {
 		return
 	}
 	now := uint64(t.k.Now())
+	// Report the oldest over-threshold request (ties broken by ID):
+	// outstanding sets are maps, so reporting the first one encountered
+	// would vary with iteration order and break run determinism.
+	var stuck *mem.Request
 	t.forEachOutstanding(func(r *mem.Request) {
-		if t.deadlockSeen || now-r.IssueTick <= t.cfg.DeadlockThreshold {
+		if now-r.IssueTick <= t.cfg.DeadlockThreshold {
 			return
 		}
-		t.deadlockSeen = true
-		if t.k.Tracing() {
-			t.k.Trace(traceComponent, "fail "+FailDeadlock.String(), uint64(r.Addr))
+		if stuck == nil || r.IssueTick < stuck.IssueTick ||
+			(r.IssueTick == stuck.IssueTick && r.ID < stuck.ID) {
+			stuck = r
 		}
-		t.failures = append(t.failures, &Failure{
-			Kind: FailDeadlock, Tick: now, Addr: r.Addr,
-			Message: fmt.Sprintf("no forward progress: %s outstanding for %d ticks (threshold %d)",
-				r, now-r.IssueTick, t.cfg.DeadlockThreshold),
-			Window: t.log.ForAddr(r.Addr, 16),
-		})
-		t.k.Stop()
 	})
-	if !t.deadlockSeen {
-		t.k.Schedule(t.cfg.CheckPeriod, t.heartbeat)
+	if stuck == nil {
+		t.k.Schedule(t.cfg.CheckPeriod, t.heartbeatFn)
+		return
 	}
+	t.deadlockSeen = true
+	if t.k.Tracing() {
+		t.k.Trace(traceComponent, "fail "+FailDeadlock.String(), uint64(stuck.Addr))
+	}
+	t.failures = append(t.failures, &Failure{
+		Kind: FailDeadlock, Tick: now, Addr: stuck.Addr,
+		Message: fmt.Sprintf("no forward progress: %s outstanding for %d ticks (threshold %d)",
+			stuck, now-stuck.IssueTick, t.cfg.DeadlockThreshold),
+		Window: t.log.ForAddr(stuck.Addr, 16),
+	})
+	t.k.Stop()
 }
 
 func (t *Tester) forEachOutstanding(visit func(*mem.Request)) {

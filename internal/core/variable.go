@@ -99,9 +99,30 @@ func (v *variable) release(eps uint64) {
 type addressSpace struct {
 	syncVars []*variable
 	dataVars []*variable
+
+	// slab/chosen/addrs are the backing storage, retained so rebuild
+	// (campaign reset path) can regenerate the mapping without
+	// reallocating a 100k-variable space per seed.
+	slab   []variable
+	chosen []uint64
+	addrs  []mem.Addr
 }
 
 func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *addressSpace {
+	sp := &addressSpace{}
+	sp.rebuild(rnd, numSync, numData, rangeBytes)
+	return sp
+}
+
+// rebuild regenerates the random variable→address mapping in place with
+// fresh randomness, reusing the variable slab, the sampling bitset, and
+// the per-variable maps from a previous build when the shape allows. A
+// rebuilt space is semantically indistinguishable from a fresh one:
+// every scalar field is reassigned, and retained maps are cleared —
+// sound because nothing in the tester depends on map bucket layout or
+// iteration order (claims are membership predicates, seenOld is
+// lookup-only).
+func (sp *addressSpace) rebuild(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) {
 	total := numSync + numData
 	slots := int(rangeBytes / mem.WordSize)
 	if slots < total {
@@ -113,39 +134,57 @@ func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *a
 	// multiple of the variable count, so the set costs slots/8 bytes
 	// in one allocation where a map would cost tens of bytes per entry
 	// and a hash per probe.
-	chosen := make([]uint64, (slots+63)/64)
-	addrs := make([]mem.Addr, 0, total)
-	for len(addrs) < total {
+	words := (slots + 63) / 64
+	if cap(sp.chosen) < words {
+		sp.chosen = make([]uint64, words)
+	} else {
+		sp.chosen = sp.chosen[:words]
+		clear(sp.chosen)
+	}
+	if cap(sp.addrs) < total {
+		sp.addrs = make([]mem.Addr, 0, total)
+	} else {
+		sp.addrs = sp.addrs[:0]
+	}
+	for len(sp.addrs) < total {
 		s := rnd.Intn(slots)
-		if chosen[s>>6]&(1<<(s&63)) != 0 {
+		if sp.chosen[s>>6]&(1<<(s&63)) != 0 {
 			continue
 		}
-		chosen[s>>6] |= 1 << (s & 63)
-		addrs = append(addrs, mem.Addr(s*mem.WordSize))
+		sp.chosen[s>>6] |= 1 << (s & 63)
+		sp.addrs = append(sp.addrs, mem.Addr(s*mem.WordSize))
 	}
 	// The first numSync sampled slots become sync variables; sampling
 	// order is random, so sync variables scatter across the range.
 	// Variables live in one slab: a 100k-variable space costs one
 	// allocation, not 100k, and reader-claim maps are built lazily on
 	// first claim (ensureReaders).
-	sp := &addressSpace{
-		syncVars: make([]*variable, 0, numSync),
-		dataVars: make([]*variable, 0, numData),
+	if len(sp.slab) != total {
+		sp.slab = make([]variable, total)
+		sp.syncVars = make([]*variable, 0, numSync)
+		sp.dataVars = make([]*variable, 0, numData)
 	}
-	slab := make([]variable, total)
-	for i, a := range addrs {
-		v := &slab[i]
-		v.id = i
-		v.sync = i < numSync
-		v.addr = a
+	sp.syncVars = sp.syncVars[:0]
+	sp.dataVars = sp.dataVars[:0]
+	for i, a := range sp.addrs {
+		v := &sp.slab[i]
+		readers, seenOld := v.readers, v.seenOld
+		if readers != nil {
+			clear(readers)
+		}
+		*v = variable{id: i, sync: i < numSync, addr: a, readers: readers}
 		if v.sync {
-			v.seenOld = make(map[uint32]AccessRecord)
+			if seenOld == nil {
+				seenOld = make(map[uint32]AccessRecord)
+			} else {
+				clear(seenOld)
+			}
+			v.seenOld = seenOld
 			sp.syncVars = append(sp.syncVars, v)
 		} else {
 			sp.dataVars = append(sp.dataVars, v)
 		}
 	}
-	return sp
 }
 
 // falseSharingPairs counts cache lines containing both a sync and a

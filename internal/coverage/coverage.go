@@ -73,17 +73,56 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
-// Merge adds other's hits into m (run unions). The specs must describe
-// the same table shape.
-func (m *Matrix) Merge(other *Matrix) {
-	if len(m.Hits) != len(other.Hits) {
-		panic("coverage: merging mismatched matrices")
-	}
+// Zero clears the hit counts in place. The Hits tables themselves are
+// retained — machines granted direct counters via protocol.CounterSource
+// hold references into them, so reallocating here would silently detach
+// every live machine from the collector.
+func (m *Matrix) Zero() {
 	for i := range m.Hits {
+		clear(m.Hits[i])
+	}
+}
+
+// matrixName names a matrix for diagnostics, tolerating a nil Spec.
+func matrixName(m *Matrix) string {
+	if m == nil || m.Spec == nil {
+		return "<nil spec>"
+	}
+	return m.Spec.Name
+}
+
+// Merge adds other's hits into m (run unions). The specs must describe
+// the same table shape; a nil matrix or a shape mismatch panics with a
+// message naming both specs rather than an opaque index error.
+func (m *Matrix) Merge(other *Matrix) {
+	m.MergeCountNew(other)
+}
+
+// MergeCountNew merges other into m exactly like Merge and returns the
+// number of cells that went from zero to nonzero — the "new
+// transitions" a saturation-driven campaign watches for.
+func (m *Matrix) MergeCountNew(other *Matrix) int {
+	if m == nil || other == nil {
+		panic(fmt.Sprintf("coverage: merging nil matrix (%s into %s)", matrixName(other), matrixName(m)))
+	}
+	if len(m.Hits) != len(other.Hits) {
+		panic(fmt.Sprintf("coverage: merging mismatched matrices: %s has %d states, %s has %d",
+			matrixName(m), len(m.Hits), matrixName(other), len(other.Hits)))
+	}
+	newCells := 0
+	for i := range m.Hits {
+		if len(m.Hits[i]) != len(other.Hits[i]) {
+			panic(fmt.Sprintf("coverage: merging mismatched matrices: %s state %d has %d events, %s has %d",
+				matrixName(m), i, len(m.Hits[i]), matrixName(other), len(other.Hits[i])))
+		}
 		for j := range m.Hits[i] {
+			if m.Hits[i][j] == 0 && other.Hits[i][j] != 0 {
+				newCells++
+			}
 			m.Hits[i][j] += other.Hits[i][j]
 		}
 	}
+	return newCells
 }
 
 // Total returns the total number of recorded transitions.
@@ -242,6 +281,17 @@ func (c *Collector) Counters(spec *protocol.Spec) ([][]uint64, protocol.Recorder
 		return m.Hits, nil
 	}
 	return nil, nil
+}
+
+// Reset zeroes every registered matrix in place, so machines holding
+// direct counter references (protocol.CounterSource) keep recording
+// into the same tables afterwards. It is the campaign engine's per-run
+// coverage-delta primitive: reset before a run, and the matrices hold
+// exactly that run's hits.
+func (c *Collector) Reset() {
+	for _, name := range c.order {
+		c.matrices[name].Zero()
+	}
 }
 
 // Matrix returns the named machine's matrix, or nil.

@@ -109,6 +109,68 @@ func TestMergeAndClone(t *testing.T) {
 	}
 }
 
+func TestMergeCountNew(t *testing.T) {
+	a := NewMatrix(demoSpec())
+	b := NewMatrix(demoSpec())
+	a.Hits[0][0] = 1 // already hot: must not count as new
+	b.Hits[0][0] = 2
+	b.Hits[1][1] = 7 // zero -> nonzero: new
+	b.Hits[1][2] = 1 // zero -> nonzero: new
+	if n := a.MergeCountNew(b); n != 2 {
+		t.Fatalf("MergeCountNew = %d, want 2", n)
+	}
+	// A second identical merge finds nothing new.
+	if n := a.MergeCountNew(b); n != 0 {
+		t.Fatalf("repeat MergeCountNew = %d, want 0", n)
+	}
+}
+
+// mustPanicWith runs fn and asserts it panics with a message
+// containing every substring in want.
+func mustPanicWith(t *testing.T, fn func(), want ...string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic, got none")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		for _, w := range want {
+			if !strings.Contains(msg, w) {
+				t.Fatalf("panic %q does not mention %q", msg, w)
+			}
+		}
+	}()
+	fn()
+}
+
+func TestMergePanicsNamedAndEarly(t *testing.T) {
+	var nilM *Matrix
+	m := NewMatrix(demoSpec())
+
+	mustPanicWith(t, func() { m.Merge(nil) }, "nil matrix", "demo")
+	mustPanicWith(t, func() { nilM.Merge(m) }, "nil matrix", "demo")
+
+	other := protocol.NewSpec("tiny", []string{"I"}, []string{"Ld"})
+	mustPanicWith(t, func() { m.Merge(NewMatrix(other)) },
+		"mismatched", "demo", "tiny", "states")
+
+	// Same outer shape, ragged inner row: the panic must fire before
+	// any cell of the bad row is merged, naming the state index.
+	ragged := NewMatrix(demoSpec())
+	ragged.Hits[1] = ragged.Hits[1][:2]
+	dst := NewMatrix(demoSpec())
+	dst.Hits[0][0] = 5
+	mustPanicWith(t, func() { dst.Merge(ragged) },
+		"mismatched", "state 1", "events")
+	if dst.Hits[0][0] != 5 {
+		t.Fatalf("row 0 corrupted by failed merge: %d", dst.Hits[0][0])
+	}
+}
+
 func TestInactiveCells(t *testing.T) {
 	m := NewMatrix(demoSpec())
 	m.Hits[0][0] = 1

@@ -1,0 +1,288 @@
+// Campaign engine: coverage-saturation testing campaigns over reusable
+// run contexts.
+//
+// The paper's methodology is campaign-shaped — coverage accumulates
+// across many independent tester runs until the protocol transition
+// matrix saturates — so the harness needs more than fixed-length
+// sweeps. This file provides:
+//
+//   - Reusable run contexts: each worker builds one system and replays
+//     it across hundreds of seeds via the Reset paths (sim.Kernel,
+//     viper.System, coverage.Collector, core.Tester), skipping the
+//     per-run construction cost of caches, pools, address space and
+//     reference memory. A reset run is bit-identical to a fresh-build
+//     run for the same seed (pinned by TestResetRunBitIdentical).
+//   - A saturation-driven scheduler: workers pull seeds from an
+//     unbounded sequence via an atomic ticket counter and accumulate
+//     per-worker coverage deltas; after every batch the merger unions
+//     the deltas into the campaign matrices and counts newly activated
+//     cells. K consecutive batches with zero new transitions stop the
+//     campaign — run-until-plateau, the paper's actual stopping rule —
+//     bounded by a hard seed cap.
+//   - Scalable merging: the run path touches only worker-local
+//     matrices (the collector's direct counter tables); union merging
+//     happens at batch boundaries, outside the workers, so there is no
+//     shared-map or lock contention while seeds execute.
+//
+// Determinism: the campaign's outcome — seeds run, batch count, union
+// matrices, failure set — is a pure function of (BaseSeed, BatchSize,
+// SaturateK, MaxSeeds) and is independent of the worker count. Seeds
+// are dealt from one counter so every seed in [BaseSeed,
+// BaseSeed+SeedsRun) runs exactly once; matrix union is addition
+// (commutative), the newly-activated-cell count per batch is a set
+// property of the batch, and failures are keyed and sorted by seed.
+package harness
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drftest/internal/core"
+	"drftest/internal/coverage"
+	"drftest/internal/protocol"
+	"drftest/internal/viper"
+)
+
+// DefaultCampaignMaxSeeds caps a campaign that never saturates.
+const DefaultCampaignMaxSeeds = 1024
+
+// CampaignConfig parameterizes a coverage-saturation campaign.
+type CampaignConfig struct {
+	// SysCfg and TestCfg shape every run; TestCfg.Seed is ignored —
+	// run i uses seed BaseSeed + i.
+	SysCfg  viper.Config
+	TestCfg core.Config
+	// BaseSeed is the first seed of the campaign's seed sequence.
+	BaseSeed uint64
+	// Workers sizes the worker pool (≤0 → GOMAXPROCS). The campaign
+	// outcome does not depend on it, only wall clock does.
+	Workers int
+	// BatchSize is the number of seeds between coverage merges (≤0 →
+	// 16). The saturation rule advances in whole batches, so smaller
+	// batches stop closer to the true plateau but merge more often.
+	BatchSize int
+	// SaturateK stops the campaign after this many consecutive batches
+	// that activate zero new transition cells. Zero disables the
+	// plateau rule: the campaign runs exactly MaxSeeds seeds.
+	SaturateK int
+	// MaxSeeds is the hard cap on seeds run (≤0 →
+	// DefaultCampaignMaxSeeds).
+	MaxSeeds int
+	// Rebuild disables run-context reuse: every seed constructs a
+	// fresh system. This is the pre-campaign baseline mode, kept for
+	// benchmarking the reset path against (BenchmarkCampaign).
+	Rebuild bool
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.MaxSeeds <= 0 {
+		c.MaxSeeds = DefaultCampaignMaxSeeds
+	}
+	return c
+}
+
+// SeedFailure records the failures one seed produced.
+type SeedFailure struct {
+	Seed     uint64
+	Failures []*core.Failure
+}
+
+// CampaignResult is the outcome of a saturation campaign.
+type CampaignResult struct {
+	// SeedsRun counts completed runs; seeds were BaseSeed ..
+	// BaseSeed+SeedsRun-1.
+	SeedsRun int
+	// Batches counts merge rounds; NewCellsByBatch[i] is the number of
+	// transition cells batch i activated for the first time.
+	Batches         int
+	NewCellsByBatch []int
+	// Saturated reports whether the plateau rule (not the seed cap)
+	// ended the campaign.
+	Saturated bool
+
+	UnionL1    *coverage.Matrix
+	UnionL2    *coverage.Matrix
+	UnionL1Sum coverage.Summary
+	UnionL2Sum coverage.Summary
+
+	// Failures lists every failing seed in ascending seed order.
+	Failures []SeedFailure
+
+	TotalOps    uint64
+	TotalEvents uint64
+	// TotalWall sums per-run wall times (the testing-cost measure);
+	// Wall is the campaign's elapsed wall clock.
+	TotalWall time.Duration
+	Wall      time.Duration
+}
+
+// SeedsPerSec returns the campaign's end-to-end throughput.
+func (r *CampaignResult) SeedsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.SeedsRun) / r.Wall.Seconds()
+}
+
+// campaignWorker owns one long-lived run context. All fields are
+// touched only by the goroutine running the worker during a batch, and
+// only by the merger between batches.
+type campaignWorker struct {
+	cfg    CampaignConfig
+	l2Name string
+
+	b      *GPUBuild
+	tester *core.Tester
+
+	// dL1/dL2 accumulate the worker's coverage since its last publish;
+	// failures, ops, events and wall likewise. The collector inside b
+	// is reset before every run, so its matrices hold exactly one
+	// run's hits, merged here on completion.
+	dL1, dL2 *coverage.Matrix
+	failures []SeedFailure
+	ops      uint64
+	events   uint64
+	wall     time.Duration
+}
+
+func (w *campaignWorker) runSeed(seed uint64) {
+	if w.b == nil || w.cfg.Rebuild {
+		w.b = BuildGPU(w.cfg.SysCfg)
+		tc := w.cfg.TestCfg
+		tc.Seed = seed
+		w.tester = core.New(w.b.K, w.b.Sys, tc)
+	} else {
+		// Reset order matters: the kernel first (drops pending events,
+		// essential after a bug-stopped run), then the system (recycles
+		// controller state those events referenced), then the collector
+		// (zeroes the hit tables in place) and the tester.
+		w.b.K.Reset()
+		w.b.Sys.Reset()
+		w.b.Col.Reset()
+		w.tester.Reset(seed)
+	}
+	rep := w.tester.Run()
+	w.dL1.Merge(w.b.Col.Matrix("GPU-L1"))
+	w.dL2.Merge(w.b.Col.Matrix(w.l2Name))
+	if len(rep.Failures) > 0 {
+		w.failures = append(w.failures, SeedFailure{Seed: seed, Failures: rep.Failures})
+	}
+	w.ops += rep.OpsIssued
+	w.events += rep.EventsExecuted
+	w.wall += rep.WallTime
+}
+
+// publish merges the worker's accumulated delta into the campaign
+// result, returning the number of newly activated union cells, and
+// clears the delta for the next batch.
+func (w *campaignWorker) publish(out *CampaignResult) int {
+	n := out.UnionL1.MergeCountNew(w.dL1)
+	n += out.UnionL2.MergeCountNew(w.dL2)
+	w.dL1.Zero()
+	w.dL2.Zero()
+	out.Failures = append(out.Failures, w.failures...)
+	w.failures = w.failures[:0]
+	out.TotalOps += w.ops
+	out.TotalEvents += w.events
+	out.TotalWall += w.wall
+	w.ops, w.events, w.wall = 0, 0, 0
+	return n
+}
+
+// campaignSpecs resolves the L2 spec, collector matrix name and
+// impossible-cell mask for the configured protocol variant.
+func campaignSpecs(sysCfg viper.Config) (l2Spec *protocol.Spec, l2Name string, impossible coverage.CellSet) {
+	if sysCfg.WriteBackL2 {
+		return viper.NewTCCWBSpec(), "GPU-L2WB", TCCWBImpossible()
+	}
+	return viper.NewTCCSpec(), "GPU-L2", TCCImpossibleGPUOnly()
+}
+
+// RunGPUCampaign runs a coverage-saturation campaign over GPU-only
+// systems: batches of seeds execute on the worker pool's reusable run
+// contexts until SaturateK consecutive batches add no new transition
+// coverage (or MaxSeeds is reached). See the package comment above for
+// the determinism argument.
+func RunGPUCampaign(cfg CampaignConfig) *CampaignResult {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	l2Spec, l2Name, impossible := campaignSpecs(cfg.SysCfg)
+
+	out := &CampaignResult{
+		UnionL1: coverage.NewMatrix(viper.NewTCPSpec()),
+		UnionL2: coverage.NewMatrix(l2Spec),
+	}
+	workers := make([]*campaignWorker, cfg.Workers)
+	for i := range workers {
+		workers[i] = &campaignWorker{
+			cfg:    cfg,
+			l2Name: l2Name,
+			dL1:    coverage.NewMatrix(viper.NewTCPSpec()),
+			dL2:    coverage.NewMatrix(l2Spec),
+		}
+	}
+
+	zeroBatches := 0
+	for out.SeedsRun < cfg.MaxSeeds {
+		batch := cfg.BatchSize
+		if rest := cfg.MaxSeeds - out.SeedsRun; batch > rest {
+			batch = rest
+		}
+		first := cfg.BaseSeed + uint64(out.SeedsRun)
+
+		// Workers claim seeds within the batch from an atomic ticket
+		// counter; the barrier below is the merge point. Which worker
+		// runs which seed is racy, but nothing observable depends on it.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *campaignWorker) {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(batch) {
+						return
+					}
+					w.runSeed(first + uint64(i))
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		newCells := 0
+		for _, w := range workers {
+			newCells += w.publish(out)
+		}
+		out.SeedsRun += batch
+		out.Batches++
+		out.NewCellsByBatch = append(out.NewCellsByBatch, newCells)
+		if newCells == 0 {
+			zeroBatches++
+		} else {
+			zeroBatches = 0
+		}
+		if cfg.SaturateK > 0 && zeroBatches >= cfg.SaturateK {
+			out.Saturated = true
+			break
+		}
+	}
+
+	// Failing seeds were appended in worker order; seed order is the
+	// deterministic presentation (seeds are unique, so the sort is a
+	// total order).
+	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Seed < out.Failures[j].Seed })
+	out.UnionL1Sum = out.UnionL1.Summarize(nil)
+	out.UnionL2Sum = out.UnionL2.Summarize(impossible)
+	out.Wall = time.Since(start)
+	return out
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"drftest/internal/coverage"
 	"drftest/internal/cputester"
@@ -91,10 +92,13 @@ func RunCPUSweepParallel(cfgs []CPUTestConfig, workers int) *CPUSweepResult {
 		b := BuildCPU(cfgs[i].NumCPUs, cfgs[i].CacheCfg)
 		tester := newCPUTester(b, cfgs[i])
 		rep := tester.Run()
+		// Materialize the CPU-L1 matrix once: it serves both the run's
+		// summary and the sweep's union merge below.
+		cpu := b.Col.Matrix("CPU-L1")
 		r := &CPURunResult{Name: cfgs[i].Name, Report: rep, Dir: b.Col.Matrix("Directory")}
-		r.CPUSum = b.Col.Matrix("CPU-L1").Summarize(nil)
+		r.CPUSum = cpu.Summarize(nil)
 		r.DirSum = r.Dir.Summarize(nil)
-		results[i] = cpuOut{r: r, cpu: b.Col.Matrix("CPU-L1")}
+		results[i] = cpuOut{r: r, cpu: cpu}
 	})
 
 	out := &CPUSweepResult{
@@ -113,26 +117,30 @@ func RunCPUSweepParallel(cfgs []CPUTestConfig, workers int) *CPUSweepResult {
 }
 
 func parallelDo(n, workers int, do func(i int)) {
+	if n <= 0 {
+		return
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
-	// Fill the buffered work channel before starting workers: the
-	// producer never blocks interleaved with them, and workers drain a
-	// closed channel, so any n (including 0) terminates.
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
+	// An atomic ticket dispenser replaces the old prefilled buffered
+	// channel: O(1) memory instead of O(n) buffered indices, and a
+	// worker claims its next index with one atomic add instead of a
+	// channel receive.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				do(i)
 			}
 		}()

@@ -147,6 +147,11 @@ type Store struct {
 
 	// touched counts allocated pages across dir and far (Footprint).
 	touched int
+
+	// free recycles page buffers released by Reset; page-creating
+	// paths draw from it (re-zeroed) before allocating, so a store
+	// reused across campaign runs reaches a no-allocation steady state.
+	free [][]byte
 }
 
 const pageShift = 12
@@ -167,6 +172,41 @@ const dirCapPages = 1 << 17
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{}
+}
+
+// Reset drops all contents: every byte reads as zero again and
+// Footprint restarts at 0, exactly as if freshly constructed. The
+// directory skeleton (top level and touched chunks) is kept, and page
+// buffers are parked on a free list for newPage to recycle, so the
+// first-touch semantics are preserved without first-touch allocations.
+func (s *Store) Reset() {
+	s.lastPN, s.lastPage = 0, nil
+	for _, chunk := range s.dir {
+		for i, p := range chunk {
+			if p != nil {
+				s.free = append(s.free, p)
+				chunk[i] = nil
+			}
+		}
+	}
+	for pn, p := range s.far {
+		s.free = append(s.free, p)
+		delete(s.far, pn)
+	}
+	s.touched = 0
+}
+
+// newPage returns a zeroed page buffer, recycling a Reset-freed one
+// when available.
+func (s *Store) newPage() []byte {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		clear(p)
+		return p
+	}
+	return make([]byte, pageSize)
 }
 
 // page resolves the page containing a, allocating it when create is
@@ -199,7 +239,7 @@ func (s *Store) page(a Addr, create bool) ([]byte, int) {
 			if s.far == nil {
 				s.far = make(map[Addr][]byte)
 			}
-			p = make([]byte, pageSize)
+			p = s.newPage()
 			s.far[pn] = p
 			s.touched++
 		}
@@ -230,7 +270,7 @@ func (s *Store) newPageInDir(pn Addr) []byte {
 		chunk = make([][]byte, chunkPages)
 		s.dir[ci] = chunk
 	}
-	p := make([]byte, pageSize)
+	p := s.newPage()
 	chunk[pn&(chunkPages-1)] = p
 	s.touched++
 	return p

@@ -104,6 +104,25 @@ func New(k *sim.Kernel, cfg Config, st *mem.Store) *Controller {
 // end-of-run consistency audits).
 func (c *Controller) Store() *mem.Store { return c.store }
 
+// Reset drops all queued and in-flight requests, zeroes the stats, and
+// empties the backing store. The kernel must be reset alongside: the
+// pending service/complete events reference the dropped requests, and
+// busy=false assumes no serviceFn remains scheduled. Queued payload
+// copies are released to GC rather than the free lists — after a reset
+// their completion would never fire, so recycling them eagerly risks
+// nothing but is also unnecessary (the free lists themselves are kept).
+func (c *Controller) Reset() {
+	clear(c.queue[:cap(c.queue)])
+	c.queue = c.queue[:0]
+	c.head = 0
+	c.busy = false
+	clear(c.inflight[:cap(c.inflight)])
+	c.inflight = c.inflight[:0]
+	c.inflightHd = 0
+	c.reads, c.writes, c.atomics, c.peakQueue = 0, 0, 0, 0
+	c.store.Reset()
+}
+
 func (c *Controller) getData(n int) []byte {
 	for i := len(c.freeData) - 1; i >= 0; i-- {
 		if cap(c.freeData[i]) >= n {

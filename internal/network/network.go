@@ -15,6 +15,13 @@ import (
 	"drftest/internal/sim"
 )
 
+// pendingMsg is one queued typed delivery: a prebound handler plus its
+// argument — the allocation-free alternative to a per-message closure.
+type pendingMsg struct {
+	fn  func(any)
+	arg any
+}
+
 // Link is a one-way channel between two components.
 type Link struct {
 	k       *sim.Kernel
@@ -23,18 +30,29 @@ type Link struct {
 	jitter  sim.Tick
 	rnd     *rng.PCG
 
+	// SendMsg state: an ordered link delivers strictly FIFO (constant
+	// latency, stable kernel ordering), so one prebound drain closure
+	// and a reusable queue serve every typed message.
+	msgQ      []pendingMsg
+	msgHead   int
+	deliverFn func()
+
 	sent uint64
 }
 
 // NewLink creates an ordered link with fixed latency.
 func NewLink(k *sim.Kernel, name string, latency sim.Tick) *Link {
-	return &Link{k: k, name: name, latency: latency}
+	l := &Link{k: k, name: name, latency: latency}
+	l.deliverFn = l.deliverNext
+	return l
 }
 
 // NewJitterLink creates a link whose per-message latency is uniform in
 // [latency, latency+jitter]; messages may therefore be reordered.
 func NewJitterLink(k *sim.Kernel, name string, latency, jitter sim.Tick, rnd *rng.PCG) *Link {
-	return &Link{k: k, name: name, latency: latency, jitter: jitter, rnd: rnd}
+	l := &Link{k: k, name: name, latency: latency, jitter: jitter, rnd: rnd}
+	l.deliverFn = l.deliverNext
+	return l
 }
 
 // Name returns the link's name.
@@ -42,6 +60,11 @@ func (l *Link) Name() string { return l.name }
 
 // Sent returns the number of messages sent on the link.
 func (l *Link) Sent() uint64 { return l.sent }
+
+// ResetStats zeroes the link's traffic counter. The jitter RNG is
+// shared with (and reseeded by) the owning system, so it is not
+// touched here.
+func (l *Link) ResetStats() { l.sent = 0 }
 
 // Send delivers deliver() at the far end after the link's latency.
 func (l *Link) Send(deliver func()) {
@@ -51,6 +74,48 @@ func (l *Link) Send(deliver func()) {
 		d += sim.Tick(l.rnd.Intn(int(l.jitter) + 1))
 	}
 	l.k.Schedule(d, deliver)
+}
+
+// SendMsg delivers fn(arg) at the far end after the link's latency.
+// fn should be a prebound per-destination handler: on an ordered link
+// the message then rides the reusable FIFO and nothing is allocated
+// per send. A jittered link may reorder deliveries, which a FIFO
+// cannot express, so it falls back to a per-message closure.
+func (l *Link) SendMsg(fn func(any), arg any) {
+	l.sent++
+	if l.jitter > 0 {
+		d := l.latency + sim.Tick(l.rnd.Intn(int(l.jitter)+1))
+		l.k.Schedule(d, func() { fn(arg) })
+		return
+	}
+	l.msgQ = append(l.msgQ, pendingMsg{fn: fn, arg: arg})
+	l.k.Schedule(l.latency, l.deliverFn)
+}
+
+// deliverNext completes the oldest queued typed message. FIFO matching
+// is sound for the ordered path only: every SendMsg schedules
+// deliverFn exactly latency ticks out and the kernel is stable, so
+// deliveries fire in queue order.
+func (l *Link) deliverNext() {
+	p := l.msgQ[l.msgHead]
+	l.msgQ[l.msgHead] = pendingMsg{}
+	l.msgHead++
+	if l.msgHead == len(l.msgQ) {
+		l.msgQ = l.msgQ[:0]
+		l.msgHead = 0
+	}
+	p.fn(p.arg)
+}
+
+// Reset drops queued typed messages and zeroes the traffic counter,
+// returning the link to its just-built state. Only valid after the
+// owning kernel has been reset (the queued delivery events must
+// already be gone, or the queue and the events would desynchronize).
+func (l *Link) Reset() {
+	clear(l.msgQ)
+	l.msgQ = l.msgQ[:0]
+	l.msgHead = 0
+	l.sent = 0
 }
 
 // Crossbar bundles the per-destination links of a shared structure
@@ -81,6 +146,20 @@ func NewJitterCrossbar(k *sim.Kernel, prefix string, n int, latency, jitter sim.
 
 // To returns the link to destination i.
 func (c *Crossbar) To(i int) *Link { return c.links[i] }
+
+// ResetStats zeroes every port's traffic counter.
+func (c *Crossbar) ResetStats() {
+	for _, l := range c.links {
+		l.ResetStats()
+	}
+}
+
+// Reset fully resets every port (see Link.Reset).
+func (c *Crossbar) Reset() {
+	for _, l := range c.links {
+		l.Reset()
+	}
+}
 
 // TotalSent sums traffic across all ports.
 func (c *Crossbar) TotalSent() uint64 {

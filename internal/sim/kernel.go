@@ -75,6 +75,15 @@ func (f *eventFIFO) pop() event {
 	return e
 }
 
+// reset drops every queued event, releasing the closures for GC while
+// keeping the warmed-up ring capacity.
+func (f *eventFIFO) reset() {
+	for i := 0; i < f.n; i++ {
+		f.buf[(f.head+i)&(len(f.buf)-1)].fn = nil
+	}
+	f.head, f.n = 0, 0
+}
+
 func (f *eventFIFO) grow() {
 	cap2 := len(f.buf) * 2
 	if cap2 == 0 {
@@ -194,6 +203,26 @@ func NewKernel() *Kernel { return &Kernel{} }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Tick { return k.now }
+
+// Reset returns the kernel to its just-constructed state — tick zero,
+// no pending events, no pollers, stop flag cleared — while keeping the
+// warmed-up queue capacities and any attached tracer. Pending events
+// are dropped (their closures released for GC): a campaign reusing one
+// system across runs must not let a previous run's in-flight events
+// fire into the next one, so components holding state referenced by
+// those events (controllers, testers) must be reset alongside.
+func (k *Kernel) Reset() {
+	k.curr.reset()
+	k.next.reset()
+	for i := range k.far {
+		k.far[i].fn = nil
+	}
+	k.far = k.far[:0]
+	k.now, k.seq, k.executed = 0, 0, 0
+	k.stopped = false
+	k.pollers = k.pollers[:0]
+	k.pollNext = 0
+}
 
 // Executed returns the number of events executed so far. It is the
 // kernel-level measure of simulation work and backs the paper's

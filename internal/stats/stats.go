@@ -96,6 +96,13 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max
 }
 
+// Reset discards all samples, as if freshly constructed.
+func (h *Histogram) Reset() {
+	clear(h.buckets[:])
+	h.count, h.sum, h.max = 0, 0, 0
+	h.min = ^uint64(0)
+}
+
 // Merge adds other's samples into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for i, n := range other.buckets {
@@ -179,6 +186,13 @@ func (s *LatencySet) Merge(other *LatencySet) {
 	s.Atomic.Merge(other.Atomic)
 	s.Acquire.Merge(other.Acquire)
 	s.Release.Merge(other.Release)
+}
+
+// Reset discards the samples of every histogram in the set.
+func (s *LatencySet) Reset() {
+	for _, h := range s.All() {
+		h.Reset()
+	}
 }
 
 // All returns the histograms in display order.

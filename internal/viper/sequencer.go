@@ -62,6 +62,24 @@ func newSequencer(k *sim.Kernel, cu int, tcp *TCP, respLatency sim.Tick, bugs Bu
 	return s
 }
 
+// reset returns the sequencer to its just-built state: no pending
+// write-throughs, held releases, outstanding requests or queued
+// responses, and zeroed stats. Client wiring and the pre-bound delivery
+// closure are kept. The kernel must already be reset — dropping the
+// response queue is only sound once the deliverFn events referencing it
+// are gone.
+func (s *Sequencer) reset() {
+	clear(s.pendingWT)
+	clear(s.heldReleases)
+	clear(s.outstanding)
+	clear(s.respQ)
+	s.respQ = s.respQ[:0]
+	s.respHead = 0
+	s.issued, s.completed = 0, 0
+	s.lat.Reset()
+	s.scratch = mem.Response{}
+}
+
 // pendingResp is one completed request queued for core delivery.
 type pendingResp struct {
 	req  *mem.Request

@@ -112,6 +112,47 @@ type System struct {
 	Mem *memctrl.Controller
 
 	faults []*protocol.FaultError
+	// jrnd is the response-jitter stream shared by every jittered
+	// response crossbar, retained so Reset can reseed it.
+	jrnd *rng.PCG
+}
+
+// jitterStream is the PCG stream selector of the response-jitter
+// randomness (arbitrary, fixed: reseeding on Reset must reproduce the
+// construction-time stream exactly).
+const jitterStream = 0x31771
+
+// Reset returns the system to its just-built state for the same
+// config: caches invalidated, controller transaction and stall state
+// dropped, stats zeroed, response-jitter randomness reseeded, faults
+// cleared, and — for systems owning their memory — the controller and
+// backing store emptied. The kernel MUST be reset first (Kernel.Reset):
+// the state recycled here may still be referenced by pending events,
+// and dropping those events is what makes the recycling sound. After
+// Kernel.Reset + System.Reset, a run from seed s is bit-identical to a
+// run from seed s on a freshly built system (the harness pins this
+// with a bit-identity test).
+//
+// Systems built over an external backend (NewSystemWithBackend) only
+// reset the GPU-side state; the backend owner must reset it alongside.
+func (s *System) Reset() {
+	if s.Kernel.Pending() > 0 {
+		panic("viper: System.Reset with pending kernel events — call Kernel.Reset first")
+	}
+	s.faults = nil
+	*s.jrnd = *rng.New(s.Cfg.JitterSeed, jitterStream)
+	for _, seq := range s.Seqs {
+		seq.reset()
+	}
+	for _, tcp := range s.TCPs {
+		tcp.reset()
+	}
+	for _, l2 := range s.l2s {
+		l2.reset()
+	}
+	if s.Mem != nil {
+		s.Mem.Reset()
+	}
 }
 
 // l2ctrl is the controller surface TCPs and the System need from an
@@ -125,6 +166,9 @@ type l2ctrl interface {
 	Stats() map[string]uint64
 	slice() int
 	attachTCP(t *TCP)
+	// reset returns the slice to its just-built state (see System.Reset
+	// for the contract; the kernel must already be reset).
+	reset()
 }
 
 // sliceOf routes a line address to its L2 slice.
@@ -231,7 +275,8 @@ func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, back
 		k.Stop()
 	}
 
-	jrnd := rng.New(cfg.JitterSeed, 0x31771)
+	jrnd := rng.New(cfg.JitterSeed, jitterStream)
+	s.jrnd = jrnd
 	pool := newMsgPool(cfg.L1.LineSize)
 	tccSpec := NewTCCSpec()
 	wbSpec := NewTCCWBSpec()

@@ -71,11 +71,17 @@ type TCC struct {
 	// retryDelay spaces out atomic retries after an AtomicND.
 	retryDelay sim.Tick
 
-	tbes          map[mem.Addr]*tccTBE
-	tbeFree       []*tccTBE
-	stalled       map[mem.Addr][]*tcpMsg
+	tbes    map[mem.Addr]*tccTBE
+	tbeFree []*tccTBE
+	stalled map[mem.Addr][]*tcpMsg
+	// stalledFree recycles drained stall queues so repeated contention
+	// on hot lines does not allocate a fresh slice per episode.
+	stalledFree   [][]*tcpMsg
 	stalledProbes map[mem.Addr][]func()
-	wbs           map[mem.Addr]int // in-flight memory writes per line
+	// sendFns holds one prebound response handler per CU for the
+	// allocation-free Link.SendMsg path, built on first use.
+	sendFns []func(any)
+	wbs     map[mem.Addr]int // in-flight memory writes per line
 
 	// stats
 	rdBlks, wrVicBlks, atomicsSeen, fills, stalls uint64
@@ -133,6 +139,33 @@ func (c *TCC) putTBE(t *tccTBE) {
 	c.tbeFree = append(c.tbeFree, t)
 }
 
+// reset returns the controller to its just-built state: array
+// invalidated, in-flight TBEs recycled to the free list, stalled
+// messages recycled to the pool, write-through counts and stats
+// cleared. Recycling the TBEs is sound only because the kernel has
+// already been reset: no backend callback or retry event referencing
+// them can still fire.
+func (c *TCC) reset() {
+	c.array.Reset()
+	for line, tbe := range c.tbes {
+		delete(c.tbes, line)
+		c.putTBE(tbe)
+	}
+	for line, msgs := range c.stalled {
+		for _, m := range msgs {
+			c.pool.putTCPMsg(m)
+		}
+		clear(msgs)
+		c.stalledFree = append(c.stalledFree, msgs[:0])
+		delete(c.stalled, line)
+	}
+	clear(c.stalledProbes)
+	clear(c.wbs)
+	c.rdBlks, c.wrVicBlks, c.atomicsSeen, c.fills, c.stalls = 0, 0, 0, 0, 0
+	c.wbAcks, c.droppedMerges, c.droppedAcks = 0, 0, 0
+	c.toTCP.Reset()
+}
+
 func (c *TCC) lineSize() int { return c.array.Config().LineSize }
 
 func (c *TCC) slice() int { return c.sliceIndex }
@@ -188,7 +221,14 @@ func (c *TCC) FromTCP(msg *tcpMsg) {
 	switch cell.Kind {
 	case protocol.Stall:
 		c.stalls++
-		c.stalled[line] = append(c.stalled[line], msg)
+		q, ok := c.stalled[line]
+		if !ok {
+			if n := len(c.stalledFree); n > 0 {
+				q = c.stalledFree[n-1]
+				c.stalledFree = c.stalledFree[:n-1]
+			}
+		}
+		c.stalled[line] = append(q, msg)
 		return
 	case protocol.Undefined:
 		c.pool.putTCPMsg(msg)
@@ -377,6 +417,11 @@ func (c *TCC) wake(line mem.Addr) {
 		for _, m := range queue {
 			c.FromTCP(m)
 		}
+		// The re-dispatch above may have re-stalled onto a pool slice,
+		// never onto this one (the map entry was deleted first), so the
+		// drained queue can go back to the pool.
+		clear(queue)
+		c.stalledFree = append(c.stalledFree, queue[:0])
 	}
 	probes := c.stalledProbes[line]
 	if len(probes) > 0 {
@@ -405,10 +450,19 @@ func (c *TCC) sendAtomicAck(cu int, line mem.Addr, req *mem.Request, old uint32)
 // retains the message or its fill buffer (fills are copied into the
 // cache array at delivery).
 func (c *TCC) send(cu int, msg *tccMsg) {
-	c.toTCP.To(cu).Send(func() {
-		c.tcps[cu].FromTCC(msg)
-		c.pool.putTCCMsg(msg)
-	})
+	if c.sendFns == nil {
+		c.sendFns = make([]func(any), len(c.tcps))
+	}
+	fn := c.sendFns[cu]
+	if fn == nil {
+		fn = func(a any) {
+			m := a.(*tccMsg)
+			c.tcps[cu].FromTCC(m)
+			c.pool.putTCCMsg(m)
+		}
+		c.sendFns[cu] = fn
+	}
+	c.toTCP.To(cu).SendMsg(fn, msg)
 }
 
 // AuditAgainstStore compares every valid L2 line against the backing

@@ -46,6 +46,10 @@ type TCCWB struct {
 	// not exist in this GPU-only variant, so no data needs retention).
 	vicWBs map[mem.Addr]int
 
+	// sendFns holds one prebound response handler per CU for the
+	// allocation-free Link.SendMsg path, built on first use.
+	sendFns []func(any)
+
 	rdBlks, wrVicBlks, atomicsSeen, fills, stalls, evictWBs uint64
 }
 
@@ -63,6 +67,19 @@ func newTCCWB(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault
 		stalled: make(map[mem.Addr][]*tcpMsg),
 		vicWBs:  make(map[mem.Addr]int),
 	}
+}
+
+// reset returns the controller to its just-built state. The WB variant
+// allocates TBEs and pending buffers per transaction (no pooling), so
+// dropping the maps releases them to GC; the kernel reset has already
+// dropped the events that referenced them.
+func (c *TCCWB) reset() {
+	c.array.Reset()
+	clear(c.tbes)
+	clear(c.stalled)
+	clear(c.vicWBs)
+	c.rdBlks, c.wrVicBlks, c.atomicsSeen, c.fills, c.stalls, c.evictWBs = 0, 0, 0, 0, 0, 0
+	c.toTCP.Reset()
 }
 
 func (c *TCCWB) lineSize() int { return c.array.Config().LineSize }
@@ -290,7 +307,15 @@ func (c *TCCWB) sendAtomicAck(cu int, line mem.Addr, req *mem.Request, old uint3
 }
 
 func (c *TCCWB) send(cu int, msg *tccMsg) {
-	c.toTCP.To(cu).Send(func() { c.tcps[cu].FromTCC(msg) })
+	if c.sendFns == nil {
+		c.sendFns = make([]func(any), len(c.tcps))
+	}
+	fn := c.sendFns[cu]
+	if fn == nil {
+		fn = func(a any) { c.tcps[cu].FromTCC(a.(*tccMsg)) }
+		c.sendFns[cu] = fn
+	}
+	c.toTCP.To(cu).SendMsg(fn, msg)
 }
 
 // Stats returns the controller's activity counters.

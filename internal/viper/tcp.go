@@ -33,6 +33,13 @@ type TCP struct {
 	pool    *msgPool
 
 	tbes map[mem.Addr]*tcpTBE
+	// tbeFree recycles completed TBEs (and their coalesced-load
+	// slices), so the steady-state miss path allocates nothing.
+	tbeFree []*tcpTBE
+	// sendFns holds one prebound delivery handler per L2 slice for the
+	// allocation-free Link.SendMsg path, built on first use (the
+	// slice→L2 mapping is fixed for the system's lifetime).
+	sendFns []func(any)
 	// stalled holds core requests whose (state, event) cell is Stall or
 	// that hit the load-TBE/atomic resource hazard; they are retried in
 	// arrival order when the line's transaction completes.
@@ -65,6 +72,31 @@ func newTCP(k *sim.Kernel, id int, spec *protocol.Spec, rec protocol.Recorder, o
 	}
 }
 
+// reset returns the controller to its just-built state: array
+// invalidated, transaction and stall state dropped, write-through
+// accumulation buffers recycled into the pool, stats zeroed. In-flight
+// TBEs and stalled requests are simply dropped — the kernel reset has
+// already dropped the events that would have completed them.
+func (t *TCP) reset() {
+	t.array.Reset()
+	for line, tbe := range t.tbes {
+		tbe.loads = tbe.loads[:0]
+		tbe.atomic, tbe.entry = nil, nil
+		t.tbeFree = append(t.tbeFree, tbe)
+		delete(t.tbes, line)
+	}
+	clear(t.stalled)
+	for line, buf := range t.wt {
+		t.pool.putData(buf.data)
+		t.pool.putMask(buf.mask)
+		delete(t.wt, line)
+	}
+	t.loads, t.loadHits, t.stores, t.atomics, t.stalls = 0, 0, 0, 0, 0
+	for _, l := range t.toTCC {
+		l.Reset()
+	}
+}
+
 // wtBuf holds the merged bytes of a line's in-flight write-throughs.
 type wtBuf struct {
 	data  []byte
@@ -92,7 +124,13 @@ func (t *TCP) state(line mem.Addr) int {
 func (t *TCP) tbe(line mem.Addr) *tcpTBE {
 	tbe, ok := t.tbes[line]
 	if !ok {
-		tbe = &tcpTBE{line: line}
+		if n := len(t.tbeFree); n > 0 {
+			tbe = t.tbeFree[n-1]
+			t.tbeFree = t.tbeFree[:n-1]
+			*tbe = tcpTBE{line: line, loads: tbe.loads[:0]}
+		} else {
+			tbe = &tcpTBE{line: line}
+		}
 		t.tbes[line] = tbe
 	}
 	return tbe
@@ -241,8 +279,10 @@ func (t *TCP) FromTCC(msg *tccMsg) {
 		if buf, ok := t.wt[line]; ok {
 			e.WriteMasked(buf.data, buf.mask)
 		}
+		// Keep the backing array with the TBE (responses are queued, not
+		// delivered inline, so nothing appends to it before the loop ends).
 		loads := tbe.loads
-		tbe.loads = nil
+		tbe.loads = tbe.loads[:0]
 		t.dropTBE(tbe)
 		for _, ld := range loads {
 			t.seq.respond(ld, t.readWord(e, ld.Addr))
@@ -309,19 +349,32 @@ func (t *TCP) wake(line mem.Addr) {
 	}
 }
 
+// dropTBE retires a TBE once its transaction fully completes. Safe to
+// recycle immediately: responses are delivered through the sequencer's
+// scheduled queue, so no caller holds the pointer past this dispatch.
 func (t *TCP) dropTBE(tbe *tcpTBE) {
 	if tbe.atomic == nil && len(tbe.loads) == 0 {
 		delete(t.tbes, tbe.line)
+		tbe.entry = nil
+		t.tbeFree = append(t.tbeFree, tbe)
 	}
 }
 
 func (t *TCP) send(msg *tcpMsg) {
 	l2 := t.sliceOf(msg.line)
-	link := t.toTCC[0]
+	si := 0
 	if len(t.toTCC) > 1 {
-		link = t.toTCC[l2.slice()]
+		si = l2.slice()
 	}
-	link.Send(func() { l2.FromTCP(msg) })
+	if t.sendFns == nil {
+		t.sendFns = make([]func(any), len(t.toTCC))
+	}
+	fn := t.sendFns[si]
+	if fn == nil {
+		fn = func(a any) { l2.FromTCP(a.(*tcpMsg)) }
+		t.sendFns[si] = fn
+	}
+	t.toTCC[si].SendMsg(fn, msg)
 }
 
 func (t *TCP) readWord(e *cache.Line, a mem.Addr) uint32 {

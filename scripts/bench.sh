@@ -16,7 +16,7 @@ set -euo pipefail
 
 out=""
 benchtime="0.5s"
-pattern='EventLoop|Speed_|StoreAccess|Checker'
+pattern='EventLoop|Speed_|StoreAccess|Checker|Campaign'
 while getopts "o:t:b:" opt; do
   case "$opt" in
     o) out="$OPTARG" ;;
