@@ -201,7 +201,7 @@ func benchCaseStudy(b *testing.B, bugs drftest.BugSet, deadlock uint64) {
 			cfg := core.DefaultConfig()
 			cfg.Seed = seed + uint64(i)*8
 			cfg.NumWavefronts = 8
-			cfg.EpisodesPerWF = 8
+			cfg.EpisodesPerThread = 8
 			cfg.ActionsPerEpisode = 30
 			cfg.NumSyncVars = 4
 			cfg.NumDataVars = 48
@@ -272,7 +272,7 @@ func BenchmarkAblation_FalseSharingMapping(b *testing.B) {
 			cfg := core.DefaultConfig()
 			cfg.Seed = seed
 			cfg.NumWavefronts = 8
-			cfg.EpisodesPerWF = 8
+			cfg.EpisodesPerThread = 8
 			cfg.ActionsPerEpisode = 30
 			cfg.NumSyncVars = 4
 			cfg.NumDataVars = 48
@@ -324,7 +324,7 @@ func BenchmarkAblation_BankedL2(b *testing.B) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = 11
 		cfg.NumWavefronts = 8
-		cfg.EpisodesPerWF = 4
+		cfg.EpisodesPerThread = 4
 		cfg.ActionsPerEpisode = 40
 		rep := core.New(bld.K, bld.Sys, cfg).Run()
 		if !rep.Passed() {
@@ -352,7 +352,7 @@ func BenchmarkExtension_MultiGPU(b *testing.B) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = uint64(i) + 3
 		cfg.NumWavefronts = 16
-		cfg.EpisodesPerWF = 6
+		cfg.EpisodesPerThread = 6
 		cfg.ActionsPerEpisode = 40
 		cfg.NumSyncVars = 8
 		cfg.NumDataVars = 256
@@ -380,7 +380,7 @@ func BenchmarkExtension_WriteBackProtocol(b *testing.B) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = uint64(i) + 1
 		cfg.NumWavefronts = 16
-		cfg.EpisodesPerWF = 6
+		cfg.EpisodesPerThread = 6
 		cfg.ActionsPerEpisode = 40
 		cfg.NumSyncVars = 8
 		cfg.NumDataVars = 512
@@ -434,7 +434,7 @@ func benchCampaign(b *testing.B, rebuild bool) {
 	b.Helper()
 	testCfg := core.DefaultConfig()
 	testCfg.NumWavefronts = 8
-	testCfg.EpisodesPerWF = 1
+	testCfg.EpisodesPerThread = 1
 	testCfg.ActionsPerEpisode = 8
 	testCfg.NumSyncVars = 16
 	testCfg.NumDataVars = 100_000
@@ -458,6 +458,52 @@ func benchCampaign(b *testing.B, rebuild bool) {
 	b.ReportMetric(float64(seeds)/b.Elapsed().Seconds(), "seeds/sec")
 }
 
+// BenchmarkCampaignModeUniform / Swarm / Directed compare the three
+// campaign sampling policies on identical budgets: how many union
+// cells each has active when it saturates (cells-at-saturation) and
+// how many seeds it needed to activate the last of them
+// (seeds-to-saturation). Uniform plateaus below the swarm modes — the
+// base configuration provably cannot reach the replacement and A-row
+// stall cells the configuration corners buy — and directed's feedback
+// reaches full coverage in fewer seeds than blind swarm sampling.
+// These two metrics are the PR gate recorded in BENCH_PR6.json.
+func BenchmarkCampaignModeUniform(b *testing.B)  { benchCampaignMode(b, harness.CampaignUniform) }
+func BenchmarkCampaignModeSwarm(b *testing.B)    { benchCampaignMode(b, harness.CampaignSwarm) }
+func BenchmarkCampaignModeDirected(b *testing.B) { benchCampaignMode(b, harness.CampaignDirected) }
+
+func benchCampaignMode(b *testing.B, mode harness.CampaignMode) {
+	b.Helper()
+	testCfg := core.DefaultConfig()
+	testCfg.NumWavefronts = 8
+	testCfg.EpisodesPerThread = 8
+	testCfg.ActionsPerEpisode = 30
+	testCfg.NumSyncVars = 4
+	testCfg.NumDataVars = 64
+	testCfg.StoreFraction = 0.6
+	var last *harness.CampaignResult
+	seeds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = harness.RunGPUCampaign(harness.CampaignConfig{
+			SysCfg:    viper.SmallCacheConfig(),
+			TestCfg:   testCfg,
+			BaseSeed:  1,
+			BatchSize: 8,
+			SaturateK: 8,
+			MaxSeeds:  512,
+			Mode:      mode,
+		})
+		if len(last.Failures) != 0 {
+			b.Fatalf("campaign failed: seed %d: %v", last.Failures[0].Seed, last.Failures[0].Failures[0])
+		}
+		seeds += last.SeedsRun
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(seeds)/b.Elapsed().Seconds(), "seeds/sec")
+	b.ReportMetric(float64(last.CellsAtSaturation), "cells-at-saturation")
+	b.ReportMetric(float64(last.SeedsToSaturation), "seeds-to-saturation")
+}
+
 // BenchmarkAxiomaticChecker measures the offline verifier's throughput
 // over a recorded correct execution.
 func BenchmarkAxiomaticChecker(b *testing.B) {
@@ -465,7 +511,7 @@ func BenchmarkAxiomaticChecker(b *testing.B) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = 1
 	cfg.NumWavefronts = 16
-	cfg.EpisodesPerWF = 10
+	cfg.EpisodesPerThread = 10
 	cfg.ActionsPerEpisode = 50
 	cfg.NumDataVars = 1024
 	cfg.RecordTrace = true

@@ -65,7 +65,7 @@ func hunt(name string, bugs viper.BugSet, seed uint64) bool {
 		cfg := core.DefaultConfig()
 		cfg.Seed = s
 		cfg.NumWavefronts = 8
-		cfg.EpisodesPerWF = 8
+		cfg.EpisodesPerThread = 8
 		cfg.ActionsPerEpisode = 30
 		cfg.NumSyncVars = 4
 		cfg.NumDataVars = 48

@@ -245,9 +245,9 @@ func (g *gen) multiGPU() {
 	cfg := core.DefaultConfig()
 	cfg.Seed = g.seed
 	cfg.NumWavefronts = 16
-	cfg.EpisodesPerWF = int(50 * g.scale)
-	if cfg.EpisodesPerWF < 4 {
-		cfg.EpisodesPerWF = 4
+	cfg.EpisodesPerThread = int(50 * g.scale)
+	if cfg.EpisodesPerThread < 4 {
+		cfg.EpisodesPerThread = 4
 	}
 	cfg.ActionsPerEpisode = 60
 	cfg.NumSyncVars = 8
@@ -283,9 +283,9 @@ func (g *gen) protocolWB() {
 	cfg := core.DefaultConfig()
 	cfg.Seed = g.seed
 	cfg.NumWavefronts = 16
-	cfg.EpisodesPerWF = int(50 * g.scale)
-	if cfg.EpisodesPerWF < 6 {
-		cfg.EpisodesPerWF = 6
+	cfg.EpisodesPerThread = int(50 * g.scale)
+	if cfg.EpisodesPerThread < 6 {
+		cfg.EpisodesPerThread = 6
 	}
 	cfg.ActionsPerEpisode = 60
 	cfg.NumSyncVars = 8
@@ -306,7 +306,7 @@ func (g *gen) protocolWB() {
 		c := core.DefaultConfig()
 		c.Seed = seed
 		c.NumWavefronts = 8
-		c.EpisodesPerWF = 8
+		c.EpisodesPerThread = 8
 		c.ActionsPerEpisode = 30
 		c.NumSyncVars = 4
 		c.NumDataVars = 48
@@ -326,7 +326,7 @@ func runBug(bugs viper.BugSet, seed uint64, deadlockThreshold uint64) *core.Repo
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 8
+	cfg.EpisodesPerThread = 8
 	cfg.ActionsPerEpisode = 30
 	cfg.NumSyncVars = 4
 	cfg.NumDataVars = 48

@@ -9,19 +9,25 @@
 //	          [-bug lostwrite|nonatomic|dropack|staleacquire]
 //	          [-artifact-dir DIR] [-trace-depth 4096]
 //	          [-heatmap] [-grid] [-v]
-//	          [-campaign] [-saturate-k 3] [-max-seeds 1024]
+//	          [-campaign] [-campaign-mode uniform|swarm|directed]
+//	          [-saturate-k 3] [-max-seeds 1024]
 //	          [-batch 16] [-workers 0] [-campaign-rebuild]
 //
 // With -artifact-dir set the run records a bounded execution trace
 // and, on any checker failure, serializes a replay artifact (JSON)
 // into the directory; `replay <artifact>` re-executes it and asserts
-// the failure reproduces bit-identically.
+// the failure reproduces bit-identically. The same flags apply to
+// campaigns: every failing seed writes its own artifact.
 //
 // With -campaign the tester runs a coverage-saturation campaign
 // instead of a single seed: seeds -seed, -seed+1, ... execute on a
 // pool of reusable run contexts until -saturate-k consecutive batches
 // of -batch seeds add no new transition coverage (or -max-seeds is
-// reached). The outcome is independent of -workers.
+// reached). -campaign-mode selects how batches draw their test
+// configuration: uniform repeats the base config, swarm deals every
+// batch a random configuration corner, and directed biases corner
+// sampling toward corners whose recent batches activated cold
+// coverage cells. All three modes are independent of -workers.
 //
 // Exit status is 0 when the protocol passes, 1 when bugs are detected.
 package main
@@ -65,6 +71,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	campaign := flag.Bool("campaign", false, "run a coverage-saturation campaign over seeds seed, seed+1, ...")
+	campaignMode := flag.String("campaign-mode", "uniform", "campaign: config sampling policy: uniform|swarm|directed")
 	saturateK := flag.Int("saturate-k", 3, "campaign: stop after this many consecutive batches with no new coverage (0 = run exactly max-seeds)")
 	maxSeeds := flag.Int("max-seeds", harness.DefaultCampaignMaxSeeds, "campaign: hard cap on seeds run")
 	batch := flag.Int("batch", 16, "campaign: seeds per batch between coverage merges")
@@ -130,22 +137,30 @@ func main() {
 	cfg.Seed = *seed
 	cfg.NumWavefronts = *wfs
 	cfg.ThreadsPerWF = *lanes
-	cfg.EpisodesPerWF = *episodes
+	cfg.EpisodesPerThread = *episodes
 	cfg.ActionsPerEpisode = *actions
 	cfg.NumSyncVars = *syncVars
 	cfg.NumDataVars = *dataVars
 	cfg.RecordTrace = *axioms
 
 	if *campaign {
+		mode, err := harness.ParseCampaignMode(*campaignMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(2)
+		}
 		runCampaign(harness.CampaignConfig{
-			SysCfg:    sysCfg,
-			TestCfg:   cfg,
-			BaseSeed:  *seed,
-			Workers:   *workers,
-			BatchSize: *batch,
-			SaturateK: *saturateK,
-			MaxSeeds:  *maxSeeds,
-			Rebuild:   *campaignRebuild,
+			SysCfg:      sysCfg,
+			TestCfg:     cfg,
+			BaseSeed:    *seed,
+			Workers:     *workers,
+			BatchSize:   *batch,
+			SaturateK:   *saturateK,
+			MaxSeeds:    *maxSeeds,
+			Rebuild:     *campaignRebuild,
+			Mode:        mode,
+			ArtifactDir: *artifactDir,
+			TraceDepth:  *traceDepth,
 		}, *protocolName, *caches, *jsonOut, *heatmap, exit)
 		return
 	}
@@ -255,29 +270,40 @@ func runCampaign(cc harness.CampaignConfig, protocolName, caches string, jsonOut
 		failures := make([]map[string]any, 0, len(res.Failures))
 		for _, sf := range res.Failures {
 			for _, f := range sf.Failures {
-				failures = append(failures, map[string]any{
+				fj := map[string]any{
 					"seed":    sf.Seed,
 					"kind":    f.Kind.String(),
 					"tick":    f.Tick,
 					"addr":    uint64(f.Addr),
 					"message": f.Message,
-				})
+				}
+				if sf.ArtifactPath != "" {
+					fj["artifact"] = sf.ArtifactPath
+				}
+				if sf.ArtifactErr != "" {
+					fj["artifactError"] = sf.ArtifactErr
+				}
+				failures = append(failures, fj)
 			}
 		}
 		out := map[string]any{
-			"passed":          len(res.Failures) == 0,
-			"baseSeed":        cc.BaseSeed,
-			"seedsRun":        res.SeedsRun,
-			"batches":         res.Batches,
-			"saturated":       res.Saturated,
-			"newCellsByBatch": res.NewCellsByBatch,
-			"opsIssued":       res.TotalOps,
-			"kernelEvents":    res.TotalEvents,
-			"wallSeconds":     res.Wall.Seconds(),
-			"seedsPerSec":     res.SeedsPerSec(),
-			"l1":              res.UnionL1,
-			"l2":              res.UnionL2,
-			"failures":        failures,
+			"passed":            len(res.Failures) == 0,
+			"mode":              res.Mode.String(),
+			"baseSeed":          cc.BaseSeed,
+			"seedsRun":          res.SeedsRun,
+			"batches":           res.Batches,
+			"saturated":         res.Saturated,
+			"seedsToSaturation": res.SeedsToSaturation,
+			"cellsAtSaturation": res.CellsAtSaturation,
+			"newCellsByBatch":   res.NewCellsByBatch,
+			"cornerByBatch":     res.CornerByBatch,
+			"opsIssued":         res.TotalOps,
+			"kernelEvents":      res.TotalEvents,
+			"wallSeconds":       res.Wall.Seconds(),
+			"seedsPerSec":       res.SeedsPerSec(),
+			"l1":                res.UnionL1,
+			"l2":                res.UnionL2,
+			"failures":          failures,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -291,12 +317,12 @@ func runCampaign(cc harness.CampaignConfig, protocolName, caches string, jsonOut
 		return
 	}
 
-	mode := "reuse"
+	ctxMode := "reuse"
 	if cc.Rebuild {
-		mode = "rebuild"
+		ctxMode = "rebuild"
 	}
-	fmt.Printf("gputester campaign: baseSeed=%d protocol=%s caches=%s batch=%d saturateK=%d maxSeeds=%d mode=%s\n",
-		cc.BaseSeed, protocolName, caches, cc.BatchSize, cc.SaturateK, cc.MaxSeeds, mode)
+	fmt.Printf("gputester campaign: mode=%s baseSeed=%d protocol=%s caches=%s batch=%d saturateK=%d maxSeeds=%d contexts=%s\n",
+		res.Mode, cc.BaseSeed, protocolName, caches, cc.BatchSize, cc.SaturateK, cc.MaxSeeds, ctxMode)
 	fmt.Printf("  seeds run      %d in %d batches (%.1f seeds/sec, wall %s)\n",
 		res.SeedsRun, res.Batches, res.SeedsPerSec(), res.Wall.Round(time.Millisecond))
 	if res.Saturated {
@@ -304,7 +330,23 @@ func runCampaign(cc harness.CampaignConfig, protocolName, caches string, jsonOut
 	} else {
 		fmt.Printf("  saturated      no: hit the %d-seed cap first\n", cc.MaxSeeds)
 	}
+	fmt.Printf("  saturation     %d cells after %d seeds (last productive seed)\n",
+		res.CellsAtSaturation, res.SeedsToSaturation)
 	fmt.Printf("  new cells      %v\n", res.NewCellsByBatch)
+	if res.Mode != harness.CampaignUniform {
+		for b, corner := range res.CornerByBatch {
+			if res.NewCellsByBatch[b] == 0 {
+				continue
+			}
+			names := res.NewCellNamesByBatch[b]
+			if len(names) > 6 {
+				names = append(append([]string{}, names[:6]...),
+					fmt.Sprintf("... %d more", len(res.NewCellNamesByBatch[b])-6))
+			}
+			fmt.Printf("  batch %-3d      +%d cells  %s  (now %v)\n",
+				b, res.NewCellsByBatch[b], corner, names)
+		}
+	}
 	fmt.Printf("  ops issued     %d (kernel events %d)\n", res.TotalOps, res.TotalEvents)
 
 	var impsb coverage.CellSet
@@ -328,6 +370,12 @@ func runCampaign(cc harness.CampaignConfig, protocolName, caches string, jsonOut
 		for _, sf := range res.Failures {
 			for _, f := range sf.Failures {
 				fmt.Printf("seed %d:\n%s\n", sf.Seed, f.TableV())
+			}
+			if sf.ArtifactPath != "" {
+				fmt.Printf("seed %d replay artifact: %s (re-run with: replay %s)\n", sf.Seed, sf.ArtifactPath, sf.ArtifactPath)
+			}
+			if sf.ArtifactErr != "" {
+				fmt.Printf("seed %d artifact write failed: %s\n", sf.Seed, sf.ArtifactErr)
 			}
 		}
 		exit(1)

@@ -11,7 +11,7 @@ func TestPublicQuickstartPath(t *testing.T) {
 	cfg := drftest.DefaultTesterConfig()
 	cfg.Seed = 5
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 4
+	cfg.EpisodesPerThread = 4
 	cfg.ActionsPerEpisode = 30
 	res := drftest.RunGPUTester(drftest.SmallCaches(), cfg)
 	if !res.Report.Passed() {
@@ -31,7 +31,7 @@ func TestPublicBugPath(t *testing.T) {
 		cfg := drftest.DefaultTesterConfig()
 		cfg.Seed = seed
 		cfg.NumWavefronts = 8
-		cfg.EpisodesPerWF = 8
+		cfg.EpisodesPerThread = 8
 		cfg.ActionsPerEpisode = 30
 		cfg.NumSyncVars = 4
 		cfg.NumDataVars = 48
@@ -69,7 +69,7 @@ func TestPublicCPUAndHeteroPaths(t *testing.T) {
 
 	gCfg := drftest.DefaultTesterConfig()
 	gCfg.NumWavefronts = 4
-	gCfg.EpisodesPerWF = 3
+	gCfg.EpisodesPerThread = 3
 	gCfg.ActionsPerEpisode = 20
 	hRes := drftest.RunGPUTesterHetero(drftest.SmallCaches(), gCfg)
 	if !hRes.Report.Passed() {
@@ -95,7 +95,7 @@ func TestPublicMultiGPUPath(t *testing.T) {
 	cfg := drftest.DefaultTesterConfig()
 	cfg.Seed = 4
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 4
+	cfg.EpisodesPerThread = 4
 	cfg.ActionsPerEpisode = 30
 	cfg.NumDataVars = 256
 	res := drftest.RunMultiGPUTester(2, sysCfg, cfg)
@@ -113,7 +113,7 @@ func TestPublicWriteBackProtocol(t *testing.T) {
 	cfg := drftest.DefaultTesterConfig()
 	cfg.Seed = 2
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 4
+	cfg.EpisodesPerThread = 4
 	cfg.ActionsPerEpisode = 30
 	cfg.NumDataVars = 256
 	res := drftest.RunGPUTester(sysCfg, cfg)

@@ -13,7 +13,7 @@ func ExampleRunGPUTester() {
 	cfg := drftest.DefaultTesterConfig()
 	cfg.Seed = 42
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 5
+	cfg.EpisodesPerThread = 5
 	cfg.ActionsPerEpisode = 40
 	cfg.NumDataVars = 1024
 
@@ -36,7 +36,7 @@ func ExampleBugSet() {
 	cfg := drftest.DefaultTesterConfig()
 	cfg.Seed = 1
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 8
+	cfg.EpisodesPerThread = 8
 	cfg.ActionsPerEpisode = 30
 	cfg.NumSyncVars = 4
 	cfg.NumDataVars = 48

@@ -19,7 +19,7 @@ func main() {
 	// tester to chase a racing-write bug.
 	cfg := drftest.DefaultTesterConfig()
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 8
+	cfg.EpisodesPerThread = 8
 	cfg.ActionsPerEpisode = 30
 	cfg.NumSyncVars = 4
 	cfg.NumDataVars = 48

@@ -17,7 +17,7 @@ func main() {
 	// GPU tester with the VIPER L2 sitting on the system directory.
 	gpuCfg := drftest.DefaultTesterConfig()
 	gpuCfg.Seed = 3
-	gpuCfg.EpisodesPerWF = 8
+	gpuCfg.EpisodesPerThread = 8
 	gpuCfg.ActionsPerEpisode = 60
 	gpuRes := drftest.RunGPUTesterHetero(drftest.SmallCaches(), gpuCfg)
 	if !gpuRes.Report.Passed() {

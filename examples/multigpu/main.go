@@ -21,7 +21,7 @@ func main() {
 	cfg := drftest.DefaultTesterConfig()
 	cfg.Seed = 7
 	cfg.NumWavefronts = 16
-	cfg.EpisodesPerWF = 10
+	cfg.EpisodesPerThread = 10
 	cfg.ActionsPerEpisode = 60
 	cfg.NumSyncVars = 8
 	cfg.NumDataVars = 1024

@@ -19,7 +19,7 @@ func main() {
 
 	cfg := drftest.DefaultTesterConfig()
 	cfg.Seed = 42
-	cfg.EpisodesPerWF = 10
+	cfg.EpisodesPerThread = 10
 	cfg.ActionsPerEpisode = 100
 
 	res := drftest.RunGPUTester(sys, cfg)

@@ -26,7 +26,7 @@ func main() {
 	for _, s := range systems {
 		cfg := drftest.DefaultTesterConfig()
 		cfg.Seed = 7
-		cfg.EpisodesPerWF = 10
+		cfg.EpisodesPerThread = 10
 		cfg.ActionsPerEpisode = 100
 
 		res := drftest.RunGPUTester(s.cfg, cfg)

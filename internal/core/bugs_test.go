@@ -16,7 +16,7 @@ func bugConfig(seed uint64) Config {
 	cfg.Seed = seed
 	cfg.NumWavefronts = 8
 	cfg.ThreadsPerWF = 4
-	cfg.EpisodesPerWF = 8
+	cfg.EpisodesPerThread = 8
 	cfg.ActionsPerEpisode = 30
 	cfg.NumSyncVars = 4
 	cfg.NumDataVars = 48

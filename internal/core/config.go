@@ -30,9 +30,13 @@ type Config struct {
 	// in lockstep (SIMT).
 	ThreadsPerWF int
 
-	// EpisodesPerWF is the number of episodes each thread executes
-	// (paper: 10 or 100).
-	EpisodesPerWF int
+	// EpisodesPerThread is the number of episodes each thread executes
+	// (paper: 10 or 100). Every lane of a wavefront runs its own
+	// episodes, so a wavefront as a whole retires
+	// ThreadsPerWF × EpisodesPerThread of them; the field was once named
+	// EpisodesPerWF after the paper's per-wavefront phrasing, and keeps
+	// that name in JSON so schema-v1 replay artifacts stay loadable.
+	EpisodesPerThread int `json:"EpisodesPerWF"`
 	// ActionsPerEpisode is the total memory operations per episode,
 	// including the acquire and release (paper: 100 or 200).
 	ActionsPerEpisode int
@@ -91,7 +95,7 @@ func DefaultConfig() Config {
 		Seed:              1,
 		NumWavefronts:     16,
 		ThreadsPerWF:      4,
-		EpisodesPerWF:     10,
+		EpisodesPerThread: 10,
 		ActionsPerEpisode: 100,
 		NumSyncVars:       10,
 		NumDataVars:       4096,
@@ -110,8 +114,8 @@ func (c Config) withDefaults() Config {
 	if c.NumWavefronts <= 0 {
 		c.NumWavefronts = 1
 	}
-	if c.EpisodesPerWF <= 0 {
-		c.EpisodesPerWF = 1
+	if c.EpisodesPerThread <= 0 {
+		c.EpisodesPerThread = 1
 	}
 	if c.ActionsPerEpisode < 2 {
 		c.ActionsPerEpisode = 2
@@ -149,5 +153,5 @@ func (c Config) TotalThreads() int { return c.NumWavefronts * c.ThreadsPerWF }
 // TotalActions returns the total number of memory operations the run
 // will issue.
 func (c Config) TotalActions() uint64 {
-	return uint64(c.TotalThreads()) * uint64(c.EpisodesPerWF) * uint64(c.ActionsPerEpisode)
+	return uint64(c.TotalThreads()) * uint64(c.EpisodesPerThread) * uint64(c.ActionsPerEpisode)
 }

@@ -15,7 +15,7 @@ func TestDeterminism(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Seed = 99
 		cfg.NumWavefronts = 8
-		cfg.EpisodesPerWF = 4
+		cfg.EpisodesPerThread = 4
 		cfg.ActionsPerEpisode = 30
 		k := sim.NewKernel()
 		sys := viper.NewSystem(k, viper.SmallCacheConfig(), nil)
@@ -36,7 +36,7 @@ func TestSeedChangesRun(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Seed = seed
 		cfg.NumWavefronts = 4
-		cfg.EpisodesPerWF = 3
+		cfg.EpisodesPerThread = 3
 		cfg.ActionsPerEpisode = 20
 		k := sim.NewKernel()
 		sys := viper.NewSystem(k, viper.SmallCacheConfig(), nil)
@@ -44,6 +44,37 @@ func TestSeedChangesRun(t *testing.T) {
 	}
 	if run(1) == run(2) {
 		t.Fatal("different seeds produced identical timing (suspicious)")
+	}
+}
+
+// TestEpisodesPerThreadSemantics pins what the renamed field means:
+// EpisodesPerThread is per *thread* — a run retires exactly
+// NumWavefronts × ThreadsPerWF × EpisodesPerThread episodes and issues
+// exactly that many × ActionsPerEpisode operations (the field's old
+// name, EpisodesPerWF, wrongly suggested a per-wavefront total).
+func TestEpisodesPerThreadSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	cfg.NumWavefronts = 5
+	cfg.ThreadsPerWF = 3
+	cfg.EpisodesPerThread = 4
+	cfg.ActionsPerEpisode = 12
+	k := sim.NewKernel()
+	sys := viper.NewSystem(k, viper.SmallCacheConfig(), nil)
+	rep := New(k, sys, cfg).Run()
+	if !rep.Passed() {
+		t.Fatalf("unexpected failures: %v", rep.Failures)
+	}
+	wantEpisodes := uint64(5 * 3 * 4)
+	if rep.EpisodesRetired != wantEpisodes {
+		t.Fatalf("retired %d episodes, want threads×episodes = %d", rep.EpisodesRetired, wantEpisodes)
+	}
+	wantOps := cfg.TotalActions()
+	if wantOps != wantEpisodes*12 {
+		t.Fatalf("TotalActions = %d, want %d", wantOps, wantEpisodes*12)
+	}
+	if rep.OpsIssued != wantOps || rep.OpsCompleted != wantOps {
+		t.Fatalf("issued/completed %d/%d ops, want %d", rep.OpsIssued, rep.OpsCompleted, wantOps)
 	}
 }
 
@@ -239,7 +270,7 @@ func TestKeepGoingCollectsMultipleFailures(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Seed = seed
 		cfg.NumWavefronts = 8
-		cfg.EpisodesPerWF = 8
+		cfg.EpisodesPerThread = 8
 		cfg.ActionsPerEpisode = 30
 		cfg.NumSyncVars = 4
 		cfg.NumDataVars = 48
@@ -267,7 +298,7 @@ func TestExtremeContentionDoesNotPanic(t *testing.T) {
 		cfg.Seed = seed
 		cfg.NumWavefronts = 8
 		cfg.ThreadsPerWF = 4
-		cfg.EpisodesPerWF = 8
+		cfg.EpisodesPerThread = 8
 		cfg.ActionsPerEpisode = 30
 		cfg.NumSyncVars = 4
 		cfg.NumDataVars = 8 // far fewer variables than live claims

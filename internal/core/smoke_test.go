@@ -21,7 +21,7 @@ func runTester(t *testing.T, sysCfg viper.Config, cfg Config) (*Report, *coverag
 func TestSmokeCorrectProtocolPasses(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 5
+	cfg.EpisodesPerThread = 5
 	cfg.ActionsPerEpisode = 20
 	rep, col := runTester(t, viper.SmallCacheConfig(), cfg)
 	for _, f := range rep.Failures {

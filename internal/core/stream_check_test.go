@@ -14,7 +14,7 @@ import (
 func TestStreamCheckCleanRun(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 5
+	cfg.EpisodesPerThread = 5
 	cfg.ActionsPerEpisode = 20
 	cfg.RecordTrace = true
 	cfg.StreamCheck = true
@@ -39,7 +39,7 @@ func TestStreamCheckCleanRun(t *testing.T) {
 func TestStreamCheckWithoutTrace(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumWavefronts = 4
-	cfg.EpisodesPerWF = 4
+	cfg.EpisodesPerThread = 4
 	cfg.ActionsPerEpisode = 16
 	cfg.StreamCheck = true
 	rep, _ := runTester(t, viper.SmallCacheConfig(), cfg)

@@ -226,6 +226,50 @@ func (t *Tester) Reset(seed uint64) {
 	t.opsIssued, t.opsCompleted, t.episodesRetired = 0, 0, 0
 }
 
+// ResetWithConfig is Reset for a run whose tester configuration also
+// changes (a campaign dealing each batch a different config corner).
+// The wavefront/thread arrays are rebuilt only when the shape
+// (NumWavefronts/ThreadsPerWF) actually changed, and the log only when
+// its capacity did, so corner churn keeps the reset path's
+// allocation-light behavior for same-shape corners. The same contract
+// as Reset applies: kernel and systems must already be reset, and the
+// subsequent Run is bit-identical to a freshly built Tester with this
+// config and seed. cfg.Seed is overridden by seed.
+func (t *Tester) ResetWithConfig(seed uint64, cfg Config) {
+	cfg = cfg.withDefaults()
+	old := t.cfg
+	t.cfg = cfg
+	if cfg.NumWavefronts != old.NumWavefronts || cfg.ThreadsPerWF != old.ThreadsPerWF {
+		t.threads = t.threads[:0]
+		t.wfs = t.wfs[:0]
+		numCUs := len(t.seqs)
+		for w := 0; w < cfg.NumWavefronts; w++ {
+			wf := &wavefront{id: w, cu: w % numCUs}
+			wf.issueFn = func() { t.issueRound(wf) }
+			for l := 0; l < cfg.ThreadsPerWF; l++ {
+				thr := &thread{id: len(t.threads), wf: w, lane: l}
+				t.threads = append(t.threads, thr)
+				wf.threads = append(wf.threads, thr)
+			}
+			t.wfs = append(t.wfs, wf)
+		}
+	}
+	if cfg.LogCapacity != old.LogCapacity {
+		t.log = NewEventLog(cfg.LogCapacity)
+	}
+	// Reset only rebuilds the trace/stream checkers when the new config
+	// enables them; clear stale ones here so a corner that disables
+	// checking doesn't report the previous corner's trace.
+	if !cfg.RecordTrace {
+		t.trace = nil
+		t.epMeta = nil
+	}
+	if !cfg.StreamCheck {
+		t.stream = nil
+	}
+	t.Reset(seed)
+}
+
 // FalseSharingLines reports how many cache lines mix sync and data
 // variables under the run's random mapping.
 func (t *Tester) FalseSharingLines() int {
@@ -276,7 +320,7 @@ func (t *Tester) issueRound(wf *wavefront) {
 	}
 	issued := 0
 	for _, thr := range wf.threads {
-		if thr.episodesDone >= t.cfg.EpisodesPerWF {
+		if thr.episodesDone >= t.cfg.EpisodesPerThread {
 			continue
 		}
 		if thr.ep == nil {

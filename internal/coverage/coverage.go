@@ -102,6 +102,16 @@ func (m *Matrix) Merge(other *Matrix) {
 // number of cells that went from zero to nonzero — the "new
 // transitions" a saturation-driven campaign watches for.
 func (m *Matrix) MergeCountNew(other *Matrix) int {
+	return m.MergeCountNewFunc(other, nil)
+}
+
+// MergeCountNewFunc merges exactly like MergeCountNew and additionally
+// invokes onNew (when non-nil) for every cell that went from zero to
+// nonzero, in row-major [state][event] order. It is the campaign
+// engine's per-corner attribution hook: the caller learns *which* cold
+// cells a batch bought, not just how many, so a coverage-directed
+// policy can credit the configuration corner that activated them.
+func (m *Matrix) MergeCountNewFunc(other *Matrix, onNew func(state, event int)) int {
 	if m == nil || other == nil {
 		panic(fmt.Sprintf("coverage: merging nil matrix (%s into %s)", matrixName(other), matrixName(m)))
 	}
@@ -118,6 +128,9 @@ func (m *Matrix) MergeCountNew(other *Matrix) int {
 		for j := range m.Hits[i] {
 			if m.Hits[i][j] == 0 && other.Hits[i][j] != 0 {
 				newCells++
+				if onNew != nil {
+					onNew(i, j)
+				}
 			}
 			m.Hits[i][j] += other.Hits[i][j]
 		}
@@ -214,17 +227,42 @@ func (m *Matrix) Summarize(impossible CellSet) Summary {
 	return s
 }
 
-// InactiveCells lists the reachable-but-unhit cells as "[State, Event]"
-// strings, the debugging view designers use to aim new test configs.
-func (m *Matrix) InactiveCells(impossible CellSet) []string {
-	var out []string
+// Cell identifies one (state, event) transition cell of a matrix.
+type Cell struct {
+	State, Event int
+}
+
+// ColdCells returns the reachable-but-unhit cells — defined, not
+// masked impossible, hit count zero — in deterministic row-major
+// [state][event] order. It is the typed companion of InactiveCells: a
+// coverage-directed campaign queries it at batch boundaries to learn
+// which cells are still worth chasing, and because the order is fixed
+// the query is safe to use inside determinism-sensitive policy code.
+func (m *Matrix) ColdCells(impossible CellSet) []Cell {
+	var out []Cell
 	classes := m.Classify(impossible)
 	for i := range classes {
 		for j := range classes[i] {
 			if classes[i][j] == ClassInactive {
-				out = append(out, fmt.Sprintf("[%s, %s]", m.Spec.States[i], m.Spec.Events[j]))
+				out = append(out, Cell{State: i, Event: j})
 			}
 		}
+	}
+	return out
+}
+
+// CellName renders a cell as "[State, Event]" using the spec's names.
+func (m *Matrix) CellName(c Cell) string {
+	return fmt.Sprintf("[%s, %s]", m.Spec.States[c.State], m.Spec.Events[c.Event])
+}
+
+// InactiveCells lists the reachable-but-unhit cells as "[State, Event]"
+// strings, the debugging view designers use to aim new test configs.
+func (m *Matrix) InactiveCells(impossible CellSet) []string {
+	cold := m.ColdCells(impossible)
+	out := make([]string, 0, len(cold))
+	for _, c := range cold {
+		out = append(out, m.CellName(c))
 	}
 	sort.Strings(out)
 	return out

@@ -171,6 +171,60 @@ func TestMergePanicsNamedAndEarly(t *testing.T) {
 	}
 }
 
+// TestMergeCountNewFuncAttribution: the onNew hook must see exactly
+// the cells that went cold→hot, in row-major order, and a nil hook
+// must behave like MergeCountNew.
+func TestMergeCountNewFuncAttribution(t *testing.T) {
+	a := NewMatrix(demoSpec())
+	b := NewMatrix(demoSpec())
+	a.Hits[0][0] = 1 // already hot: hook must not fire for it
+	b.Hits[0][0] = 2
+	b.Hits[1][1] = 7
+	b.Hits[1][2] = 1
+	var got []Cell
+	n := a.MergeCountNewFunc(b, func(state, event int) {
+		got = append(got, Cell{State: state, Event: event})
+	})
+	want := []Cell{{1, 1}, {1, 2}}
+	if n != len(want) || len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("attribution = %v (n=%d), want %v", got, n, want)
+	}
+	if n := a.MergeCountNewFunc(b, func(int, int) { t.Fatal("hook fired on repeat merge") }); n != 0 {
+		t.Fatalf("repeat merge found %d new cells", n)
+	}
+}
+
+// TestColdCells: the typed cold-cell query must list exactly the
+// reachable-but-unhit cells in row-major order, respecting the
+// impossible mask, and CellName must render spec names.
+func TestColdCells(t *testing.T) {
+	m := NewMatrix(demoSpec())
+	m.Hits[0][0] = 1 // [I,Ld] hot
+	impsb := CellSet{}
+	impsb.Add(1, 1) // [V,St] impossible
+
+	cold := m.ColdCells(impsb)
+	want := []Cell{{0, 1}, {1, 0}, {1, 2}} // [I,St] stall, [V,Ld], [V,Inv]
+	if len(cold) != len(want) {
+		t.Fatalf("cold = %v, want %v", cold, want)
+	}
+	for i := range want {
+		if cold[i] != want[i] {
+			t.Fatalf("cold = %v, want %v", cold, want)
+		}
+	}
+	if name := m.CellName(cold[0]); name != "[I, St]" {
+		t.Fatalf("CellName = %q", name)
+	}
+	// Activating every cold cell empties the query.
+	for _, c := range cold {
+		m.Hits[c.State][c.Event] = 1
+	}
+	if left := m.ColdCells(impsb); len(left) != 0 {
+		t.Fatalf("still cold after activation: %v", left)
+	}
+}
+
 func TestInactiveCells(t *testing.T) {
 	m := NewMatrix(demoSpec())
 	m.Hits[0][0] = 1

@@ -22,7 +22,7 @@ func ablationRun(t *testing.T, mutate func(*core.Config), bugs viper.BugSet, see
 	cfg.Seed = seed
 	cfg.NumWavefronts = 8
 	cfg.ThreadsPerWF = 4
-	cfg.EpisodesPerWF = 8
+	cfg.EpisodesPerThread = 8
 	cfg.ActionsPerEpisode = 30
 	cfg.NumSyncVars = 4
 	cfg.NumDataVars = 48
@@ -146,7 +146,7 @@ func TestMultiSliceTesterPasses(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = 11
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 6
+	cfg.EpisodesPerThread = 6
 	cfg.ActionsPerEpisode = 40
 	rep := core.New(b.K, b.Sys, cfg).Run()
 	if !rep.Passed() {

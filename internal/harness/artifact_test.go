@@ -20,7 +20,7 @@ func failingGPURun(t *testing.T) *Artifact {
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed
 		cfg.NumWavefronts = 8
-		cfg.EpisodesPerWF = 8
+		cfg.EpisodesPerThread = 8
 		cfg.ActionsPerEpisode = 30
 		cfg.NumSyncVars = 4
 		cfg.NumDataVars = 48

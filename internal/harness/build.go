@@ -145,6 +145,15 @@ func TCCImpossibleGPUOnly() coverage.CellSet {
 	return s
 }
 
+// TCPImpossible returns the L1 cells unreachable under the tester —
+// none. Every defined TCP cell is reachable in GPU-only mode (audited
+// empirically; TestTCPFullCoverageReachable pins it by driving a swarm
+// campaign to 100% L1 coverage), so campaign summaries mask nothing:
+// an L1 cell directed mode is chasing is always genuinely reachable.
+func TCPImpossible() coverage.CellSet {
+	return coverage.CellSet{}
+}
+
 // TCCImpossibleHetero returns the L2 cells unreachable in the
 // heterogeneous system: none — with other clients on the directory,
 // every defined L2 cell (including probes racing in-flight fills) is

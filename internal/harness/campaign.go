@@ -25,12 +25,16 @@
 //     shared-map or lock contention while seeds execute.
 //
 // Determinism: the campaign's outcome — seeds run, batch count, union
-// matrices, failure set — is a pure function of (BaseSeed, BatchSize,
-// SaturateK, MaxSeeds) and is independent of the worker count. Seeds
-// are dealt from one counter so every seed in [BaseSeed,
+// matrices, failure set — is a pure function of (Mode, BaseSeed,
+// BatchSize, SaturateK, MaxSeeds) and is independent of the worker
+// count. Seeds are dealt from one counter so every seed in [BaseSeed,
 // BaseSeed+SeedsRun) runs exactly once; matrix union is addition
 // (commutative), the newly-activated-cell count per batch is a set
 // property of the batch, and failures are keyed and sorted by seed.
+// The swarm/directed corner policy (directed.go) only extends the
+// argument: corners are chosen at batch boundaries from (BaseSeed,
+// batch, per-batch new-cell history), all of which are themselves
+// worker-count independent.
 package harness
 
 import (
@@ -43,6 +47,7 @@ import (
 	"drftest/internal/core"
 	"drftest/internal/coverage"
 	"drftest/internal/protocol"
+	"drftest/internal/trace"
 	"drftest/internal/viper"
 )
 
@@ -75,6 +80,18 @@ type CampaignConfig struct {
 	// fresh system. This is the pre-campaign baseline mode, kept for
 	// benchmarking the reset path against (BenchmarkCampaign).
 	Rebuild bool
+	// Mode selects the per-batch configuration policy: uniform (every
+	// batch at the base config), swarm (a random lattice corner per
+	// batch) or directed (corner sampling biased by cold-cell yield).
+	// See directed.go.
+	Mode CampaignMode
+	// ArtifactDir, when non-empty, writes one replay artifact per
+	// failing seed into the directory (named by seed, the PR 1
+	// reproduce-every-failure guarantee extended to campaigns);
+	// TraceDepth sizes the embedded execution trace (≤0 →
+	// DefaultTraceCapacity).
+	ArtifactDir string
+	TraceDepth  int
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -94,10 +111,17 @@ func (c CampaignConfig) withDefaults() CampaignConfig {
 type SeedFailure struct {
 	Seed     uint64
 	Failures []*core.Failure
+	// ArtifactPath is the replay artifact written for this seed
+	// (CampaignConfig.ArtifactDir set); ArtifactErr records a write
+	// failure instead. Both empty when artifacts were not requested.
+	ArtifactPath string
+	ArtifactErr  string
 }
 
 // CampaignResult is the outcome of a saturation campaign.
 type CampaignResult struct {
+	// Mode is the configuration policy the campaign ran under.
+	Mode CampaignMode
 	// SeedsRun counts completed runs; seeds were BaseSeed ..
 	// BaseSeed+SeedsRun-1.
 	SeedsRun int
@@ -105,9 +129,28 @@ type CampaignResult struct {
 	// transition cells batch i activated for the first time.
 	Batches         int
 	NewCellsByBatch []int
+	// CornerByBatch names the configuration corner each batch ran with
+	// (all "...base..." in uniform mode).
+	CornerByBatch []string
+	// NewCellNamesByBatch lists, per batch, the "machine [State, Event]"
+	// cells that batch activated for the first time — the per-corner
+	// attribution record (total size is bounded by the cell count of
+	// both matrices, so this stays small on any campaign length).
+	NewCellNamesByBatch [][]string
+	// ColdByBatch is the number of reachable-but-unhit union cells
+	// remaining after each batch's merge — the quantity directed mode
+	// chases to zero.
+	ColdByBatch []int
 	// Saturated reports whether the plateau rule (not the seed cap)
 	// ended the campaign.
 	Saturated bool
+	// SeedsToSaturation is the number of seeds run through the last
+	// batch that activated a new cell — the cost of reaching the
+	// campaign's final coverage, excluding the trailing confirmation
+	// batches. CellsAtSaturation is that final coverage: active
+	// reachable cells summed over both matrices.
+	SeedsToSaturation int
+	CellsAtSaturation int
 
 	UnionL1    *coverage.Matrix
 	UnionL2    *coverage.Matrix
@@ -142,6 +185,14 @@ type campaignWorker struct {
 
 	b      *GPUBuild
 	tester *core.Tester
+	// ring is the execution trace attached when artifacts are
+	// requested; it is reset per seed so a failing run's trace is
+	// bit-identical to the trace a fresh single-seed replay records.
+	ring *trace.Ring
+	// corner is the interned corner the reusable context is currently
+	// configured for; a pointer mismatch with the batch's corner routes
+	// the reset through ResetWithConfig/SetRespJitter.
+	corner *Corner
 
 	// dL1/dL2 accumulate the worker's coverage since its last publish;
 	// failures, ops, events and wall likewise. The collector inside b
@@ -154,27 +205,66 @@ type campaignWorker struct {
 	wall     time.Duration
 }
 
-func (w *campaignWorker) runSeed(seed uint64) {
+// cornerSysCfg is the system config corner c runs under for seed.
+func (w *campaignWorker) cornerSysCfg(c *Corner, seed uint64) viper.Config {
+	sc := w.cfg.SysCfg
+	sc.RespJitter = c.RespJitter
+	if c.JitterPerSeed {
+		sc.JitterSeed = seed
+	}
+	return sc
+}
+
+func (w *campaignWorker) runSeed(seed uint64, c *Corner) {
 	if w.b == nil || w.cfg.Rebuild {
-		w.b = BuildGPU(w.cfg.SysCfg)
-		tc := w.cfg.TestCfg
+		w.b = BuildGPU(w.cornerSysCfg(c, seed))
+		if w.cfg.ArtifactDir != "" {
+			w.ring = EnableTrace(w.b.K, w.cfg.TraceDepth)
+		}
+		tc := c.TestCfg
 		tc.Seed = seed
 		w.tester = core.New(w.b.K, w.b.Sys, tc)
+		w.corner = c
 	} else {
 		// Reset order matters: the kernel first (drops pending events,
 		// essential after a bug-stopped run), then the system (recycles
 		// controller state those events referenced), then the collector
-		// (zeroes the hit tables in place) and the tester.
+		// (zeroes the hit tables in place), the trace ring, and the
+		// tester. A corner change retunes the response jitter between
+		// the kernel and system resets (System.Reset reseeds the jitter
+		// stream from the config this writes) and routes the tester
+		// through the reconfiguring reset.
 		w.b.K.Reset()
+		if w.corner != c || c.JitterPerSeed {
+			sc := w.cornerSysCfg(c, seed)
+			w.b.Sys.SetRespJitter(sc.RespJitter, sc.JitterSeed)
+		}
 		w.b.Sys.Reset()
 		w.b.Col.Reset()
-		w.tester.Reset(seed)
+		w.ring.Reset()
+		if w.corner != c {
+			w.tester.ResetWithConfig(seed, c.TestCfg)
+			w.corner = c
+		} else {
+			w.tester.Reset(seed)
+		}
 	}
 	rep := w.tester.Run()
 	w.dL1.Merge(w.b.Col.Matrix("GPU-L1"))
 	w.dL2.Merge(w.b.Col.Matrix(w.l2Name))
 	if len(rep.Failures) > 0 {
-		w.failures = append(w.failures, SeedFailure{Seed: seed, Failures: rep.Failures})
+		sf := SeedFailure{Seed: seed, Failures: rep.Failures}
+		if w.cfg.ArtifactDir != "" {
+			tc := c.TestCfg
+			tc.Seed = seed
+			art := NewGPUArtifact(w.b.Sys.Cfg, tc, w.tester, rep, w.ring)
+			if path, err := art.Write(w.cfg.ArtifactDir); err != nil {
+				sf.ArtifactErr = err.Error()
+			} else {
+				sf.ArtifactPath = path
+			}
+		}
+		w.failures = append(w.failures, sf)
 	}
 	w.ops += rep.OpsIssued
 	w.events += rep.EventsExecuted
@@ -183,10 +273,17 @@ func (w *campaignWorker) runSeed(seed uint64) {
 
 // publish merges the worker's accumulated delta into the campaign
 // result, returning the number of newly activated union cells, and
-// clears the delta for the next batch.
-func (w *campaignWorker) publish(out *CampaignResult) int {
-	n := out.UnionL1.MergeCountNew(w.dL1)
-	n += out.UnionL2.MergeCountNew(w.dL2)
+// clears the delta for the next batch. onNew (optional) observes each
+// newly activated cell — the merge-time attribution hook directed mode
+// uses to credit the batch's corner.
+func (w *campaignWorker) publish(out *CampaignResult, onNew func(machine string, state, event int)) int {
+	onL1, onL2 := (func(int, int))(nil), (func(int, int))(nil)
+	if onNew != nil {
+		onL1 = func(s, e int) { onNew("GPU-L1", s, e) }
+		onL2 = func(s, e int) { onNew(w.l2Name, s, e) }
+	}
+	n := out.UnionL1.MergeCountNewFunc(w.dL1, onL1)
+	n += out.UnionL2.MergeCountNewFunc(w.dL2, onL2)
 	w.dL1.Zero()
 	w.dL2.Zero()
 	out.Failures = append(out.Failures, w.failures...)
@@ -216,8 +313,11 @@ func RunGPUCampaign(cfg CampaignConfig) *CampaignResult {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	l2Spec, l2Name, impossible := campaignSpecs(cfg.SysCfg)
+	tcpImpossible := TCPImpossible()
+	policy := newCornerPolicy(cfg)
 
 	out := &CampaignResult{
+		Mode:    cfg.Mode,
 		UnionL1: coverage.NewMatrix(viper.NewTCPSpec()),
 		UnionL2: coverage.NewMatrix(l2Spec),
 	}
@@ -238,6 +338,7 @@ func RunGPUCampaign(cfg CampaignConfig) *CampaignResult {
 			batch = rest
 		}
 		first := cfg.BaseSeed + uint64(out.SeedsRun)
+		corner := policy.corner(out.Batches)
 
 		// Workers claim seeds within the batch from an atomic ticket
 		// counter; the barrier below is the merge point. Which worker
@@ -253,19 +354,40 @@ func RunGPUCampaign(cfg CampaignConfig) *CampaignResult {
 					if i >= int64(batch) {
 						return
 					}
-					w.runSeed(first + uint64(i))
+					w.runSeed(first+uint64(i), corner)
 				}
 			}(w)
 		}
 		wg.Wait()
 
 		newCells := 0
-		for _, w := range workers {
-			newCells += w.publish(out)
+		var activated []string
+		onNew := func(machine string, state, event int) {
+			m := out.UnionL1
+			if machine != "GPU-L1" {
+				m = out.UnionL2
+			}
+			activated = append(activated, machine+" "+m.CellName(coverage.Cell{State: state, Event: event}))
 		}
+		for _, w := range workers {
+			newCells += w.publish(out, onNew)
+		}
+		// Worker merge order is fixed (the workers slice), so the
+		// attribution list is deterministic; sort it anyway so the
+		// record reads the same regardless of which worker ran the
+		// activating seed.
+		sort.Strings(activated)
+		policy.observe(corner, newCells)
 		out.SeedsRun += batch
 		out.Batches++
 		out.NewCellsByBatch = append(out.NewCellsByBatch, newCells)
+		out.NewCellNamesByBatch = append(out.NewCellNamesByBatch, activated)
+		out.CornerByBatch = append(out.CornerByBatch, corner.Name())
+		out.ColdByBatch = append(out.ColdByBatch,
+			len(out.UnionL1.ColdCells(tcpImpossible))+len(out.UnionL2.ColdCells(impossible)))
+		if newCells > 0 {
+			out.SeedsToSaturation = out.SeedsRun
+		}
 		if newCells == 0 {
 			zeroBatches++
 		} else {
@@ -281,8 +403,9 @@ func RunGPUCampaign(cfg CampaignConfig) *CampaignResult {
 	// deterministic presentation (seeds are unique, so the sort is a
 	// total order).
 	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Seed < out.Failures[j].Seed })
-	out.UnionL1Sum = out.UnionL1.Summarize(nil)
+	out.UnionL1Sum = out.UnionL1.Summarize(tcpImpossible)
 	out.UnionL2Sum = out.UnionL2.Summarize(impossible)
+	out.CellsAtSaturation = out.UnionL1Sum.Active + out.UnionL2Sum.Active
 	out.Wall = time.Since(start)
 	return out
 }

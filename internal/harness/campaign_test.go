@@ -12,7 +12,7 @@ import (
 func campaignTestCfg() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 8
+	cfg.EpisodesPerThread = 8
 	cfg.ActionsPerEpisode = 30
 	cfg.NumSyncVars = 4
 	cfg.NumDataVars = 64

@@ -16,7 +16,7 @@ func tracedRun(t *testing.T, bugs viper.BugSet, seed uint64) *core.Report {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	cfg.NumWavefronts = 8
-	cfg.EpisodesPerWF = 8
+	cfg.EpisodesPerThread = 8
 	cfg.ActionsPerEpisode = 30
 	cfg.NumSyncVars = 4
 	cfg.NumDataVars = 64

@@ -53,7 +53,7 @@ func GPUTesterConfigs(seed uint64, scale float64) []GPUTestConfig {
 					tc.NumWavefronts = 2 * cc.cfg.NumCUs
 					tc.ThreadsPerWF = 4
 					tc.ActionsPerEpisode = shrink(actions)
-					tc.EpisodesPerWF = shrink(episodes)
+					tc.EpisodesPerThread = shrink(episodes)
 					tc.NumSyncVars = syncVars
 					// The paper uses 1M regular locations; scaled down
 					// proportionally it keeps the same sync:data ratio

@@ -38,7 +38,7 @@ func FuzzTesterNoFalseAlarms(f *testing.F) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed
 		cfg.NumWavefronts = 1 + int(wfs%24)
-		cfg.EpisodesPerWF = 1 + int(episodes%12)
+		cfg.EpisodesPerThread = 1 + int(episodes%12)
 		cfg.ActionsPerEpisode = 2 + int(actions%80)
 		cfg.NumSyncVars = 1 + int(syncVars%20)
 		cfg.NumDataVars = 16 + int(dataVars%2048)

@@ -50,7 +50,7 @@ func TestMultiGPUTester(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = 3
 	cfg.NumWavefronts = 16
-	cfg.EpisodesPerWF = 8
+	cfg.EpisodesPerThread = 8
 	cfg.ActionsPerEpisode = 40
 	cfg.NumSyncVars = 8
 	cfg.NumDataVars = 256

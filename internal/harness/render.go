@@ -35,7 +35,7 @@ func RenderTableIII(w io.Writer, gpu []GPUTestConfig, cpu []CPUTestConfig) {
 	fmt.Fprintf(w, "  %-8s %-7s %-9s %-9s %-9s %-10s\n", "run", "caches", "acts/eps", "eps/WF", "syncVars", "dataVars")
 	for _, c := range gpu {
 		fmt.Fprintf(w, "  %-8s %-7s %-9d %-9d %-9d %-10d\n",
-			c.Name, c.Caches, c.TestCfg.ActionsPerEpisode, c.TestCfg.EpisodesPerWF,
+			c.Name, c.Caches, c.TestCfg.ActionsPerEpisode, c.TestCfg.EpisodesPerThread,
 			c.TestCfg.NumSyncVars, c.TestCfg.NumDataVars)
 	}
 	fmt.Fprintln(w, "CPU tester (protocol MOESI corepair):")

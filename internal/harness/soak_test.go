@@ -34,7 +34,7 @@ func TestSoakLongRandomRuns(t *testing.T) {
 			cfg.Seed = seed
 			cfg.NumWavefronts = 16
 			cfg.ThreadsPerWF = 4
-			cfg.EpisodesPerWF = 20
+			cfg.EpisodesPerThread = 20
 			cfg.ActionsPerEpisode = 50
 			cfg.NumSyncVars = 20
 			cfg.NumDataVars = 2000
@@ -62,7 +62,7 @@ func TestSoakHeterogeneous(t *testing.T) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed
 		cfg.NumWavefronts = 8
-		cfg.EpisodesPerWF = 10
+		cfg.EpisodesPerThread = 10
 		cfg.ActionsPerEpisode = 40
 		// Tester variables live far from the host's control block, so
 		// the concurrent host traffic cannot race the checked data.

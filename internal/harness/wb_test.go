@@ -25,7 +25,7 @@ func TestTesterDrivesWriteBackVariantUnchanged(t *testing.T) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed
 		cfg.NumWavefronts = 16
-		cfg.EpisodesPerWF = 8
+		cfg.EpisodesPerThread = 8
 		cfg.ActionsPerEpisode = 40
 		cfg.NumSyncVars = 8
 		cfg.NumDataVars = 512
@@ -66,7 +66,7 @@ func TestTesterCatchesBugInWriteBackVariant(t *testing.T) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed
 		cfg.NumWavefronts = 8
-		cfg.EpisodesPerWF = 8
+		cfg.EpisodesPerThread = 8
 		cfg.ActionsPerEpisode = 30
 		cfg.NumSyncVars = 4
 		cfg.NumDataVars = 48
@@ -107,7 +107,7 @@ func coverageUnionWB(t *testing.T, runs int) *covMatrix {
 		cfg := core.DefaultConfig()
 		cfg.Seed = seed
 		cfg.NumWavefronts = 16
-		cfg.EpisodesPerWF = 8
+		cfg.EpisodesPerThread = 8
 		cfg.ActionsPerEpisode = 60
 		cfg.NumSyncVars = 8
 		cfg.NumDataVars = 1024

@@ -58,6 +58,18 @@ func NewJitterLink(k *sim.Kernel, name string, latency, jitter sim.Tick, rnd *rn
 // Name returns the link's name.
 func (l *Link) Name() string { return l.name }
 
+// SetJitter changes the link's jitter window. Only valid while nothing
+// is queued or in flight (e.g. between reset runs of a reused system):
+// the ordered path's FIFO matching assumes the window is fixed for the
+// life of every queued message. A link built without a random stream
+// cannot become jittered.
+func (l *Link) SetJitter(jitter sim.Tick) {
+	if jitter > 0 && l.rnd == nil {
+		panic("network: SetJitter on a link built without a jitter stream")
+	}
+	l.jitter = jitter
+}
+
 // Sent returns the number of messages sent on the link.
 func (l *Link) Sent() uint64 { return l.sent }
 
@@ -146,6 +158,13 @@ func NewJitterCrossbar(k *sim.Kernel, prefix string, n int, latency, jitter sim.
 
 // To returns the link to destination i.
 func (c *Crossbar) To(i int) *Link { return c.links[i] }
+
+// SetJitter changes every port's jitter window (see Link.SetJitter).
+func (c *Crossbar) SetJitter(jitter sim.Tick) {
+	for _, l := range c.links {
+		l.SetJitter(jitter)
+	}
+}
 
 // ResetStats zeroes every port's traffic counter.
 func (c *Crossbar) ResetStats() {

@@ -78,6 +78,20 @@ func (r *Ring) Len() int {
 	return len(r.buf)
 }
 
+// Reset discards every recorded entry and restarts sequence numbering
+// from 1, returning the ring to its just-built state while keeping its
+// buffer. A campaign reusing one kernel (and its attached tracer)
+// across seeds resets the ring before each run so a failing seed's
+// artifact carries exactly that run's trace — bit-identical to the
+// trace a fresh single-seed run of the same configuration records,
+// which is what lets replay compare tails entry-for-entry.
+func (r *Ring) Reset() {
+	if r == nil {
+		return
+	}
+	r.total = 0
+}
+
 // Append records one entry, assigning it the next sequence number.
 func (r *Ring) Append(tick uint64, component, label string, addr uint64) {
 	if !r.Enabled() {

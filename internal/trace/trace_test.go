@@ -36,6 +36,31 @@ func TestRingWraparound(t *testing.T) {
 	}
 }
 
+// TestRingReset: a reset ring must be indistinguishable from a
+// just-built one — sequence numbers restart at 1 and old entries are
+// unreachable — which is what lets a campaign's reused trace ring
+// produce artifacts bit-identical to a fresh single-seed run's.
+func TestRingReset(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 7; i++ {
+		r.Append(uint64(i), "old", "l", 0)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Snapshot() != nil {
+		t.Fatalf("reset ring not empty: len=%d total=%d", r.Len(), r.Total())
+	}
+	if r.Cap() != 4 || !r.Enabled() {
+		t.Fatal("reset changed the ring's capacity or enablement")
+	}
+	r.Append(50, "new", "l", 9)
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].Seq != 1 || got[0].Component != "new" {
+		t.Fatalf("post-reset entries = %+v, want one entry with Seq 1", got)
+	}
+	var nilRing *Ring
+	nilRing.Reset() // must not panic
+}
+
 func TestRingLastOrdering(t *testing.T) {
 	r := NewRing(8)
 	for i := 1; i <= 5; i++ {

@@ -115,6 +115,9 @@ type System struct {
 	// jrnd is the response-jitter stream shared by every jittered
 	// response crossbar, retained so Reset can reseed it.
 	jrnd *rng.PCG
+	// respXBars holds the per-slice response crossbars, retained so
+	// SetRespJitter can retune them between runs.
+	respXBars []*network.Crossbar
 }
 
 // jitterStream is the PCG stream selector of the response-jitter
@@ -152,6 +155,25 @@ func (s *System) Reset() {
 	}
 	if s.Mem != nil {
 		s.Mem.Reset()
+	}
+}
+
+// SetRespJitter retunes the response-network jitter window and its
+// seed between runs of a reused system: it updates the config so the
+// next Reset reseeds the jitter stream from seed, and widens (or
+// zeroes) every response crossbar's window. Only valid immediately
+// before Reset — in-flight messages must be gone first — so callers
+// sequence Kernel.Reset, SetRespJitter, System.Reset. After that
+// sequence a run is bit-identical to one on a freshly built system
+// with the same RespJitter/JitterSeed in its config.
+func (s *System) SetRespJitter(jitter sim.Tick, seed uint64) {
+	if s.Kernel.Pending() > 0 {
+		panic("viper: SetRespJitter with pending kernel events — call Kernel.Reset first")
+	}
+	s.Cfg.RespJitter = jitter
+	s.Cfg.JitterSeed = seed
+	for _, xb := range s.respXBars {
+		xb.SetJitter(jitter)
 	}
 }
 
@@ -281,12 +303,13 @@ func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, back
 	tccSpec := NewTCCSpec()
 	wbSpec := NewTCCWBSpec()
 	for sl := 0; sl < cfg.NumL2Slices; sl++ {
-		var respXBar *network.Crossbar
-		if cfg.RespJitter > 0 {
-			respXBar = network.NewJitterCrossbar(k, fmt.Sprintf("tcc%d->tcp", sl), cfg.NumCUs, cfg.RespLatency, cfg.RespJitter, jrnd)
-		} else {
-			respXBar = network.NewCrossbar(k, fmt.Sprintf("tcc%d->tcp", sl), cfg.NumCUs, cfg.RespLatency)
-		}
+		// Response crossbars are always built jitter-capable: a jittered
+		// link with a zero window is behaviorally identical to an ordered
+		// one (Send/SendMsg only consult the stream when jitter > 0), and
+		// it lets SetRespJitter retune the window between reset runs of a
+		// reused system.
+		respXBar := network.NewJitterCrossbar(k, fmt.Sprintf("tcc%d->tcp", sl), cfg.NumCUs, cfg.RespLatency, cfg.RespJitter, jrnd)
+		s.respXBars = append(s.respXBars, respXBar)
 		if cfg.WriteBackL2 {
 			wb := newTCCWB(k, wbSpec, rec, onFault, cfg.L2, backend, respXBar, cfg.Bugs)
 			wb.sliceIndex = sl
