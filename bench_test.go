@@ -527,3 +527,94 @@ func BenchmarkAxiomaticChecker(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(rep.Trace.Ops)), "trace-ops")
 }
+
+// BenchmarkCampaignForkLargeCache / ResetLargeCache measure the
+// warm-fork fast path against the per-seed reset path in the regime
+// forking exists for: large cache arrays (the paper's 256KB/1MB
+// "large" configuration) under short runs, where System.Reset's
+// O(capacity) invalidation scans dwarf the touched-state journal a
+// fork unwinds. The fork/reset seeds-per-second ratio is a CI floor
+// (>= 1.3x) recorded in BENCH_PR7.json.
+func BenchmarkCampaignForkLargeCache(b *testing.B)  { benchForkCampaign(b, true) }
+func BenchmarkCampaignResetLargeCache(b *testing.B) { benchForkCampaign(b, false) }
+
+func benchForkCampaign(b *testing.B, fork bool) {
+	b.Helper()
+	testCfg := core.DefaultConfig()
+	testCfg.NumWavefronts = 2
+	testCfg.EpisodesPerThread = 1
+	testCfg.ActionsPerEpisode = 4
+	testCfg.NumSyncVars = 2
+	testCfg.NumDataVars = 256
+	seeds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := harness.RunGPUCampaign(harness.CampaignConfig{
+			SysCfg:    viper.LargeCacheConfig(),
+			TestCfg:   testCfg,
+			BaseSeed:  uint64(i)*1000 + 1,
+			Workers:   2,
+			BatchSize: 32,
+			MaxSeeds:  128,
+			Fork:      fork,
+		})
+		if len(res.Failures) != 0 {
+			b.Fatalf("campaign failed: seed %d: %v", res.Failures[0].Seed, res.Failures[0].Failures[0])
+		}
+		seeds += res.SeedsRun
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(seeds)/b.Elapsed().Seconds(), "seeds/sec")
+}
+
+// goldenArtifact loads the repo's reference failing artifact (the one
+// TestGoldenArtifactReplay pins), the common subject for the replay
+// benchmarks.
+func goldenArtifact(b *testing.B) *harness.Artifact {
+	b.Helper()
+	a, err := harness.LoadArtifact("internal/harness/testdata/replay-gpu-seed5-tick1263.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkReplayFull measures a complete artifact reproduction — the
+// baseline a bisection probe is gated against.
+func BenchmarkReplayFull(b *testing.B) {
+	art := goldenArtifact(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replayed, err := harness.Replay(art)
+		if err == nil {
+			err = harness.CheckReproduced(art, replayed)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayBisectProbe measures the repeatable phase of a
+// bisection — restore the bracketing checkpoint, single-step to the
+// flip — against checkpoints recorded once outside the timer. This is
+// the cost of re-asking "where does it first fail?" (or of bisecting
+// a different predicate) once a run has been checkpointed; the CI
+// floor requires it <= 0.5x BenchmarkReplayFull.
+func BenchmarkReplayBisectProbe(b *testing.B) {
+	art := goldenArtifact(b)
+	pass, err := harness.NewBisectPass(art, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pass.Probe()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FirstFailingTick == 0 || res.FirstFailingTick > res.ReportedTick {
+			b.Fatalf("bisected tick %d outside (0, %d]", res.FirstFailingTick, res.ReportedTick)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	          [-campaign] [-campaign-mode uniform|swarm|directed]
 //	          [-saturate-k 3] [-max-seeds 1024]
 //	          [-batch 16] [-workers 0] [-campaign-rebuild]
+//	          [-campaign-fork]
 //
 // With -artifact-dir set the run records a bounded execution trace
 // and, on any checker failure, serializes a replay artifact (JSON)
@@ -28,6 +29,9 @@
 // batch a random configuration corner, and directed biases corner
 // sampling toward corners whose recent batches activated cold
 // coverage cells. All three modes are independent of -workers.
+// -campaign-fork runs each seed by restoring the system from a warm
+// snapshot (copy-on-write journals) instead of Reset-scanning it —
+// same outcomes, higher seeds/sec on large cache configurations.
 //
 // Exit status is 0 when the protocol passes, 1 when bugs are detected.
 package main
@@ -77,6 +81,7 @@ func main() {
 	batch := flag.Int("batch", 16, "campaign: seeds per batch between coverage merges")
 	workers := flag.Int("workers", 0, "campaign: worker pool size (0 = GOMAXPROCS); does not affect the outcome")
 	campaignRebuild := flag.Bool("campaign-rebuild", false, "campaign: rebuild the system for every seed instead of reusing run contexts (baseline mode)")
+	campaignFork := flag.Bool("campaign-fork", false, "campaign: fork seeds from a warm system snapshot instead of Reset-scanning reused contexts (fast path)")
 	flag.Parse()
 
 	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
@@ -149,6 +154,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			exit(2)
 		}
+		if *campaignFork && *campaignRebuild {
+			fmt.Fprintln(os.Stderr, "gputester: -campaign-fork and -campaign-rebuild are mutually exclusive")
+			exit(2)
+		}
 		runCampaign(harness.CampaignConfig{
 			SysCfg:      sysCfg,
 			TestCfg:     cfg,
@@ -158,6 +167,7 @@ func main() {
 			SaturateK:   *saturateK,
 			MaxSeeds:    *maxSeeds,
 			Rebuild:     *campaignRebuild,
+			Fork:        *campaignFork,
 			Mode:        mode,
 			ArtifactDir: *artifactDir,
 			TraceDepth:  *traceDepth,
@@ -320,6 +330,8 @@ func runCampaign(cc harness.CampaignConfig, protocolName, caches string, jsonOut
 	ctxMode := "reuse"
 	if cc.Rebuild {
 		ctxMode = "rebuild"
+	} else if cc.Fork {
+		ctxMode = "fork"
 	}
 	fmt.Printf("gputester campaign: mode=%s baseSeed=%d protocol=%s caches=%s batch=%d saturateK=%d maxSeeds=%d contexts=%s\n",
 		res.Mode, cc.BaseSeed, protocolName, caches, cc.BatchSize, cc.SaturateK, cc.MaxSeeds, ctxMode)

@@ -6,10 +6,25 @@
 //
 // Usage:
 //
-//	replay [-trace] [-table] artifact.json...
+//	replay [-trace] [-json] [-bisect] [-bisect-every N] artifact.json...
 //
-// Exit status is 0 when every artifact reproduces, 1 when any
-// diverges (or no longer fails at all), 2 on usage errors.
+// With -bisect (GPU artifacts only), the replay additionally runs a
+// checkpointed pass that binary-searches the run for its first failing
+// tick — the tick a value check first fails, or the tick forward
+// progress ceases for a deadlock (which the deadlock report itself
+// trails by up to a heartbeat period) — and writes a minimized
+// companion artifact ("<artifact>.min.json") whose trace is cut to the
+// reproducing suffix from that tick on. The minimized artifact is
+// itself re-replayed and verified before replay reports success.
+// -bisect-every overrides the checkpoint cadence in ticks (default:
+// adaptive, about 64 checkpoints across the run).
+//
+// Exit status:
+//
+//	0 — every artifact reproduced (and, with -bisect, bisected and
+//	    minimized to a still-reproducing artifact)
+//	1 — any artifact diverged, no longer fails, or failed to bisect
+//	2 — usage errors, or an artifact that cannot be loaded
 //
 // This closes the paper's debugging loop: the tester finds a
 // coherence violation autonomously, and the artifact pins the exact
@@ -19,57 +34,146 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"drftest/internal/harness"
+	"drftest/internal/sim"
 )
+
+// result is one artifact's outcome, the unit of -json output.
+type result struct {
+	Path       string                  `json:"path"`
+	Kind       string                  `json:"kind"`
+	Seed       uint64                  `json:"seed"`
+	Failure    harness.ArtifactFailure `json:"failure"`
+	Reproduced bool                    `json:"reproduced"`
+	Error      string                  `json:"error,omitempty"`
+
+	Bisect              *harness.BisectResult `json:"bisect,omitempty"`
+	MinimizedPath       string                `json:"minimizedPath,omitempty"`
+	MinimizedReproduced bool                  `json:"minimizedReproduced,omitempty"`
+}
 
 func main() {
 	showTrace := flag.Bool("trace", false, "print the artifact's execution-trace tail")
+	asJSON := flag.Bool("json", false, "emit one JSON result object per artifact instead of text")
+	bisect := flag.Bool("bisect", false, "bisect each artifact to its first failing tick and write a minimized companion artifact")
+	bisectEvery := flag.Uint64("bisect-every", 0, "checkpoint cadence in ticks for -bisect (0 = adaptive)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: replay [-trace] artifact.json...")
+		fmt.Fprintln(os.Stderr, "usage: replay [-trace] [-json] [-bisect] [-bisect-every N] artifact.json...")
 		os.Exit(2)
 	}
 
-	failed := 0
+	failed, loadFailed := 0, 0
+	var results []result
 	for _, path := range flag.Args() {
-		if err := replayOne(path, *showTrace); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		res, loadErr := replayOne(path, *showTrace && !*asJSON, *bisect, sim.Tick(*bisectEvery), *asJSON)
+		if loadErr != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, loadErr)
+			loadFailed++
+			continue
+		}
+		if res.Error != "" {
+			if !*asJSON {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", path, res.Error)
+			}
 			failed++
 		}
+		results = append(results, *res)
 	}
-	if failed > 0 {
-		fmt.Printf("\n%d of %d artifact(s) did NOT reproduce\n", failed, flag.NArg())
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	switch {
+	case loadFailed > 0:
+		os.Exit(2)
+	case failed > 0:
+		if !*asJSON {
+			fmt.Printf("\n%d of %d artifact(s) did NOT reproduce\n", failed, flag.NArg())
+		}
 		os.Exit(1)
 	}
 }
 
-func replayOne(path string, showTrace bool) error {
+// replayOne loads, replays, and (optionally) bisects one artifact.
+// A load/validation error returns (nil, err) — the exit-2 class; any
+// divergence after that is reported in result.Error — the exit-1
+// class.
+func replayOne(path string, showTrace, bisect bool, every sim.Tick, quiet bool) (*result, error) {
 	art, err := harness.LoadArtifact(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	f := art.FirstFailure()
-	fmt.Printf("%s: %s artifact, seed %d, %s at tick %d (addr %#x)\n",
+	res := &result{Path: path, Kind: art.Kind, Seed: art.Seed, Failure: f}
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Printf(format, args...)
+		}
+	}
+	logf("%s: %s artifact, seed %d, %s at tick %d (addr %#x)\n",
 		path, art.Kind, art.Seed, f.Kind, f.Tick, f.Addr)
 	if showTrace {
-		fmt.Printf("  trace tail (%d entries, ring capacity %d):\n", len(art.Trace), art.TraceCapacity)
+		logf("  trace tail (%d entries, ring capacity %d):\n", len(art.Trace), art.TraceCapacity)
 		for _, e := range art.Trace {
-			fmt.Printf("    t=%-10d #%-8d %-12s %-24s %#x\n", e.Tick, e.Seq, e.Component, e.Label, e.Addr)
+			logf("    t=%-10d #%-8d %-12s %-24s %#x\n", e.Tick, e.Seq, e.Component, e.Label, e.Addr)
 		}
 	}
 
+	if bisect {
+		bi, err := harness.BisectArtifact(art, every)
+		if err != nil {
+			res.Error = err.Error()
+			return res, nil
+		}
+		res.Reproduced = true
+		res.Bisect = bi
+		logf("  REPRODUCED: %s at tick %d, %d ops, %d kernel events — bit-identical\n",
+			f.Kind, f.Tick, bi.Replayed.Ops.Completed, bi.Replayed.Ops.KernelEvents)
+		logf("  BISECTED: first failing tick %d (reported at %d; %d checkpoints every %d ticks, %d fine steps from tick %d)\n",
+			bi.FirstFailingTick, bi.ReportedTick, bi.Checkpoints, bi.CheckpointEvery, bi.FineSteps, bi.CoarseTick)
+
+		min := harness.Minimize(art, filepath.Base(path), bi.FirstFailingTick)
+		minPath, err := harness.WriteMinimized(path, min)
+		if err != nil {
+			res.Error = fmt.Sprintf("writing minimized artifact: %v", err)
+			return res, nil
+		}
+		res.MinimizedPath = minPath
+		minReplayed, err := harness.Replay(min)
+		if err == nil {
+			err = harness.CheckReproduced(min, minReplayed)
+		}
+		if err != nil {
+			res.Error = fmt.Sprintf("minimized artifact did not reproduce: %v", err)
+			return res, nil
+		}
+		res.MinimizedReproduced = true
+		logf("  MINIMIZED: %s (%d of %d trace entries, from tick %d) — verified reproducing\n",
+			minPath, len(min.Trace), len(art.Trace), bi.FirstFailingTick)
+		return res, nil
+	}
+
 	replayed, err := harness.Replay(art)
+	if err == nil {
+		err = harness.CheckReproduced(art, replayed)
+	}
 	if err != nil {
-		return err
+		res.Error = err.Error()
+		return res, nil
 	}
-	if err := harness.CheckReproduced(art, replayed); err != nil {
-		return err
-	}
-	fmt.Printf("  REPRODUCED: %s at tick %d, %d ops, %d kernel events — bit-identical\n",
+	res.Reproduced = true
+	logf("  REPRODUCED: %s at tick %d, %d ops, %d kernel events — bit-identical\n",
 		f.Kind, f.Tick, replayed.Ops.Completed, replayed.Ops.KernelEvents)
-	return nil
+	return res, nil
 }

@@ -53,6 +53,11 @@ type Line struct {
 	Dirty []bool
 
 	lastUse uint64
+
+	// epoch is the array's snapshot epoch this line was last journaled
+	// in; while a snapshot is armed, any access that can hand the line
+	// out for mutation saves an undo record the first time per epoch.
+	epoch uint64
 }
 
 // ClearDirty resets the line's per-byte dirty mask.
@@ -80,9 +85,44 @@ type Array struct {
 	sets     [][]Line
 	useClock uint64
 
+	// lines/data/dirty alias the flat slabs the sets are sliced from,
+	// kept so snapshots can copy the whole array in three copies.
+	lines []Line
+	data  []byte
+	dirty []bool
+
 	// stats
 	lookups uint64
 	hits    uint64
+
+	// Snapshot support: snap is the armed snapshot (nil when
+	// journaling is off), epoch the current arming generation, and
+	// journal the undo log of lines touched since arming. Restoring
+	// the armed snapshot replays the journal — O(lines touched) — so
+	// campaign forks skip the O(sets×ways) Reset scan.
+	snap    *ArraySnapshot
+	epoch   uint64
+	journal []lineUndo
+}
+
+// ArraySnapshot is a deep copy of an Array's contents at one instant.
+// A snapshot of a clean array (every line invalid with a zeroed LRU
+// stamp — the just-built or just-reset state) retains no line copies
+// at all: clean is set and the slices stay nil, making warm-fork
+// snapshot capture O(1) instead of O(capacity).
+type ArraySnapshot struct {
+	lines    []Line // scalar fields only; Data/Dirty live in data/dirty
+	data     []byte
+	dirty    []bool
+	clean    bool
+	useClock uint64
+	lookups  uint64
+	hits     uint64
+}
+
+type lineUndo struct {
+	l    *Line
+	save Line // value copy; save.Data/save.Dirty are private buffers
 }
 
 // NewArray builds an array for cfg; it panics on an invalid config
@@ -109,6 +149,7 @@ func NewArray(cfg Config) *Array {
 	for s := range a.sets {
 		a.sets[s] = lines[s*cfg.Assoc : (s+1)*cfg.Assoc : (s+1)*cfg.Assoc]
 	}
+	a.lines, a.data, a.dirty = lines, data, dirty
 	return a
 }
 
@@ -121,6 +162,9 @@ func (a *Array) Config() Config { return a.cfg }
 // are never read (Valid gates every lookup, and Victim prefers an
 // invalid way regardless of tag), and Install zeroes both when a way
 // is claimed.
+// Reset also disarms any armed snapshot rather than journaling every
+// line; restoring that snapshot later still works via the
+// full-copy-back path.
 func (a *Array) Reset() {
 	for s := range a.sets {
 		for w := range a.sets[s] {
@@ -130,6 +174,8 @@ func (a *Array) Reset() {
 	}
 	a.useClock = 0
 	a.lookups, a.hits = 0, 0
+	a.snap = nil
+	a.journal = a.journal[:0]
 }
 
 func (a *Array) setIndex(line mem.Addr) int {
@@ -144,6 +190,9 @@ func (a *Array) Lookup(addr mem.Addr) *Line {
 	a.lookups++
 	for w := range set {
 		if set[w].Valid && set[w].Tag == line {
+			if a.snap != nil && set[w].epoch != a.epoch {
+				a.journalLine(&set[w])
+			}
 			a.useClock++
 			set[w].lastUse = a.useClock
 			a.hits++
@@ -153,12 +202,17 @@ func (a *Array) Lookup(addr mem.Addr) *Line {
 	return nil
 }
 
-// Peek is Lookup without LRU or stats side effects.
+// Peek is Lookup without LRU or stats side effects. (The returned
+// line may still be mutated by the caller, so it is journaled like any
+// other escape while a snapshot is armed.)
 func (a *Array) Peek(addr mem.Addr) *Line {
 	line := mem.LineAddr(addr, a.cfg.LineSize)
 	set := a.sets[a.setIndex(line)]
 	for w := range set {
 		if set[w].Valid && set[w].Tag == line {
+			if a.snap != nil && set[w].epoch != a.epoch {
+				a.journalLine(&set[w])
+			}
 			return &set[w]
 		}
 	}
@@ -176,7 +230,8 @@ func (a *Array) Victim(addr mem.Addr, mayEvict func(*Line) bool) *Line {
 	for w := range set {
 		l := &set[w]
 		if !l.Valid {
-			return l
+			victim = l
+			break
 		}
 		if mayEvict != nil && !mayEvict(l) {
 			continue
@@ -185,6 +240,9 @@ func (a *Array) Victim(addr mem.Addr, mayEvict func(*Line) bool) *Line {
 			victim = l
 		}
 	}
+	if victim != nil && a.snap != nil && victim.epoch != a.epoch {
+		a.journalLine(victim)
+	}
 	return victim
 }
 
@@ -192,6 +250,9 @@ func (a *Array) Victim(addr mem.Addr, mayEvict func(*Line) bool) *Line {
 // zeroes the data and dirty mask, and refreshes LRU. The way must come
 // from Victim (or be otherwise known free).
 func (a *Array) Install(way *Line, addr mem.Addr, state int) *Line {
+	if a.snap != nil && way.epoch != a.epoch {
+		a.journalLine(way)
+	}
 	way.Tag = mem.LineAddr(addr, a.cfg.LineSize)
 	way.Valid = true
 	way.State = state
@@ -222,6 +283,9 @@ func (a *Array) FlashInvalidate(visit func(*Line) bool) int {
 			if !l.Valid {
 				continue
 			}
+			if a.snap != nil && l.epoch != a.epoch {
+				a.journalLine(l)
+			}
 			if visit == nil || visit(l) {
 				l.Valid = false
 				n++
@@ -231,11 +295,16 @@ func (a *Array) FlashInvalidate(visit func(*Line) bool) int {
 	return n
 }
 
-// ForEachValid visits every valid line.
+// ForEachValid visits every valid line. Visitors may mutate the line
+// (controllers use this for write-back flushes), so each visited line
+// is journaled while a snapshot is armed.
 func (a *Array) ForEachValid(visit func(*Line)) {
 	for s := range a.sets {
 		for w := range a.sets[s] {
 			if a.sets[s][w].Valid {
+				if a.snap != nil && a.sets[s][w].epoch != a.epoch {
+					a.journalLine(&a.sets[s][w])
+				}
 				visit(&a.sets[s][w])
 			}
 		}
@@ -251,3 +320,103 @@ func (a *Array) CountValid() int {
 
 // Stats returns (lookups, hits) since construction.
 func (a *Array) Stats() (lookups, hits uint64) { return a.lookups, a.hits }
+
+// journalLine saves l's pre-mutation state into the undo journal, once
+// per line per arming epoch. Journal entries keep their saved-copy
+// buffers across truncation, so steady-state forking journals without
+// allocating.
+func (a *Array) journalLine(l *Line) {
+	n := len(a.journal)
+	if n < cap(a.journal) {
+		a.journal = a.journal[:n+1]
+		u := &a.journal[n]
+		d, m := u.save.Data, u.save.Dirty
+		u.l = l
+		u.save = *l
+		u.save.Data = append(d[:0], l.Data...)
+		u.save.Dirty = append(m[:0], l.Dirty...)
+	} else {
+		u := lineUndo{l: l, save: *l}
+		u.save.Data = append([]byte(nil), l.Data...)
+		u.save.Dirty = append([]bool(nil), l.Dirty...)
+		a.journal = append(a.journal, u)
+	}
+	l.epoch = a.epoch
+}
+
+// Snapshot deep-copies the array (three flat copies plus scalars) and
+// arms undo journaling so Restore of this snapshot replays only the
+// lines touched since. The snapshot shares no mutable storage with
+// the array and stays valid across later snapshots, restores and
+// resets.
+func (a *Array) Snapshot() *ArraySnapshot {
+	s := &ArraySnapshot{
+		useClock: a.useClock,
+		lookups:  a.lookups,
+		hits:     a.hits,
+	}
+	if a.isClean() {
+		// Nothing worth copying: invalid lines are never read (Install
+		// zeroes a claimed way), so the restore path can reproduce this
+		// state with a Reset-style invalidation scan instead of a copy.
+		s.clean = true
+	} else {
+		s.lines = append([]Line(nil), a.lines...)
+		s.data = append([]byte(nil), a.data...)
+		s.dirty = append([]bool(nil), a.dirty...)
+	}
+	a.snap = s
+	a.journal = a.journal[:0]
+	a.epoch++
+	return s
+}
+
+// isClean reports whether every line is invalid with a zeroed LRU
+// stamp — the just-built / just-reset state a warm-fork snapshot is
+// taken over. The scan touches only line headers, a fraction of the
+// copy it avoids.
+func (a *Array) isClean() bool {
+	for i := range a.lines {
+		if a.lines[i].Valid || a.lines[i].lastUse != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Restore returns the array to the state captured by s. When s is the
+// armed snapshot the undo journal is replayed in reverse — O(lines
+// touched since Snapshot). Otherwise every line is copied back from
+// the snapshot and s becomes the armed snapshot.
+func (a *Array) Restore(s *ArraySnapshot) {
+	if a.snap == s {
+		for i := len(a.journal) - 1; i >= 0; i-- {
+			u := &a.journal[i]
+			l := u.l
+			copy(l.Data, u.save.Data)
+			copy(l.Dirty, u.save.Dirty)
+			l.Tag, l.Valid, l.State = u.save.Tag, u.save.Valid, u.save.State
+			l.lastUse, l.epoch = u.save.lastUse, u.save.epoch
+		}
+		a.journal = a.journal[:0]
+	} else {
+		if s.clean {
+			for i := range a.lines {
+				l := &a.lines[i]
+				l.Valid, l.lastUse, l.epoch = false, 0, 0
+			}
+		} else {
+			copy(a.data, s.data)
+			copy(a.dirty, s.dirty)
+			for i := range a.lines {
+				l, sl := &a.lines[i], &s.lines[i]
+				l.Tag, l.Valid, l.State, l.lastUse = sl.Tag, sl.Valid, sl.State, sl.lastUse
+				l.epoch = 0
+			}
+		}
+		a.snap = s
+		a.journal = a.journal[:0]
+		a.epoch++
+	}
+	a.useClock, a.lookups, a.hits = s.useClock, s.lookups, s.hits
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+
+	"drftest/internal/checker"
+	"drftest/internal/mem"
+	"drftest/internal/rng"
+	"drftest/internal/viper"
+)
+
+// This file implements the tester half of the checkpoint/fork design:
+//
+//   - Fork rearms the tester for a new seed by restoring its systems
+//     from a warm snapshot instead of Reset-scanning them — the
+//     campaign fast path.
+//   - Snapshot/Restore deep-capture the tester's own run state so a
+//     checkpointed replay (cmd/replay -bisect) can rewind a run to an
+//     earlier tick and re-execute it bit-identically.
+//
+// Restore reinstates state into the SAME object graph: pre-bound
+// closures (wavefront issueFn, heartbeatFn, sequencer deliverFn) keep
+// working because the objects they captured are retained and only
+// their contents change. Pointers into the variable slab stay valid
+// for the same reason. Live episodes are the exception — nothing
+// pre-binds them (issue/retire reach them via thr.ep), so Restore
+// installs fresh structs.
+
+// spaceSave captures the address space: every slab variable (claims,
+// reference values, atomic bookkeeping) plus the random address
+// mapping.
+type spaceSave struct {
+	slab  []variable
+	addrs []mem.Addr
+}
+
+// episodeSave captures one live episode. Variable pointers are
+// retained by identity — they index the retained slab.
+type episodeSave struct {
+	id         uint64
+	sync       *variable
+	ops        []genOp
+	next       int
+	createSeq  uint64
+	traceSeq   int
+	writes     map[int]uint32
+	claims     map[int]*variable
+	claimOrder []*variable
+}
+
+type threadSave struct {
+	ep           *episodeSave
+	episodesDone int
+	curOp        genOp
+}
+
+type wfSave struct {
+	outstanding int
+	finished    bool
+}
+
+type logSave struct {
+	entries []LogEntry
+	next    int
+	full    bool
+	total   uint64
+}
+
+// TesterSnapshot captures a tester's complete mid-run state; obtain
+// via Snapshot, reinstate via Restore.
+type TesterSnapshot struct {
+	cfg     Config
+	rnd     rng.PCG
+	space   spaceSave
+	threads []threadSave
+	wfs     []wfSave
+	log     logSave
+
+	failures     []*Failure
+	deadlockSeen bool
+	lastWorkTick uint64
+	genSeq       uint64
+
+	traceOps []checker.Op
+	epMeta   map[uint64]checker.EpisodeMeta
+
+	nextReqID     uint64
+	nextEpisodeID uint64
+	storeValue    uint32
+	finishedWFs   int
+	done          bool
+
+	// reqSlab is the slice header only: slab slots are write-once
+	// within a run, and a restored replay re-issues the identical
+	// requests into the identical slots.
+	reqSlab []mem.Request
+	epFree  []*episode
+
+	opsIssued, opsCompleted, episodesRetired uint64
+}
+
+// OpsCompleted returns the number of operations completed so far — the
+// monotone progress counter replay bisection searches for deadlocks.
+func (t *Tester) OpsCompleted() uint64 { return t.opsCompleted }
+
+// Report summarizes the run so far: the stepped-execution companion of
+// Run, for callers that drive the kernel in slices (Start +
+// Kernel.Run + Finish + Report, as checkpointed replay does).
+func (t *Tester) Report() *Report { return t.report() }
+
+// FailureCount returns the number of failures detected so far.
+func (t *Tester) FailureCount() int { return len(t.failures) }
+
+// CanCheckpoint reports whether this tester supports mid-run
+// Snapshot/Restore. The online stream checker is the one component
+// whose incremental state cannot be rewound (its verification frontier
+// only moves forward), so checkpointing requires StreamCheck off.
+func (t *Tester) CanCheckpoint() error {
+	if t.cfg.StreamCheck {
+		return fmt.Errorf("core: checkpointing requires Config.StreamCheck off (the online checker's frontier cannot rewind)")
+	}
+	return nil
+}
+
+func saveVar(v *variable) variable {
+	s := *v
+	if v.readers != nil {
+		s.readers = make(map[uint64]struct{}, len(v.readers))
+		for r := range v.readers {
+			s.readers[r] = struct{}{}
+		}
+	}
+	if v.seenOld != nil {
+		s.seenOld = make(map[uint32]AccessRecord, len(v.seenOld))
+		for k, rec := range v.seenOld {
+			s.seenOld[k] = rec
+		}
+	}
+	return s
+}
+
+func restoreVar(v *variable, s *variable) {
+	readers, seenOld := v.readers, v.seenOld
+	*v = *s
+	v.readers, v.seenOld = readers, seenOld
+	if s.readers != nil {
+		if v.readers == nil {
+			v.readers = make(map[uint64]struct{}, len(s.readers))
+		} else {
+			clear(v.readers)
+		}
+		for r := range s.readers {
+			v.readers[r] = struct{}{}
+		}
+	} else if v.readers != nil {
+		clear(v.readers)
+	}
+	if s.seenOld != nil {
+		if v.seenOld == nil {
+			v.seenOld = make(map[uint32]AccessRecord, len(s.seenOld))
+		} else {
+			clear(v.seenOld)
+		}
+		for k, rec := range s.seenOld {
+			v.seenOld[k] = rec
+		}
+	} else if v.seenOld != nil {
+		clear(v.seenOld)
+	}
+}
+
+func saveEpisode(ep *episode) *episodeSave {
+	s := &episodeSave{
+		id:         ep.id,
+		sync:       ep.sync,
+		ops:        append([]genOp(nil), ep.ops...),
+		next:       ep.next,
+		createSeq:  ep.createSeq,
+		traceSeq:   ep.traceSeq,
+		writes:     make(map[int]uint32, len(ep.writes)),
+		claims:     make(map[int]*variable, len(ep.claims)),
+		claimOrder: append([]*variable(nil), ep.claimOrder...),
+	}
+	for k, v := range ep.writes {
+		s.writes[k] = v
+	}
+	for k, v := range ep.claims {
+		s.claims[k] = v
+	}
+	return s
+}
+
+func restoreEpisode(s *episodeSave) *episode {
+	ep := &episode{
+		id:         s.id,
+		sync:       s.sync,
+		ops:        append([]genOp(nil), s.ops...),
+		next:       s.next,
+		createSeq:  s.createSeq,
+		traceSeq:   s.traceSeq,
+		writes:     make(map[int]uint32, len(s.writes)),
+		claims:     make(map[int]*variable, len(s.claims)),
+		claimOrder: append([]*variable(nil), s.claimOrder...),
+	}
+	for k, v := range s.writes {
+		ep.writes[k] = v
+	}
+	for k, v := range s.claims {
+		ep.claims[k] = v
+	}
+	return ep
+}
+
+// Snapshot captures the tester's complete state. Pair with kernel and
+// system snapshots taken at the same instant for a consistent cut.
+// Panics if the tester cannot checkpoint (CanCheckpoint).
+func (t *Tester) Snapshot() *TesterSnapshot {
+	if err := t.CanCheckpoint(); err != nil {
+		panic(err.Error())
+	}
+	s := &TesterSnapshot{
+		cfg: t.cfg,
+		rnd: *t.rnd,
+		space: spaceSave{
+			slab:  make([]variable, len(t.space.slab)),
+			addrs: append([]mem.Addr(nil), t.space.addrs...),
+		},
+		threads:       make([]threadSave, len(t.threads)),
+		wfs:           make([]wfSave, len(t.wfs)),
+		log:           logSave{entries: append([]LogEntry(nil), t.log.entries...), next: t.log.next, full: t.log.full, total: t.log.total},
+		failures:      append([]*Failure(nil), t.failures...),
+		deadlockSeen:  t.deadlockSeen,
+		lastWorkTick:  t.lastWorkTick,
+		genSeq:        t.genSeq,
+		nextReqID:     t.nextReqID,
+		nextEpisodeID: t.nextEpisodeID,
+		storeValue:    t.storeValue,
+		finishedWFs:   t.finishedWFs,
+		done:          t.done,
+		reqSlab:       t.reqSlab,
+		epFree:        append([]*episode(nil), t.epFree...),
+
+		opsIssued:       t.opsIssued,
+		opsCompleted:    t.opsCompleted,
+		episodesRetired: t.episodesRetired,
+	}
+	for i := range t.space.slab {
+		s.space.slab[i] = saveVar(&t.space.slab[i])
+	}
+	for i, thr := range t.threads {
+		ts := threadSave{episodesDone: thr.episodesDone, curOp: thr.curOp}
+		if thr.ep != nil {
+			ts.ep = saveEpisode(thr.ep)
+		}
+		s.threads[i] = ts
+	}
+	for i, wf := range t.wfs {
+		s.wfs[i] = wfSave{outstanding: wf.outstanding, finished: wf.finished}
+	}
+	if t.trace != nil {
+		s.traceOps = append([]checker.Op(nil), t.trace.Ops...)
+		s.epMeta = make(map[uint64]checker.EpisodeMeta, len(t.epMeta))
+		for id, m := range t.epMeta {
+			s.epMeta[id] = *m
+		}
+	}
+	return s
+}
+
+// Restore reinstates a state captured by Snapshot on this tester. The
+// kernel and systems must be restored to the matching cut first, and
+// the tester's shape (wavefronts, threads, log capacity) must equal
+// the snapshot's — Restore rewinds a run, it does not rebuild one.
+func (t *Tester) Restore(s *TesterSnapshot) {
+	if len(t.threads) != len(s.threads) || len(t.wfs) != len(s.wfs) {
+		panic("core: Restore with mismatched wavefront/thread shape")
+	}
+	if len(t.log.entries) != len(s.log.entries) {
+		panic("core: Restore with mismatched log capacity")
+	}
+	if len(t.space.slab) != len(s.space.slab) {
+		panic("core: Restore with mismatched address-space shape")
+	}
+	t.cfg = s.cfg
+	*t.rnd = s.rnd
+	for i := range s.space.slab {
+		restoreVar(&t.space.slab[i], &s.space.slab[i])
+	}
+	t.space.addrs = append(t.space.addrs[:0], s.space.addrs...)
+	for i, ts := range s.threads {
+		thr := t.threads[i]
+		thr.episodesDone = ts.episodesDone
+		thr.curOp = ts.curOp
+		if ts.ep != nil {
+			thr.ep = restoreEpisode(ts.ep)
+		} else {
+			thr.ep = nil
+		}
+	}
+	for i, ws := range s.wfs {
+		t.wfs[i].outstanding = ws.outstanding
+		t.wfs[i].finished = ws.finished
+	}
+	copy(t.log.entries, s.log.entries)
+	t.log.next, t.log.full, t.log.total = s.log.next, s.log.full, s.log.total
+	t.failures = append(t.failures[:0], s.failures...)
+	t.deadlockSeen = s.deadlockSeen
+	t.lastWorkTick = s.lastWorkTick
+	t.genSeq = s.genSeq
+	if t.trace != nil {
+		t.trace.Ops = append(t.trace.Ops[:0], s.traceOps...)
+		clear(t.epMeta)
+		for id, m := range s.epMeta {
+			mc := m
+			t.epMeta[id] = &mc
+		}
+	}
+	t.nextReqID = s.nextReqID
+	t.nextEpisodeID = s.nextEpisodeID
+	t.storeValue = s.storeValue
+	t.finishedWFs = s.finishedWFs
+	t.done = s.done
+	t.reqSlab = s.reqSlab
+	t.epFree = append(t.epFree[:0], s.epFree...)
+	t.opsIssued = s.opsIssued
+	t.opsCompleted = s.opsCompleted
+	t.episodesRetired = s.episodesRetired
+}
+
+// Fork rearms the tester and its systems for a fresh run from seed by
+// restoring the systems from a warm snapshot instead of Reset-scanning
+// them: a snapshot armed over a quiescent system makes each per-seed
+// restore O(state touched since the snapshot) where System.Reset pays
+// O(cache capacity) invalidation scans every time. snaps must hold one
+// snapshot per system, taken at a clean (just-built or just-reset)
+// quiescent point of the SAME configuration. After Fork the subsequent
+// Run is bit-identical to one on a freshly built tester with this
+// seed — the same contract as Reset, pinned by the same tests.
+func (t *Tester) Fork(seed uint64, snaps []*viper.SystemSnapshot) {
+	if len(snaps) != len(t.systems) {
+		panic(fmt.Sprintf("core: Fork with %d snapshots for %d systems", len(snaps), len(t.systems)))
+	}
+	t.k.Reset()
+	for i, sys := range t.systems {
+		sys.Restore(snaps[i])
+	}
+	t.Reset(seed)
+}

@@ -1,0 +1,21 @@
+package coverage
+
+import (
+	"testing"
+
+	"drftest/internal/audit"
+)
+
+// TestSnapshotFieldAudit pins the field sets of the snapshotted
+// structs so a new field cannot silently escape
+// Snapshot/Restore/Reset (see package audit).
+func TestSnapshotFieldAudit(t *testing.T) {
+	audit.Fields(t, Collector{}, map[string]string{
+		"matrices": "state: per-machine hit tables; Reset zeroes, Snapshot/Restore copy in place",
+		"order":    "config: registration order, survives Reset/Restore",
+	})
+	audit.Fields(t, Matrix{}, map[string]string{
+		"Spec": "config: protocol shape, survives Reset/Restore",
+		"Hits": "state: hit counters; rows are restored in place (sources hold direct references)",
+	})
+}

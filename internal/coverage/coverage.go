@@ -335,6 +335,42 @@ func (c *Collector) Reset() {
 // Matrix returns the named machine's matrix, or nil.
 func (c *Collector) Matrix(machine string) *Matrix { return c.matrices[machine] }
 
+// CollectorSnapshot captures every registered matrix's hit counts.
+type CollectorSnapshot struct {
+	hits map[string][][]uint64
+}
+
+// Snapshot deep-copies every matrix's hit counts.
+func (c *Collector) Snapshot() *CollectorSnapshot {
+	s := &CollectorSnapshot{hits: make(map[string][][]uint64, len(c.order))}
+	for _, name := range c.order {
+		m := c.matrices[name]
+		rows := make([][]uint64, len(m.Hits))
+		for i := range m.Hits {
+			rows[i] = append([]uint64(nil), m.Hits[i]...)
+		}
+		s.hits[name] = rows
+	}
+	return s
+}
+
+// Restore writes a snapshot's counts back into the existing Hits
+// tables in place — like Reset, never reallocating, so machines
+// holding direct counter references (protocol.CounterSource) keep
+// recording into the same tables afterwards.
+func (c *Collector) Restore(s *CollectorSnapshot) {
+	for _, name := range c.order {
+		m := c.matrices[name]
+		rows, ok := s.hits[name]
+		if !ok {
+			panic(fmt.Sprintf("coverage: restore snapshot missing machine %q", name))
+		}
+		for i := range m.Hits {
+			copy(m.Hits[i], rows[i])
+		}
+	}
+}
+
 // Machines lists registered machines in registration order.
 func (c *Collector) Machines() []string { return append([]string(nil), c.order...) }
 

@@ -88,6 +88,15 @@ type Artifact struct {
 	Trace         []trace.Entry `json:"trace,omitempty"`
 
 	Failures []ArtifactFailure `json:"failures"`
+
+	// MinimizedFrom names the artifact file this one was minimized
+	// from (Minimize): the trace is cut down to the shortest
+	// reproducing suffix — entries from FirstFailingTick on — and
+	// CheckReproduced compares it against the tail of a replay.
+	// Both fields are additive, so the schema stays at 1: readers
+	// without them see a plain (if short-traced) artifact.
+	MinimizedFrom    string `json:"minimizedFrom,omitempty"`
+	FirstFailingTick uint64 `json:"firstFailingTick,omitempty"`
 }
 
 // FirstFailure returns the artifact's first failure, the one a replay
@@ -116,7 +125,7 @@ func NewGPUArtifact(sysCfg viper.Config, testCfg core.Config, tester *core.Teste
 			KernelEvents:    rep.EventsExecuted,
 		},
 		TraceCapacity: ring.Cap(),
-		Trace:         ring.Snapshot(),
+		Trace:         ring.Entries(),
 		Failures:      gpuFailures(rep.Failures),
 	}
 }
@@ -136,7 +145,7 @@ func NewCPUArtifact(setup CPUSetup, tester *cputester.Tester, rep *cputester.Rep
 			KernelEvents: kernelEvents,
 		},
 		TraceCapacity: ring.Cap(),
-		Trace:         ring.Snapshot(),
+		Trace:         ring.Entries(),
 		Failures:      cpuFailures(rep.Failures),
 	}
 }
@@ -170,11 +179,17 @@ func cpuFailures(fs []*cputester.Failure) []ArtifactFailure {
 // Write serializes the artifact into dir (created if needed) under a
 // deterministic name and returns the full path.
 func (a *Artifact) Write(dir string) (string, error) {
+	f := a.FirstFailure()
+	return writeArtifactAs(a, dir, fmt.Sprintf("replay-%s-seed%d-tick%d.json", a.Kind, a.Seed, f.Tick))
+}
+
+// writeArtifactAs serializes a into dir (created if needed) under the
+// given file name and returns the full path.
+func writeArtifactAs(a *Artifact, dir, name string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	f := a.FirstFailure()
-	path := filepath.Join(dir, fmt.Sprintf("replay-%s-seed%d-tick%d.json", a.Kind, a.Seed, f.Tick))
+	path := filepath.Join(dir, name)
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		return "", err
@@ -269,13 +284,22 @@ func CheckReproduced(orig, replayed *Artifact) error {
 		return fmt.Errorf("replay RNG state diverged: original %+v, replay %+v", orig.RNG, replayed.RNG)
 	}
 	if len(orig.Trace) > 0 && orig.TraceCapacity == replayed.TraceCapacity {
-		if len(orig.Trace) != len(replayed.Trace) {
-			return fmt.Errorf("replay trace length diverged: %d vs %d entries", len(orig.Trace), len(replayed.Trace))
+		rt := replayed.Trace
+		if orig.MinimizedFrom != "" {
+			// A minimized artifact holds only the failing suffix of the
+			// original trace; the replay re-records the full ring tail,
+			// so it reproduces when the suffixes agree.
+			if len(rt) < len(orig.Trace) {
+				return fmt.Errorf("replay trace shorter than minimized suffix: %d vs %d entries", len(rt), len(orig.Trace))
+			}
+			rt = rt[len(rt)-len(orig.Trace):]
+		} else if len(orig.Trace) != len(rt) {
+			return fmt.Errorf("replay trace length diverged: %d vs %d entries", len(orig.Trace), len(rt))
 		}
 		for i := range orig.Trace {
-			if orig.Trace[i] != replayed.Trace[i] {
+			if orig.Trace[i] != rt[i] {
 				return fmt.Errorf("replay trace diverged at entry %d:\n  original: %+v\n  replay:   %+v",
-					i, orig.Trace[i], replayed.Trace[i])
+					i, orig.Trace[i], rt[i])
 			}
 		}
 	}

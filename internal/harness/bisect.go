@@ -1,0 +1,321 @@
+// Checkpointed replay bisection and failure-trace minimization.
+//
+// A replay artifact pins a failing run, but the failure it reports is
+// often detected long after the state divergence that caused it — a
+// deadlock surfaces a whole heartbeat period after progress ceased,
+// and a value mismatch only when the stale line is finally read. This
+// file narrows a failing replay down to its first failing tick without
+// re-simulating the prefix over and over:
+//
+//  1. One checkpointed replay pass re-executes the run, capturing a
+//     full run-context snapshot (kernel, system, tester, coverage,
+//     trace ring) every K ticks alongside the failure and progress
+//     counters at that point.
+//  2. The coarse phase binary-searches the recorded counters — pure
+//     array work, no simulation — for the pair of checkpoints
+//     bracketing the first tick where the failure predicate flips.
+//  3. The fine phase restores the one bracketing checkpoint below the
+//     flip and single-steps the kernel at most K ticks to the exact
+//     first failing tick.
+//
+// The probe phase (restore + fine scan) costs a fraction of a full
+// replay — the CI floor pins it at ≤ 0.5× — and re-running it against
+// other predicates reuses the same checkpoint pass. On top of the
+// bisected tick, Minimize cuts the artifact's trace down to the
+// suffix from that tick on, producing a minimized artifact that still
+// reproduces (CheckReproduced compares suffixes for minimized
+// artifacts).
+package harness
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"drftest/internal/core"
+	"drftest/internal/coverage"
+	"drftest/internal/sim"
+	"drftest/internal/trace"
+	"drftest/internal/viper"
+)
+
+// DefaultBisectCheckpoints is the checkpoint-count target the adaptive
+// cadence aims for when no explicit interval is given.
+const DefaultBisectCheckpoints = 64
+
+// gpuCheckpoint is one full run-context snapshot plus the counters the
+// coarse search needs.
+type gpuCheckpoint struct {
+	tick   uint64
+	kernel *sim.KernelSnapshot
+	sys    *viper.SystemSnapshot
+	tester *core.TesterSnapshot
+	col    *coverage.CollectorSnapshot
+	ring   *trace.RingSnapshot
+	fails  int
+	ops    uint64
+}
+
+// BisectResult reports a completed replay bisection.
+type BisectResult struct {
+	// FirstFailingTick is the bisected root tick: the first tick at
+	// which the run's failure predicate holds — the failure's
+	// detection tick for value/atomicity bugs, the tick forward
+	// progress ceased for deadlocks (which the deadlock report itself
+	// trails by up to a heartbeat period).
+	FirstFailingTick uint64 `json:"firstFailingTick"`
+	// ReportedTick is the artifact's failure tick, for comparison.
+	ReportedTick uint64 `json:"reportedTick"`
+	// Deadlock selects which predicate was bisected: failure count for
+	// value bugs, completed-op progress for deadlocks.
+	Deadlock bool `json:"deadlock"`
+	// Checkpoints and CheckpointEvery describe the pass-1 cadence.
+	Checkpoints     int    `json:"checkpoints"`
+	CheckpointEvery uint64 `json:"checkpointEvery"`
+	// CoarseTick is the restored checkpoint's tick; FineSteps counts
+	// the single-tick probes from it to FirstFailingTick.
+	CoarseTick uint64 `json:"coarseTick"`
+	FineSteps  int    `json:"fineSteps"`
+
+	// Replayed is the artifact re-captured by the checkpointed replay
+	// pass, for reproduction checking against the original.
+	Replayed *Artifact `json:"-"`
+}
+
+// bisectRun is a checkpointable GPU replay context.
+type bisectRun struct {
+	b      *GPUBuild
+	ring   *trace.Ring
+	tester *core.Tester
+}
+
+func newBisectRun(a *Artifact) (*bisectRun, error) {
+	if a.Kind != ArtifactGPU {
+		return nil, fmt.Errorf("bisect: %s artifacts are not supported (checkpointed replay is GPU-only)", a.Kind)
+	}
+	if a.GPU.TestCfg.StreamCheck {
+		return nil, fmt.Errorf("bisect: artifact was recorded with StreamCheck, whose online state cannot be checkpointed — re-record without it")
+	}
+	depth := a.TraceCapacity
+	if depth <= 0 {
+		depth = DefaultTraceCapacity
+	}
+	r := &bisectRun{b: BuildGPU(a.GPU.SysCfg)}
+	r.b.Sys.EnableCheckpointing()
+	r.ring = EnableTrace(r.b.K, depth)
+	r.tester = core.New(r.b.K, r.b.Sys, a.GPU.TestCfg)
+	if err := r.tester.CanCheckpoint(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *bisectRun) checkpoint() *gpuCheckpoint {
+	return &gpuCheckpoint{
+		tick:   uint64(r.b.K.Now()),
+		kernel: r.b.K.Snapshot(),
+		sys:    r.b.Sys.Snapshot(),
+		tester: r.tester.Snapshot(),
+		col:    r.b.Col.Snapshot(),
+		ring:   r.ring.Snapshot(),
+		fails:  r.tester.FailureCount(),
+		ops:    r.tester.OpsCompleted(),
+	}
+}
+
+func (r *bisectRun) restore(cp *gpuCheckpoint) {
+	r.b.K.Restore(cp.kernel)
+	r.b.Sys.Restore(cp.sys)
+	r.tester.Restore(cp.tester)
+	r.b.Col.Restore(cp.col)
+	r.ring.Restore(cp.ring)
+}
+
+// BisectPass holds the product of the checkpointed replay pass: the
+// recorded checkpoints, the predicate inputs, and the verified
+// re-captured artifact. Probe (the coarse + fine search) can be run
+// from it any number of times without re-paying the replay.
+type BisectPass struct {
+	r        *bisectRun
+	reported ArtifactFailure
+	every    sim.Tick
+	cps      []*gpuCheckpoint
+	deadlock bool
+	finalOps uint64
+	replayed *Artifact
+}
+
+// BisectArtifact finds the artifact's first failing tick by
+// checkpointed replay (see the file comment for the three phases).
+// every is the checkpoint cadence in ticks; <= 0 picks an adaptive
+// cadence aiming for DefaultBisectCheckpoints checkpoints across the
+// run (derived from the artifact's reported failure tick). The
+// checkpointed replay must itself reproduce the artifact's failure;
+// a divergence is an error.
+func BisectArtifact(a *Artifact, every sim.Tick) (*BisectResult, error) {
+	p, err := NewBisectPass(a, every)
+	if err != nil {
+		return nil, err
+	}
+	return p.Probe()
+}
+
+// NewBisectPass runs the checkpointed replay pass (phase 1) and
+// verifies the artifact reproduced under it.
+func NewBisectPass(a *Artifact, every sim.Tick) (*BisectPass, error) {
+	if len(a.Failures) == 0 {
+		return nil, fmt.Errorf("bisect: artifact has no failure")
+	}
+	reported := a.FirstFailure()
+	if every <= 0 {
+		every = sim.Tick(reported.Tick / DefaultBisectCheckpoints)
+		if every <= 0 {
+			every = 1
+		}
+	}
+
+	r, err := newBisectRun(a)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: checkpointed replay. The run executes in cadence-sized
+	// slices with a full snapshot after each, so any later phase can
+	// rewind to within `every` ticks of any point. Checkpointing stops
+	// once the reported failure tick is behind us — the predicate is
+	// monotone and the artifact pins where it has flipped by, so
+	// snapshots past it would never be restored (and each one deep-
+	// copies the whole run context, which only grows with the run) —
+	// and the rest of the run executes in one uncheckpointed sweep.
+	// The slice target advances monotonically rather than chasing
+	// Now()+every: Kernel.Run leaves Now untouched when no event falls
+	// inside the slice, so a Now-relative target would re-run the same
+	// empty slice forever across any event gap wider than the cadence.
+	r.tester.Start()
+	cps := []*gpuCheckpoint{r.checkpoint()}
+	for next := r.b.K.Now() + every; !r.b.K.Stopped() && r.b.K.Pending() > 0 && uint64(r.b.K.Now()) < reported.Tick; next += every {
+		if uint64(r.b.K.Run(next)) > cps[len(cps)-1].tick {
+			cps = append(cps, r.checkpoint())
+		}
+	}
+	r.b.K.RunUntilIdle()
+	r.tester.Finish()
+	rep := r.tester.Report()
+	replayed := NewGPUArtifact(a.GPU.SysCfg, a.GPU.TestCfg, r.tester, rep, r.ring)
+	if err := CheckReproduced(a, replayed); err != nil {
+		return nil, fmt.Errorf("bisect: checkpointed replay did not reproduce the artifact: %w", err)
+	}
+
+	return &BisectPass{
+		r:        r,
+		reported: reported,
+		every:    every,
+		cps:      cps,
+		deadlock: reported.Kind == core.FailDeadlock.String(),
+		finalOps: r.tester.OpsCompleted(),
+		replayed: replayed,
+	}, nil
+}
+
+// Probe runs the coarse and fine phases (2 and 3) over the recorded
+// checkpoints: this is the cheap, repeatable part of a bisection — it
+// restores one checkpoint and single-steps at most a cadence's worth
+// of ticks, never re-simulating the prefix. The CI floor pins its
+// cost at ≤ 0.5× a full replay.
+func (p *BisectPass) Probe() (*BisectResult, error) {
+	r, cps := p.r, p.cps
+
+	// The bisection predicate must be monotone in tick. Failure count
+	// is (failures only accumulate); for deadlocks the detection
+	// heartbeat fires long after the root event, so the predicate is
+	// instead "completed-op progress has reached its final stuck
+	// value" — completed ops are monotone too, and the flip tick is
+	// where forward progress actually ceased.
+	pred := func(fails int, ops uint64) bool {
+		if p.deadlock {
+			return ops >= p.finalOps
+		}
+		return fails > 0
+	}
+
+	// Coarse phase: binary-search the checkpoint counters for the
+	// first checkpoint where the predicate holds. Pure array work.
+	hi := sort.Search(len(cps), func(i int) bool { return pred(cps[i].fails, cps[i].ops) })
+	if hi == len(cps) {
+		return nil, fmt.Errorf("bisect: predicate never flipped across %d checkpoints (internal inconsistency)", len(cps))
+	}
+
+	res := &BisectResult{
+		ReportedTick:    p.reported.Tick,
+		Deadlock:        p.deadlock,
+		Checkpoints:     len(cps),
+		CheckpointEvery: uint64(p.every),
+		Replayed:        p.replayed,
+	}
+	if hi == 0 {
+		// Failing from the very first checkpoint (tick 0): nothing to
+		// restore or step.
+		res.FirstFailingTick = cps[0].tick
+		res.CoarseTick = cps[0].tick
+		return res, nil
+	}
+
+	// Fine phase: restore the one checkpoint below the flip and
+	// single-step to the exact tick.
+	// The probe target advances monotonically for the same reason as
+	// the pass-1 slice target: an empty tick leaves Now in place, and
+	// probing Now()+1 again would never cross the gap.
+	lo := cps[hi-1]
+	r.restore(lo)
+	res.CoarseTick = lo.tick
+	for next := r.b.K.Now() + 1; !pred(r.tester.FailureCount(), r.tester.OpsCompleted()); next++ {
+		if r.b.K.Stopped() || r.b.K.Pending() == 0 {
+			return nil, fmt.Errorf("bisect: fine scan ran dry at tick %d before the predicate flipped", r.b.K.Now())
+		}
+		r.b.K.Run(next)
+		res.FineSteps++
+	}
+	res.FirstFailingTick = uint64(r.b.K.Now())
+	return res, nil
+}
+
+// Minimize derives the minimized artifact: the original with its trace
+// cut to the shortest reproducing suffix — the entries from the
+// bisected first failing tick on. fromName records the source artifact
+// (its file name) in the minimized artifact. The result still
+// reproduces under Replay/CheckReproduced, which compare a minimized
+// trace against the suffix of the re-recorded one.
+func Minimize(a *Artifact, fromName string, firstFailingTick uint64) *Artifact {
+	min := *a
+	min.MinimizedFrom = fromName
+	min.FirstFailingTick = firstFailingTick
+	min.Trace = nil
+	for _, e := range a.Trace {
+		if e.Tick >= firstFailingTick {
+			min.Trace = append(min.Trace, e)
+		}
+	}
+	return &min
+}
+
+// MinimizedPath is the conventional on-disk name for the minimized
+// companion of the artifact at path: "<base>.min.json" alongside it.
+func MinimizedPath(path string) string {
+	return strings.TrimSuffix(path, ".json") + ".min.json"
+}
+
+// WriteMinimized writes the minimized artifact alongside its original
+// (MinimizedPath) and returns the path written.
+func WriteMinimized(origPath string, min *Artifact) (string, error) {
+	out := MinimizedPath(origPath)
+	dir, base := filepath.Split(out)
+	if dir == "" {
+		dir = "."
+	}
+	path, err := writeArtifactAs(min, dir, base)
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -80,6 +80,18 @@ type CampaignConfig struct {
 	// fresh system. This is the pre-campaign baseline mode, kept for
 	// benchmarking the reset path against (BenchmarkCampaign).
 	Rebuild bool
+	// Fork makes each worker fork per-seed run contexts from a warm
+	// system snapshot (core.Tester.Fork) instead of Reset-scanning the
+	// system: the snapshot arms copy-on-write journals over the caches
+	// and reference memory, so rearming for the next seed costs
+	// O(state the previous run touched) where System.Reset pays
+	// O(cache capacity) every time. Fork-ineligible seeds (a corner
+	// whose snapshot is not yet taken, or per-seed jitter reseeding)
+	// transparently fall back to the reset path. The campaign outcome
+	// is unchanged — a forked run is bit-identical to a reset run
+	// (pinned by TestForkRunBitIdentical and
+	// TestForkCampaignMatchesReset).
+	Fork bool
 	// Mode selects the per-batch configuration policy: uniform (every
 	// batch at the base config), swarm (a random lattice corner per
 	// batch) or directed (corner sampling biased by cold-cell yield).
@@ -193,6 +205,11 @@ type campaignWorker struct {
 	// configured for; a pointer mismatch with the batch's corner routes
 	// the reset through ResetWithConfig/SetRespJitter.
 	corner *Corner
+	// snap is the worker's warm system snapshot (Fork mode), taken at
+	// the first clean quiescent point under snapCorner; seeds running
+	// the same corner fork from it instead of Reset-scanning.
+	snap       *viper.SystemSnapshot
+	snapCorner *Corner
 
 	// dL1/dL2 accumulate the worker's coverage since its last publish;
 	// failures, ops, events and wall likewise. The collector inside b
@@ -203,6 +220,29 @@ type campaignWorker struct {
 	ops      uint64
 	events   uint64
 	wall     time.Duration
+}
+
+// forkEligible reports whether seed runs under corner c can use the
+// warm-snapshot fork path: Fork mode on, a snapshot taken for this
+// exact corner, the context currently configured for it, and no
+// per-seed jitter reseeding (which must route through SetRespJitter).
+func (w *campaignWorker) forkEligible(c *Corner) bool {
+	return w.cfg.Fork && !c.JitterPerSeed &&
+		w.snap != nil && w.snapCorner == c && w.corner == c
+}
+
+// takeForkSnapshot captures the warm system snapshot for corner c at a
+// clean quiescent point (just built, or just reset). Taking it arms
+// the copy-on-write journals every subsequent run pays a small
+// journaling overhead into — which is why it is only taken in Fork
+// mode — and a corner change replaces it, so swarm batches fork
+// within their own corner.
+func (w *campaignWorker) takeForkSnapshot(c *Corner) {
+	if !w.cfg.Fork || w.cfg.Rebuild || c.JitterPerSeed || (w.snap != nil && w.snapCorner == c) {
+		return
+	}
+	w.snap = w.b.Sys.Snapshot()
+	w.snapCorner = c
 }
 
 // cornerSysCfg is the system config corner c runs under for seed.
@@ -225,6 +265,15 @@ func (w *campaignWorker) runSeed(seed uint64, c *Corner) {
 		tc.Seed = seed
 		w.tester = core.New(w.b.K, w.b.Sys, tc)
 		w.corner = c
+		w.takeForkSnapshot(c)
+	} else if w.forkEligible(c) {
+		// Fork fast path: the collector and trace ring reset as usual
+		// (their reset is already O(1)/in-place), but the system rearms
+		// by journal-undo from the warm snapshot inside Tester.Fork,
+		// skipping System.Reset's full cache-invalidation scans.
+		w.b.Col.Reset()
+		w.ring.Reset()
+		w.tester.Fork(seed, []*viper.SystemSnapshot{w.snap})
 	} else {
 		// Reset order matters: the kernel first (drops pending events,
 		// essential after a bug-stopped run), then the system (recycles
@@ -248,6 +297,7 @@ func (w *campaignWorker) runSeed(seed uint64, c *Corner) {
 		} else {
 			w.tester.Reset(seed)
 		}
+		w.takeForkSnapshot(c)
 	}
 	rep := w.tester.Run()
 	w.dL1.Merge(w.b.Col.Matrix("GPU-L1"))

@@ -1,0 +1,30 @@
+package mem
+
+import (
+	"testing"
+
+	"drftest/internal/audit"
+)
+
+// TestSnapshotFieldAudit pins the field sets of the snapshotted
+// structs so a new field cannot silently escape the COW
+// Snapshot/Restore/Reset machinery (see package audit).
+func TestSnapshotFieldAudit(t *testing.T) {
+	audit.Fields(t, Store{}, map[string]string{
+		"lastPN":  "cache: resolution cache, invalidated by Reset/Restore",
+		"lastPE":  "cache: resolution cache, invalidated by Reset/Restore",
+		"dir":     "state: chunked page directory; entries captured per touched page",
+		"far":     "state: sparse overflow pages; captured per touched page",
+		"pages":   "state: live-entry list, rebuilt by Restore, cleared by Reset",
+		"touched": "state: live-page count, recomputed by Reset/Restore",
+		"free":    "pool: recycled buffers; disabled once snapped (buffers may be shared)",
+		"epoch":   "snapshot bookkeeping: COW write epoch",
+		"snap":    "snapshot bookkeeping: armed snapshot, Reset disarms",
+		"snapped": "snapshot bookkeeping: ever-snapshotted latch gating the free list",
+	})
+	audit.Fields(t, pageEntry{}, map[string]string{
+		"data":  "state: page bytes, COW-copied on first armed write per epoch",
+		"epoch": "snapshot bookkeeping: last-copied epoch",
+		"pn":    "state: page number, fixed for the entry's lifetime",
+	})
+}

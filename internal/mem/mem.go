@@ -128,22 +128,28 @@ type Requestor interface {
 // first-touch reads, page-granular footprint — are identical to the
 // original all-map store.
 type Store struct {
-	// lastPN/lastPage cache the most recently resolved page; lastPage
+	// lastPN/lastPE cache the most recently resolved page entry; lastPE
 	// is nil when nothing has been resolved yet.
-	lastPN   Addr
-	lastPage []byte
+	lastPN Addr
+	lastPE *pageEntry
 
 	// dir is the chunked page directory for page numbers <
-	// dirCapPages: dir[pn>>chunkShift][pn&(chunkPages-1)] is the page,
-	// nil when absent. Chunks are allocated on first touch of their
-	// 1 MiB window, so a workload whose regions are scattered across
-	// the range pays pointers only for the windows it actually uses —
-	// a flat directory here costs a megabyte of GC-scanned pointers
-	// per Store the moment one high page is touched.
-	dir [][][]byte
+	// dirCapPages: dir[pn>>chunkShift][pn&(chunkPages-1)] is the
+	// entry, data==nil when absent. Chunks are allocated on first
+	// touch of their 1 MiB window, so a workload whose regions are
+	// scattered across the range pays entries only for the windows it
+	// actually uses — a flat directory here costs a megabyte of
+	// GC-scanned pointers per Store the moment one high page is
+	// touched. Entry addresses are stable once a chunk exists, which
+	// is what lets snapshots hold *pageEntry references.
+	dir [][]pageEntry
 
 	// far holds the sparse pages beyond the directory's range.
-	far map[Addr][]byte
+	far map[Addr]*pageEntry
+
+	// pages lists every live entry in birth order, so Snapshot
+	// enumerates O(touched) pages instead of scanning the directory.
+	pages []*pageEntry
 
 	// touched counts allocated pages across dir and far (Footprint).
 	touched int
@@ -152,6 +158,24 @@ type Store struct {
 	// paths draw from it (re-zeroed) before allocating, so a store
 	// reused across campaign runs reaches a no-allocation steady state.
 	free [][]byte
+
+	// epoch is the current write epoch; an entry whose epoch lags it is
+	// copied (COW) before its next write while a snapshot is armed.
+	// snap is the armed snapshot the write path journals into; snapped
+	// records that a snapshot was ever taken, after which Reset leaves
+	// buffers to the GC instead of the free list (they may be shared
+	// with a snapshot).
+	epoch   uint64
+	snap    *StoreSnapshot
+	snapped bool
+}
+
+// pageEntry is one page slot: the buffer, the write epoch its contents
+// belong to, and its page number (so restores can fix the far map).
+type pageEntry struct {
+	data  []byte
+	epoch uint64
+	pn    Addr
 }
 
 const pageShift = 12
@@ -179,21 +203,26 @@ func NewStore() *Store {
 // directory skeleton (top level and touched chunks) is kept, and page
 // buffers are parked on a free list for newPage to recycle, so the
 // first-touch semantics are preserved without first-touch allocations.
+//
+// Once a snapshot has ever been taken, released buffers may be shared
+// with that snapshot, so they are left to the GC instead of the free
+// list, and any armed snapshot is disarmed (a later Restore of it
+// takes the full-reinstall path).
 func (s *Store) Reset() {
-	s.lastPN, s.lastPage = 0, nil
-	for _, chunk := range s.dir {
-		for i, p := range chunk {
-			if p != nil {
-				s.free = append(s.free, p)
-				chunk[i] = nil
-			}
+	s.lastPN, s.lastPE = 0, nil
+	for _, e := range s.pages {
+		if !s.snapped {
+			s.free = append(s.free, e.data)
 		}
+		if e.pn >= dirCapPages {
+			delete(s.far, e.pn)
+		}
+		e.data = nil
+		e.epoch = 0
 	}
-	for pn, p := range s.far {
-		s.free = append(s.free, p)
-		delete(s.far, pn)
-	}
+	s.pages = s.pages[:0]
 	s.touched = 0
+	s.snap = nil
 }
 
 // newPage returns a zeroed page buffer, recycling a Reset-freed one
@@ -209,76 +238,120 @@ func (s *Store) newPage() []byte {
 	return make([]byte, pageSize)
 }
 
-// page resolves the page containing a, allocating it when create is
-// set, and returns the page (nil if absent and !create) plus a's
-// offset within it.
-func (s *Store) page(a Addr, create bool) ([]byte, int) {
+// page resolves the page containing a for reading and returns its
+// buffer (nil when absent) plus a's offset within it. Read resolution
+// never allocates, never copies, and never touches epochs.
+func (s *Store) page(a Addr) ([]byte, int) {
 	pn := a >> pageShift
 	off := int(a & (pageSize - 1))
-	if s.lastPage != nil && pn == s.lastPN {
-		return s.lastPage, off
+	if s.lastPE != nil && pn == s.lastPN {
+		return s.lastPE.data, off
 	}
-	var p []byte
+	e := s.lookup(pn)
+	if e == nil {
+		return nil, off
+	}
+	s.lastPN, s.lastPE = pn, e
+	return e.data, off
+}
+
+// pageW resolves the page containing a for writing, allocating it on
+// first touch and copying it out of an armed snapshot when its epoch
+// lags the store's, and returns the (now privately owned) buffer plus
+// a's offset within it.
+func (s *Store) pageW(a Addr) ([]byte, int) {
+	pn := a >> pageShift
+	off := int(a & (pageSize - 1))
+	if s.lastPE != nil && pn == s.lastPN {
+		e := s.lastPE
+		if e.epoch != s.epoch {
+			s.cow(e)
+		}
+		return e.data, off
+	}
+	e := s.lookup(pn)
+	if e == nil {
+		e = s.birth(pn)
+	} else if e.epoch != s.epoch {
+		s.cow(e)
+	}
+	s.lastPN, s.lastPE = pn, e
+	return e.data, off
+}
+
+// lookup finds page pn's live entry, or nil when the page is absent.
+func (s *Store) lookup(pn Addr) *pageEntry {
 	if pn < dirCapPages {
 		ci := pn >> chunkShift
 		if ci < Addr(len(s.dir)) && s.dir[ci] != nil {
-			p = s.dir[ci][pn&(chunkPages-1)]
-		}
-		if p == nil {
-			if !create {
-				return nil, off
+			if e := &s.dir[ci][pn&(chunkPages-1)]; e.data != nil {
+				return e
 			}
-			p = s.newPageInDir(pn)
 		}
-	} else {
-		p = s.far[pn]
-		if p == nil {
-			if !create {
-				return nil, off
-			}
-			if s.far == nil {
-				s.far = make(map[Addr][]byte)
-			}
-			p = s.newPage()
-			s.far[pn] = p
-			s.touched++
-		}
+		return nil
 	}
-	s.lastPN, s.lastPage = pn, p
-	return p, off
+	return s.far[pn]
 }
 
-// newPageInDir allocates page pn, growing the top-level directory by
-// doubling until pn's chunk is indexable and allocating the chunk on
-// its first touch.
-func (s *Store) newPageInDir(pn Addr) []byte {
-	ci := pn >> chunkShift
-	if ci >= Addr(len(s.dir)) {
-		n := len(s.dir)
-		if n == 0 {
-			n = 8
+// birth allocates page pn: a directory slot (growing the top level by
+// doubling and allocating the chunk on first touch) or a far-map
+// entry. The new page is stamped with the current epoch and journaled
+// into the armed snapshot so Restore can drop it again.
+func (s *Store) birth(pn Addr) *pageEntry {
+	var e *pageEntry
+	if pn < dirCapPages {
+		ci := pn >> chunkShift
+		if ci >= Addr(len(s.dir)) {
+			n := len(s.dir)
+			if n == 0 {
+				n = 8
+			}
+			for Addr(n) <= ci {
+				n *= 2
+			}
+			grown := make([][]pageEntry, n)
+			copy(grown, s.dir)
+			s.dir = grown
 		}
-		for Addr(n) <= ci {
-			n *= 2
+		if s.dir[ci] == nil {
+			s.dir[ci] = make([]pageEntry, chunkPages)
 		}
-		grown := make([][][]byte, n)
-		copy(grown, s.dir)
-		s.dir = grown
+		e = &s.dir[ci][pn&(chunkPages-1)]
+	} else {
+		if s.far == nil {
+			s.far = make(map[Addr]*pageEntry)
+		}
+		e = &pageEntry{}
+		s.far[pn] = e
 	}
-	chunk := s.dir[ci]
-	if chunk == nil {
-		chunk = make([][]byte, chunkPages)
-		s.dir[ci] = chunk
-	}
-	p := s.newPage()
-	chunk[pn&(chunkPages-1)] = p
+	e.data = s.newPage()
+	e.epoch = s.epoch
+	e.pn = pn
+	s.pages = append(s.pages, e)
 	s.touched++
-	return p
+	if s.snap != nil {
+		s.snap.journal = append(s.snap.journal, storeUndo{e: e, birth: true})
+	}
+	return e
+}
+
+// cow makes e's buffer privately writable at the current epoch. While
+// a snapshot is armed, the old buffer (which the snapshot may share)
+// is journaled and replaced by a fresh copy; otherwise only the epoch
+// is brought current.
+func (s *Store) cow(e *pageEntry) {
+	if s.snap != nil {
+		s.snap.journal = append(s.snap.journal, storeUndo{e: e, oldData: e.data, oldEpoch: e.epoch})
+		buf := s.newPage()
+		copy(buf, e.data)
+		e.data = buf
+	}
+	e.epoch = s.epoch
 }
 
 // ByteAt returns the byte at a.
 func (s *Store) ByteAt(a Addr) byte {
-	p, off := s.page(a, false)
+	p, off := s.page(a)
 	if p == nil {
 		return 0
 	}
@@ -287,7 +360,7 @@ func (s *Store) ByteAt(a Addr) byte {
 
 // SetByte sets the byte at a.
 func (s *Store) SetByte(a Addr, v byte) {
-	p, off := s.page(a, true)
+	p, off := s.pageW(a)
 	p[off] = v
 }
 
@@ -296,7 +369,7 @@ func (s *Store) SetByte(a Addr, v byte) {
 // allocated.
 func (s *Store) ReadBytes(a Addr, dst []byte) {
 	for len(dst) > 0 {
-		p, off := s.page(a, false)
+		p, off := s.page(a)
 		n := pageSize - off
 		if n > len(dst) {
 			n = len(dst)
@@ -324,7 +397,7 @@ func (s *Store) WriteBytes(a Addr, src []byte, mask []bool) {
 			n = len(src)
 		}
 		if mask == nil {
-			p, off := s.page(a, true)
+			p, off := s.pageW(a)
 			copy(p[off:off+n], src[:n])
 		} else {
 			s.writeMasked(a, src[:n], mask[:n])
@@ -348,7 +421,7 @@ func (s *Store) writeMasked(a Addr, src []byte, mask []bool) {
 	if !any {
 		return
 	}
-	p, off := s.page(a, true)
+	p, off := s.pageW(a)
 	for i := range src {
 		if mask[i] {
 			p[off+i] = src[i]
@@ -381,3 +454,114 @@ func (s *Store) AtomicAdd(a Addr, delta uint32) uint32 {
 // Footprint returns the number of distinct pages touched, a cheap
 // proxy for an application's memory footprint.
 func (s *Store) Footprint() int { return s.touched }
+
+// StoreSnapshot captures a Store's contents at one instant. Taking one
+// is O(touched pages) in pointers — no page data is copied up front;
+// instead the store's write path copies a page out the first time it
+// is written after the snapshot (copy-on-write), journaling the
+// original buffer here so Restore of the most recent snapshot is
+// O(pages touched since the snapshot).
+type StoreSnapshot struct {
+	// entries records every live page at snapshot time with the buffer
+	// it then held. The buffers are shared with the store but COW
+	// guarantees they are never mutated afterwards.
+	entries []storeSave
+	// journal records, in order, each post-snapshot page birth and
+	// first-write copy while this snapshot is the armed one; Restore
+	// undoes it in reverse.
+	journal []storeUndo
+	touched int
+}
+
+type storeSave struct {
+	e    *pageEntry
+	data []byte
+}
+
+type storeUndo struct {
+	e        *pageEntry
+	oldData  []byte // nil for births
+	oldEpoch uint64
+	birth    bool
+}
+
+// Snapshot captures the store's current contents and arms
+// copy-on-write against them. The returned snapshot stays valid
+// indefinitely (across later snapshots, restores, and resets); only
+// the most recently armed snapshot gets the cheap journal-undo
+// Restore path.
+func (s *Store) Snapshot() *StoreSnapshot {
+	snap := &StoreSnapshot{
+		entries: make([]storeSave, 0, len(s.pages)),
+		touched: s.touched,
+	}
+	for _, e := range s.pages {
+		snap.entries = append(snap.entries, storeSave{e: e, data: e.data})
+	}
+	s.snap = snap
+	s.snapped = true
+	s.epoch++ // every live entry now lags → first write per page COWs
+	return snap
+}
+
+// Restore returns the store to the exact contents captured by snap.
+// Restoring the most recently armed snapshot undoes its journal —
+// O(pages touched since Snapshot). Restoring an older snapshot (or
+// one from before a Reset) reinstalls its page set outright and
+// re-arms it, still O(touched pages) with no data copying. Either
+// way snap remains valid and can be restored again.
+func (s *Store) Restore(snap *StoreSnapshot) {
+	s.lastPN, s.lastPE = 0, nil
+	if s.snap == snap {
+		for i := len(snap.journal) - 1; i >= 0; i-- {
+			u := snap.journal[i]
+			if u.birth {
+				if u.e.pn >= dirCapPages {
+					delete(s.far, u.e.pn)
+				}
+				s.free = append(s.free, u.e.data)
+				u.e.data = nil
+				u.e.epoch = 0
+			} else {
+				// The post-copy buffer is private to the store — no
+				// snapshot references it — so it can be recycled.
+				s.free = append(s.free, u.e.data)
+				u.e.data = u.oldData
+				u.e.epoch = u.oldEpoch
+			}
+		}
+		snap.journal = snap.journal[:0]
+		s.pages = s.pages[:len(snap.entries)]
+		s.touched = snap.touched
+		return
+	}
+	// Full reinstall: drop the current page set, then re-link the
+	// snapshot's entries with their saved buffers. Current buffers may
+	// be shared with some snapshot, so they go to the GC, not the free
+	// list. Entry epochs are zeroed below the new armed epoch so every
+	// future write copies before touching a snapshot-owned buffer.
+	for _, e := range s.pages {
+		if e.pn >= dirCapPages {
+			delete(s.far, e.pn)
+		}
+		e.data = nil
+		e.epoch = 0
+	}
+	s.pages = s.pages[:0]
+	for _, sv := range snap.entries {
+		e := sv.e
+		e.data = sv.data
+		e.epoch = 0
+		if e.pn >= dirCapPages {
+			if s.far == nil {
+				s.far = make(map[Addr]*pageEntry)
+			}
+			s.far[e.pn] = e
+		}
+		s.pages = append(s.pages, e)
+	}
+	s.touched = snap.touched
+	snap.journal = snap.journal[:0]
+	s.snap = snap
+	s.epoch++
+}

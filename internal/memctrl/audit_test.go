@@ -1,0 +1,31 @@
+package memctrl
+
+import (
+	"testing"
+
+	"drftest/internal/audit"
+)
+
+// TestSnapshotFieldAudit pins the Controller's field set so a new
+// field cannot silently escape Snapshot/Restore/Reset (see package
+// audit).
+func TestSnapshotFieldAudit(t *testing.T) {
+	audit.Fields(t, Controller{}, map[string]string{
+		"k":          "config: owning kernel, survives Reset/Restore",
+		"cfg":        "config: fixed at construction",
+		"store":      "state: backing store, snapshotted via its own COW Snapshot",
+		"queue":      "state: Reset clears; Snapshot deep-copies queued data/mask buffers",
+		"head":       "state: Reset/Restore normalize the queue to head 0",
+		"busy":       "state: Reset clears, Snapshot/Restore copy",
+		"inflight":   "state: Reset clears; Snapshot deep-copies in-flight buffers",
+		"inflightHd": "state: Reset/Restore normalize to head 0",
+		"serviceFn":  "config: pre-bound closure, survives Reset/Restore",
+		"completeFn": "config: pre-bound closure, survives Reset/Restore",
+		"freeData":   "pool: recycled buffers; Restore re-clones through it, Reset keeps it",
+		"freeMasks":  "pool: recycled buffers; Restore re-clones through it, Reset keeps it",
+		"reads":      "stats: ResetStats zeroes, Snapshot/Restore copy",
+		"writes":     "stats: ResetStats zeroes, Snapshot/Restore copy",
+		"atomics":    "stats: ResetStats zeroes, Snapshot/Restore copy",
+		"peakQueue":  "stats: ResetStats zeroes, Snapshot/Restore copy",
+	})
+}

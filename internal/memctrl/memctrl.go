@@ -243,3 +243,90 @@ func (c *Controller) complete() {
 func (c *Controller) Stats() (reads, writes, atomics uint64, peakQueue int) {
 	return c.reads, c.writes, c.atomics, c.peakQueue
 }
+
+// Snapshot captures the controller's queues, stats and backing store.
+// Queued payload buffers are deep-copied (the live ones are recycled
+// through the free lists and would be overwritten); completion
+// callbacks are pre-bound to stable owner objects, so the value copies
+// stay valid. The kernel events referencing serviceFn/completeFn must
+// be snapshotted alongside by the owner.
+type Snapshot struct {
+	queue    []request
+	inflight []request
+	busy     bool
+
+	reads, writes, atomics uint64
+	peakQueue              int
+
+	store *mem.StoreSnapshot
+}
+
+func snapReqs(src []request) []request {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]request, len(src))
+	copy(out, src)
+	for i := range out {
+		if out[i].data != nil {
+			out[i].data = append([]byte(nil), out[i].data...)
+		}
+		if out[i].mask != nil {
+			out[i].mask = append([]bool(nil), out[i].mask...)
+		}
+	}
+	return out
+}
+
+// cloneReq re-privatizes a snapshotted request for live use, drawing
+// payload buffers from the free lists (they will be recycled back by
+// complete, keeping the snapshot's own buffers pristine for repeated
+// restores).
+func (c *Controller) cloneReq(r request) request {
+	if r.data != nil {
+		d := c.getData(len(r.data))
+		copy(d, r.data)
+		r.data = d
+	}
+	if r.mask != nil {
+		m := c.getMask(len(r.mask))
+		copy(m, r.mask)
+		r.mask = m
+	}
+	return r
+}
+
+// Snapshot captures the controller and its backing store.
+func (c *Controller) Snapshot() *Snapshot {
+	return &Snapshot{
+		queue:     snapReqs(c.queue[c.head:]),
+		inflight:  snapReqs(c.inflight[c.inflightHd:]),
+		busy:      c.busy,
+		reads:     c.reads,
+		writes:    c.writes,
+		atomics:   c.atomics,
+		peakQueue: c.peakQueue,
+		store:     c.store.Snapshot(),
+	}
+}
+
+// Restore returns the controller and its backing store to the captured
+// state. The kernel must be restored in lockstep (the service/complete
+// events must match the restored queues).
+func (c *Controller) Restore(s *Snapshot) {
+	clear(c.queue[:cap(c.queue)])
+	c.queue = c.queue[:0]
+	c.head = 0
+	for _, r := range s.queue {
+		c.queue = append(c.queue, c.cloneReq(r))
+	}
+	clear(c.inflight[:cap(c.inflight)])
+	c.inflight = c.inflight[:0]
+	c.inflightHd = 0
+	for _, r := range s.inflight {
+		c.inflight = append(c.inflight, c.cloneReq(r))
+	}
+	c.busy = s.busy
+	c.reads, c.writes, c.atomics, c.peakQueue = s.reads, s.writes, s.atomics, s.peakQueue
+	c.store.Restore(s.store)
+}

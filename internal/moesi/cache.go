@@ -329,3 +329,75 @@ func (c *Cache) OutstandingCount() int { return len(c.outstanding) }
 func (c *Cache) Stats() (loads, loadHits, stores, storeHits, writebacks uint64) {
 	return c.loads, c.loadHits, c.stores, c.storeHits, c.writebacks
 }
+
+// CacheSnapshot captures one CPU cache's state: array contents, TBEs,
+// victim buffers, stall queues, in-flight requests, and stats.
+//
+// Request pointers are retained by identity (tester slab slots are
+// write-once within a run). Victim data buffers are deep-copied, which
+// is sound even with a write-back in flight: the buffer is never
+// written after creation, so a content-equal replacement serves probes
+// identically while the original travels in the scheduled event.
+type CacheSnapshot struct {
+	array       *cache.ArraySnapshot
+	tbes        map[mem.Addr]cpuTBE
+	vics        map[mem.Addr][]byte
+	stalled     map[mem.Addr][]*mem.Request
+	outstanding map[uint64]*mem.Request
+
+	loads, loadHits, stores, storeHits, writebacks uint64
+}
+
+// Snapshot captures the cache's complete state. Pair with a kernel
+// snapshot taken at the same instant for a consistent cut.
+func (c *Cache) Snapshot() *CacheSnapshot {
+	s := &CacheSnapshot{
+		array:       c.array.Snapshot(),
+		tbes:        make(map[mem.Addr]cpuTBE, len(c.tbes)),
+		vics:        make(map[mem.Addr][]byte, len(c.vics)),
+		stalled:     make(map[mem.Addr][]*mem.Request, len(c.stalled)),
+		outstanding: make(map[uint64]*mem.Request, len(c.outstanding)),
+		loads:       c.loads, loadHits: c.loadHits,
+		stores: c.stores, storeHits: c.storeHits,
+		writebacks: c.writebacks,
+	}
+	for line, t := range c.tbes {
+		s.tbes[line] = *t
+	}
+	for line, v := range c.vics {
+		s.vics[line] = append([]byte(nil), v.data...)
+	}
+	for line, q := range c.stalled {
+		s.stalled[line] = append([]*mem.Request(nil), q...)
+	}
+	for id, r := range c.outstanding {
+		s.outstanding[id] = r
+	}
+	return s
+}
+
+// Restore reinstates a state captured by Snapshot on this cache. The
+// kernel must be restored to the matching cut first.
+func (c *Cache) Restore(s *CacheSnapshot) {
+	c.array.Restore(s.array)
+	clear(c.tbes)
+	for line, t := range s.tbes {
+		tbe := t
+		c.tbes[line] = &tbe
+	}
+	clear(c.vics)
+	for line, data := range s.vics {
+		c.vics[line] = &vicTBE{line: line, data: append([]byte(nil), data...)}
+	}
+	clear(c.stalled)
+	for line, q := range s.stalled {
+		c.stalled[line] = append([]*mem.Request(nil), q...)
+	}
+	clear(c.outstanding)
+	for id, r := range s.outstanding {
+		c.outstanding[id] = r
+	}
+	c.loads, c.loadHits = s.loads, s.loadHits
+	c.stores, c.storeHits = s.stores, s.storeHits
+	c.writebacks = s.writebacks
+}

@@ -130,6 +130,36 @@ func (l *Link) Reset() {
 	l.sent = 0
 }
 
+// LinkSnapshot captures a link's queued messages and traffic counter.
+// Message arguments are retained by pointer: callers that pool message
+// objects must restore those objects' contents themselves (the viper
+// system does this via its pool registries). The jitter RNG is owned
+// and snapshotted by the owning system, not here.
+type LinkSnapshot struct {
+	msgs []pendingMsg
+	sent uint64
+}
+
+// Snapshot captures the link's state. The snapshot shares no mutable
+// storage with the link.
+func (l *Link) Snapshot() *LinkSnapshot {
+	s := &LinkSnapshot{sent: l.sent}
+	if len(l.msgQ) > l.msgHead {
+		s.msgs = append([]pendingMsg(nil), l.msgQ[l.msgHead:]...)
+	}
+	return s
+}
+
+// Restore returns the link to the captured state. As with Reset, only
+// valid when the owning kernel is being restored in lockstep (the
+// queued delivery events and the queue must stay synchronized).
+func (l *Link) Restore(s *LinkSnapshot) {
+	clear(l.msgQ)
+	l.msgQ = append(l.msgQ[:0], s.msgs...)
+	l.msgHead = 0
+	l.sent = s.sent
+}
+
 // Crossbar bundles the per-destination links of a shared structure
 // (e.g. the L2's response paths back to every L1) and tracks aggregate
 // traffic.
@@ -177,6 +207,27 @@ func (c *Crossbar) ResetStats() {
 func (c *Crossbar) Reset() {
 	for _, l := range c.links {
 		l.Reset()
+	}
+}
+
+// CrossbarSnapshot captures every port of a crossbar.
+type CrossbarSnapshot struct {
+	links []*LinkSnapshot
+}
+
+// Snapshot captures every port's state.
+func (c *Crossbar) Snapshot() *CrossbarSnapshot {
+	s := &CrossbarSnapshot{links: make([]*LinkSnapshot, len(c.links))}
+	for i, l := range c.links {
+		s.links[i] = l.Snapshot()
+	}
+	return s
+}
+
+// Restore returns every port to the captured state.
+func (c *Crossbar) Restore(s *CrossbarSnapshot) {
+	for i, l := range c.links {
+		l.Restore(s.links[i])
 	}
 }
 

@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"testing"
+
+	"drftest/internal/audit"
+)
+
+// TestSnapshotFieldAudit pins the Kernel's field set so a new field
+// cannot silently escape Snapshot/Restore/Reset (see package audit).
+func TestSnapshotFieldAudit(t *testing.T) {
+	audit.Fields(t, Kernel{}, map[string]string{
+		"curr":     "state: current-tick FIFO, captured/cleared with the event queues",
+		"next":     "state: next-tick FIFO, captured/cleared with the event queues",
+		"far":      "state: far-horizon heap, captured/cleared with the event queues",
+		"now":      "state: Reset zeroes, Snapshot/Restore copy",
+		"seq":      "state: Reset zeroes, Snapshot/Restore copy",
+		"executed": "stats: Reset zeroes, Snapshot/Restore copy",
+		"stopped":  "state: Reset/ClearStop clear, Snapshot/Restore copy",
+		"pollers":  "config: registered poller closures survive Reset/Restore; due ticks are state",
+		"pollNext": "state: recomputed/copied with the pollers' due ticks",
+		"tracer":   "config: attached ring, snapshotted separately by its owner",
+	})
+}

@@ -373,6 +373,83 @@ func (k *Kernel) firePollers() {
 	k.pollNext = next
 }
 
+// Snapshot captures the kernel's complete scheduling state — pending
+// events (including their closures), current tick, sequence counter,
+// executed count, stop flag, and pollers — so a later Restore resumes
+// the simulation from exactly this point.
+//
+// Closures are captured by reference: an event's fn still points at
+// whatever component state it closed over. Restoring into the *same*
+// object graph is therefore only sound when those components are
+// restored alongside (see the harness checkpoint machinery); the
+// kernel itself only promises to replay the identical event sequence.
+type KernelSnapshot struct {
+	curr, next []event // normalized oldest-first
+	far        []event // heap-ordered, as stored
+	now        Tick
+	seq        uint64
+	executed   uint64
+	stopped    bool
+	pollers    []poller
+	pollNext   Tick
+}
+
+// snapshotFIFO copies f's events oldest-first into a fresh slice.
+func snapshotFIFO(f *eventFIFO) []event {
+	if f.n == 0 {
+		return nil
+	}
+	out := make([]event, f.n)
+	for i := 0; i < f.n; i++ {
+		out[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+	}
+	return out
+}
+
+// restoreFIFO replaces f's contents with the snapshot's events,
+// keeping f's warmed-up ring capacity.
+func (f *eventFIFO) restoreFrom(events []event) {
+	f.reset()
+	for _, e := range events {
+		f.push(e)
+	}
+}
+
+// Snapshot captures the full scheduling state. The returned snapshot
+// shares no mutable storage with the kernel: Restore may be called any
+// number of times, before or after further simulation.
+func (k *Kernel) Snapshot() *KernelSnapshot {
+	return &KernelSnapshot{
+		curr:     snapshotFIFO(&k.curr),
+		next:     snapshotFIFO(&k.next),
+		far:      append([]event(nil), k.far...),
+		now:      k.now,
+		seq:      k.seq,
+		executed: k.executed,
+		stopped:  k.stopped,
+		pollers:  append([]poller(nil), k.pollers...),
+		pollNext: k.pollNext,
+	}
+}
+
+// Restore rewinds the kernel to the snapshot's state. The attached
+// tracer is deliberately not part of the snapshot — the trace ring has
+// its own Snapshot/Restore and is owned by the harness.
+func (k *Kernel) Restore(s *KernelSnapshot) {
+	k.curr.restoreFrom(s.curr)
+	k.next.restoreFrom(s.next)
+	for i := range k.far {
+		k.far[i].fn = nil
+	}
+	// The saved slice is already heap-ordered, so copying it back
+	// verbatim re-establishes the heap invariant.
+	k.far = append(k.far[:0], s.far...)
+	k.now, k.seq, k.executed = s.now, s.seq, s.executed
+	k.stopped = s.stopped
+	k.pollers = append(k.pollers[:0], s.pollers...)
+	k.pollNext = s.pollNext
+}
+
 // SetTracer attaches ring as the kernel's execution trace (nil, or a
 // zero-capacity ring, disables tracing). The kernel stamps entries
 // with its current tick; components record through Trace.

@@ -203,7 +203,7 @@ func TestKernelTrace(t *testing.T) {
 	}
 	k2.Schedule(7, func() { k2.Trace("comp", "ev", 0x40) })
 	k2.RunUntilIdle()
-	got := r.Snapshot()
+	got := r.Entries()
 	if len(got) != 1 || got[0].Tick != 7 || got[0].Seq != 1 ||
 		got[0].Component != "comp" || got[0].Label != "ev" || got[0].Addr != 0x40 {
 		t.Fatalf("trace recorded %+v", got)

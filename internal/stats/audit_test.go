@@ -1,0 +1,28 @@
+package stats
+
+import (
+	"testing"
+
+	"drftest/internal/audit"
+)
+
+// TestSnapshotFieldAudit pins the field sets of the snapshotted
+// structs so a new field cannot silently escape
+// Snapshot/Restore/Reset/Merge (see package audit).
+func TestSnapshotFieldAudit(t *testing.T) {
+	audit.Fields(t, Histogram{}, map[string]string{
+		"Name":    "config: not captured by Snapshot, untouched by Reset",
+		"buckets": "data: Reset clears, Snapshot/Restore/Merge copy",
+		"count":   "data: Reset clears, Snapshot/Restore/Merge copy",
+		"sum":     "data: Reset clears, Snapshot/Restore/Merge copy",
+		"min":     "data: Reset re-arms to max, Snapshot/Restore/Merge copy",
+		"max":     "data: Reset clears, Snapshot/Restore/Merge copy",
+	})
+	audit.Fields(t, LatencySet{}, map[string]string{
+		"Load":    "data: Reset/Snapshot/Restore/Merge fan out per histogram (via All)",
+		"Store":   "data: via All",
+		"Atomic":  "data: via All",
+		"Acquire": "data: via All",
+		"Release": "data: via All",
+	})
+}

@@ -121,5 +121,40 @@ func (r *Ring) Last(n int) []Entry {
 	return out
 }
 
-// Snapshot returns every held entry, oldest first.
-func (r *Ring) Snapshot() []Entry { return r.Last(r.Len()) }
+// Entries returns every held entry, oldest first.
+func (r *Ring) Entries() []Entry { return r.Last(r.Len()) }
+
+// RingSnapshot captures a ring's contents and sequence state; obtain
+// via Snapshot, reinstate via Restore.
+type RingSnapshot struct {
+	buf   []Entry
+	total uint64
+}
+
+// Snapshot captures the ring's full state (buffer and total), so a
+// later Restore resumes recording exactly where the snapshot left off
+// — same sequence numbers, same retained window. Nil for nil/disabled
+// rings.
+func (r *Ring) Snapshot() *RingSnapshot {
+	if !r.Enabled() {
+		return nil
+	}
+	return &RingSnapshot{buf: append([]Entry(nil), r.buf...), total: r.total}
+}
+
+// Restore reinstates a state captured by Snapshot on this ring. The
+// snapshot must come from a ring of the same capacity (nil restores a
+// disabled ring's empty state, i.e. it is a no-op).
+func (r *Ring) Restore(s *RingSnapshot) {
+	if s == nil {
+		if r.Enabled() {
+			r.total = 0
+		}
+		return
+	}
+	if len(s.buf) != len(r.buf) {
+		panic("trace: Restore with mismatched ring capacity")
+	}
+	copy(r.buf, s.buf)
+	r.total = s.total
+}

@@ -13,7 +13,7 @@ func TestDisabledRing(t *testing.T) {
 			t.Fatal("zero-capacity ring reports enabled")
 		}
 		r.Append(1, "c", "l", 2)
-		if r.Len() != 0 || r.Total() != 0 || r.Last(5) != nil || r.Snapshot() != nil {
+		if r.Len() != 0 || r.Total() != 0 || r.Last(5) != nil || r.Entries() != nil {
 			t.Fatal("disabled ring recorded an entry")
 		}
 	}
@@ -27,7 +27,7 @@ func TestRingWraparound(t *testing.T) {
 	if r.Len() != 4 || r.Total() != 10 || r.Cap() != 4 {
 		t.Fatalf("len=%d total=%d cap=%d, want 4/10/4", r.Len(), r.Total(), r.Cap())
 	}
-	got := r.Snapshot()
+	got := r.Entries()
 	for i, e := range got {
 		want := uint64(7 + i) // entries 7..10 survive
 		if e.Seq != want || e.Addr != want || e.Tick != want*10 {
@@ -46,14 +46,14 @@ func TestRingReset(t *testing.T) {
 		r.Append(uint64(i), "old", "l", 0)
 	}
 	r.Reset()
-	if r.Len() != 0 || r.Total() != 0 || r.Snapshot() != nil {
+	if r.Len() != 0 || r.Total() != 0 || r.Entries() != nil {
 		t.Fatalf("reset ring not empty: len=%d total=%d", r.Len(), r.Total())
 	}
 	if r.Cap() != 4 || !r.Enabled() {
 		t.Fatal("reset changed the ring's capacity or enablement")
 	}
 	r.Append(50, "new", "l", 9)
-	got := r.Snapshot()
+	got := r.Entries()
 	if len(got) != 1 || got[0].Seq != 1 || got[0].Component != "new" {
 		t.Fatalf("post-reset entries = %+v, want one entry with Seq 1", got)
 	}
@@ -96,7 +96,7 @@ func TestRingProperty(t *testing.T) {
 		if want > capacity {
 			want = capacity
 		}
-		got := r.Snapshot()
+		got := r.Entries()
 		if len(got) != want || r.Total() != uint64(n) {
 			return false
 		}
@@ -138,7 +138,7 @@ func FuzzRing(f *testing.F) {
 		if r.Total() != uint64(n) {
 			t.Fatalf("total=%d want %d", r.Total(), n)
 		}
-		got := r.Snapshot()
+		got := r.Entries()
 		for i := 1; i < len(got); i++ {
 			if got[i].Seq != got[i-1].Seq+1 {
 				t.Fatalf("non-consecutive seqs at %d: %d after %d", i, got[i].Seq, got[i-1].Seq)

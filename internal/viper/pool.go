@@ -17,9 +17,30 @@ type msgPool struct {
 	tccMsgs  []*tccMsg
 	data     [][]byte
 	masks    [][]bool
+
+	// Mid-run checkpoint support. Pooled objects are recycled and
+	// overwritten, so a checkpoint must save the contents of every
+	// object that could be live — which, once tracking is on, is
+	// exactly the set allocated since enableTracking drained the free
+	// stacks. Registration happens only on the allocation fallback, so
+	// the steady-state get/put paths stay branch-one, and with
+	// tracking off (campaigns, plain runs) the registries never grow.
+	track    bool
+	allTCP   []*tcpMsg
+	allTCC   []*tccMsg
+	allData  [][]byte
+	allMasks [][]bool
 }
 
 func newMsgPool(lineSize int) *msgPool { return &msgPool{lineSize: lineSize} }
+
+// enableTracking turns on checkpoint registration. The free stacks are
+// drained first (dropped to GC) so every object live during the
+// tracked run is allocation-registered.
+func (p *msgPool) enableTracking() {
+	p.track = true
+	p.tcpMsgs, p.tccMsgs, p.data, p.masks = nil, nil, nil, nil
+}
 
 // getData returns a zeroed line-sized byte buffer (make semantics).
 func (p *msgPool) getData() []byte {
@@ -30,7 +51,11 @@ func (p *msgPool) getData() []byte {
 		clear(b)
 		return b
 	}
-	return make([]byte, p.lineSize)
+	b := make([]byte, p.lineSize)
+	if p.track {
+		p.allData = append(p.allData, b)
+	}
+	return b
 }
 
 // getMask returns a zeroed line-sized mask (make semantics).
@@ -42,7 +67,11 @@ func (p *msgPool) getMask() []bool {
 		clear(m)
 		return m
 	}
-	return make([]bool, p.lineSize)
+	m := make([]bool, p.lineSize)
+	if p.track {
+		p.allMasks = append(p.allMasks, m)
+	}
+	return m
 }
 
 func (p *msgPool) putData(b []byte) {
@@ -64,7 +93,11 @@ func (p *msgPool) getTCPMsg() *tcpMsg {
 		p.tcpMsgs = p.tcpMsgs[:n-1]
 		return m
 	}
-	return &tcpMsg{}
+	m := &tcpMsg{}
+	if p.track {
+		p.allTCP = append(p.allTCP, m)
+	}
+	return m
 }
 
 // putTCPMsg releases m along with its payload buffers.
@@ -86,7 +119,11 @@ func (p *msgPool) getTCCMsg() *tccMsg {
 		p.tccMsgs = p.tccMsgs[:n-1]
 		return m
 	}
-	return &tccMsg{}
+	m := &tccMsg{}
+	if p.track {
+		p.allTCC = append(p.allTCC, m)
+	}
+	return m
 }
 
 // putTCCMsg releases m along with its fill buffer.
@@ -96,4 +133,89 @@ func (p *msgPool) putTCCMsg(m *tccMsg) {
 	}
 	*m = tccMsg{}
 	p.tccMsgs = append(p.tccMsgs, m)
+}
+
+// poolSnapshot captures the contents of every tracked object plus the
+// free stacks. Message structs and buffers referenced by live protocol
+// state (link queues, TBEs, stall queues, write-through buffers) are
+// restored in place, so all the pointers those structures hold stay
+// valid after a restore.
+type poolSnapshot struct {
+	tcpContents  []tcpMsg
+	tccContents  []tccMsg
+	dataContents [][]byte
+	maskContents [][]bool
+	freeTCP      []*tcpMsg
+	freeTCC      []*tccMsg
+	freeData     [][]byte
+	freeMasks    [][]bool
+}
+
+// snapshot captures every registered object's contents. Only valid
+// with tracking enabled — without it the live set is unknown.
+func (p *msgPool) snapshot() *poolSnapshot {
+	s := &poolSnapshot{
+		tcpContents:  make([]tcpMsg, len(p.allTCP)),
+		tccContents:  make([]tccMsg, len(p.allTCC)),
+		dataContents: make([][]byte, len(p.allData)),
+		maskContents: make([][]bool, len(p.allMasks)),
+		freeTCP:      append([]*tcpMsg(nil), p.tcpMsgs...),
+		freeTCC:      append([]*tccMsg(nil), p.tccMsgs...),
+		freeData:     append([][]byte(nil), p.data...),
+		freeMasks:    append([][]bool(nil), p.masks...),
+	}
+	for i, m := range p.allTCP {
+		s.tcpContents[i] = *m
+	}
+	for i, m := range p.allTCC {
+		s.tccContents[i] = *m
+	}
+	for i, b := range p.allData {
+		s.dataContents[i] = append([]byte(nil), b...)
+	}
+	for i, m := range p.allMasks {
+		s.maskContents[i] = append([]bool(nil), m...)
+	}
+	return s
+}
+
+// restore writes every registered object's captured contents back and
+// rebuilds the free stacks. Objects registered after the snapshot was
+// taken did not exist then; they are zeroed and parked on the free
+// stacks (pooled objects are interchangeable — identity only matters
+// for objects the restored state actually references, which are all
+// snapshot-era).
+func (p *msgPool) restore(s *poolSnapshot) {
+	for i, m := range p.allTCP {
+		if i < len(s.tcpContents) {
+			*m = s.tcpContents[i]
+		} else {
+			*m = tcpMsg{}
+		}
+	}
+	for i, m := range p.allTCC {
+		if i < len(s.tccContents) {
+			*m = s.tccContents[i]
+		} else {
+			*m = tccMsg{}
+		}
+	}
+	for i, b := range p.allData {
+		if i < len(s.dataContents) {
+			copy(b, s.dataContents[i])
+		}
+	}
+	for i, m := range p.allMasks {
+		if i < len(s.maskContents) {
+			copy(m, s.maskContents[i])
+		}
+	}
+	p.tcpMsgs = append(p.tcpMsgs[:0], s.freeTCP...)
+	p.tcpMsgs = append(p.tcpMsgs, p.allTCP[len(s.tcpContents):]...)
+	p.tccMsgs = append(p.tccMsgs[:0], s.freeTCC...)
+	p.tccMsgs = append(p.tccMsgs, p.allTCC[len(s.tccContents):]...)
+	p.data = append(p.data[:0], s.freeData...)
+	p.data = append(p.data, p.allData[len(s.dataContents):]...)
+	p.masks = append(p.masks[:0], s.freeMasks...)
+	p.masks = append(p.masks, p.allMasks[len(s.maskContents):]...)
 }

@@ -205,3 +205,61 @@ func (s *Sequencer) recordLatency(req *mem.Request, lat uint64) {
 
 // Latencies exposes the sequencer's per-class latency histograms.
 func (s *Sequencer) Latencies() *stats.LatencySet { return s.lat }
+
+// seqSnapshot captures a sequencer's in-flight and stats state.
+// Request pointers are retained by identity: they reference the
+// tester's request slab, whose slots are write-once within a run.
+type seqSnapshot struct {
+	pendingWT    map[int]int
+	heldReleases map[int][]*mem.Request
+	outstanding  map[uint64]*mem.Request
+	respQ        []pendingResp
+	lat          *stats.LatencySetSnapshot
+	issued       uint64
+	completed    uint64
+}
+
+func (s *Sequencer) snapshot() *seqSnapshot {
+	snap := &seqSnapshot{
+		pendingWT:    make(map[int]int, len(s.pendingWT)),
+		heldReleases: make(map[int][]*mem.Request, len(s.heldReleases)),
+		outstanding:  make(map[uint64]*mem.Request, len(s.outstanding)),
+		lat:          s.lat.Snapshot(),
+		issued:       s.issued,
+		completed:    s.completed,
+	}
+	for k, v := range s.pendingWT {
+		snap.pendingWT[k] = v
+	}
+	for k, v := range s.heldReleases {
+		snap.heldReleases[k] = append([]*mem.Request(nil), v...)
+	}
+	for k, v := range s.outstanding {
+		snap.outstanding[k] = v
+	}
+	if len(s.respQ) > s.respHead {
+		snap.respQ = append([]pendingResp(nil), s.respQ[s.respHead:]...)
+	}
+	return snap
+}
+
+func (s *Sequencer) restore(snap *seqSnapshot) {
+	clear(s.pendingWT)
+	for k, v := range snap.pendingWT {
+		s.pendingWT[k] = v
+	}
+	clear(s.heldReleases)
+	for k, v := range snap.heldReleases {
+		s.heldReleases[k] = append([]*mem.Request(nil), v...)
+	}
+	clear(s.outstanding)
+	for k, v := range snap.outstanding {
+		s.outstanding[k] = v
+	}
+	clear(s.respQ)
+	s.respQ = append(s.respQ[:0], snap.respQ...)
+	s.respHead = 0
+	s.scratch = mem.Response{}
+	s.lat.Restore(snap.lat)
+	s.issued, s.completed = snap.issued, snap.completed
+}

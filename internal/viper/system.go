@@ -118,6 +118,8 @@ type System struct {
 	// respXBars holds the per-slice response crossbars, retained so
 	// SetRespJitter can retune them between runs.
 	respXBars []*network.Crossbar
+	// pool is the shared message pool, retained for snapshots.
+	pool *msgPool
 }
 
 // jitterStream is the PCG stream selector of the response-jitter
@@ -191,6 +193,10 @@ type l2ctrl interface {
 	// reset returns the slice to its just-built state (see System.Reset
 	// for the contract; the kernel must already be reset).
 	reset()
+	// snapshot/restore capture and reinstate the slice's full state
+	// (see System.Snapshot for the contract).
+	snapshot() any
+	restore(snap any)
 }
 
 // sliceOf routes a line address to its L2 slice.
@@ -300,6 +306,7 @@ func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, back
 	jrnd := rng.New(cfg.JitterSeed, jitterStream)
 	s.jrnd = jrnd
 	pool := newMsgPool(cfg.L1.LineSize)
+	s.pool = pool
 	tccSpec := NewTCCSpec()
 	wbSpec := NewTCCWBSpec()
 	for sl := 0; sl < cfg.NumL2Slices; sl++ {
@@ -359,5 +366,86 @@ func (s *System) OutstandingRequests() int {
 func (s *System) ForEachOutstanding(visit func(*mem.Request)) {
 	for _, seq := range s.Seqs {
 		seq.ForEachOutstanding(visit)
+	}
+}
+
+// SystemSnapshot captures the full GPU memory-system state. Obtain via
+// Snapshot, reinstate via Restore.
+type SystemSnapshot struct {
+	jrnd   rng.PCG
+	faults []*protocol.FaultError
+	pool   *poolSnapshot
+	seqs   []*seqSnapshot
+	tcps   []*tcpSnapshot
+	l2s    []any
+	mem    *memctrl.Snapshot
+}
+
+// EnableCheckpointing arms the system for mid-run snapshots: the
+// message pool starts tracking every pooled object it hands out, so a
+// later Snapshot can capture — and Restore reinstate — the contents of
+// messages that are in flight at snapshot time. Without it, Snapshot
+// is restricted to quiescent states (no pending kernel events) and
+// skips the pool entirely, keeping warm-fork snapshots cheap. Must be
+// called before the run whose midpoints will be snapshotted; tracking
+// stays on for the system's lifetime.
+func (s *System) EnableCheckpointing() { s.pool.enableTracking() }
+
+// Snapshot captures the system's complete state. With checkpointing
+// enabled (EnableCheckpointing) any point is snapshottable, including
+// mid-run with messages in flight; otherwise the system must be
+// quiescent (no pending kernel events), which is the warm-fork case —
+// no live messages means pooled contents need no capture. Note the
+// kernel's own event state is snapshotted separately (Kernel.Snapshot);
+// pairing the two captures a consistent cut.
+func (s *System) Snapshot() *SystemSnapshot {
+	if !s.pool.track && s.Kernel.Pending() > 0 {
+		panic("viper: System.Snapshot mid-run without EnableCheckpointing")
+	}
+	snap := &SystemSnapshot{
+		jrnd:   *s.jrnd,
+		faults: append([]*protocol.FaultError(nil), s.faults...),
+	}
+	if s.pool.track {
+		snap.pool = s.pool.snapshot()
+	}
+	for _, seq := range s.Seqs {
+		snap.seqs = append(snap.seqs, seq.snapshot())
+	}
+	for _, tcp := range s.TCPs {
+		snap.tcps = append(snap.tcps, tcp.snapshot())
+	}
+	for _, l2 := range s.l2s {
+		snap.l2s = append(snap.l2s, l2.snapshot())
+	}
+	if s.Mem != nil {
+		snap.mem = s.Mem.Snapshot()
+	}
+	return snap
+}
+
+// Restore reinstates a state captured by Snapshot on this system. The
+// kernel must be restored (Kernel.Restore) or reset to a matching cut
+// first, for the same reason Reset requires a reset kernel: events
+// referencing recycled state must agree with the state being installed.
+// After Restore the system is bit-identical to the snapshotted one —
+// continuing the run replays the exact same future.
+func (s *System) Restore(snap *SystemSnapshot) {
+	*s.jrnd = snap.jrnd
+	s.faults = append(s.faults[:0], snap.faults...)
+	if snap.pool != nil {
+		s.pool.restore(snap.pool)
+	}
+	for i, seq := range s.Seqs {
+		seq.restore(snap.seqs[i])
+	}
+	for i, tcp := range s.TCPs {
+		tcp.restore(snap.tcps[i])
+	}
+	for i, l2 := range s.l2s {
+		l2.restore(snap.l2s[i])
+	}
+	if s.Mem != nil {
+		s.Mem.Restore(snap.mem)
 	}
 }

@@ -73,6 +73,11 @@ type TCC struct {
 
 	tbes    map[mem.Addr]*tccTBE
 	tbeFree []*tccTBE
+	// allTBEs registers every TBE ever built (bounded by the peak
+	// number of concurrent transactions — TBEs are recycled). Needed
+	// by snapshots: the backend continuations capture the TBE pointer,
+	// so a restore must write contents back into the same objects.
+	allTBEs []*tccTBE
 	stalled map[mem.Addr][]*tcpMsg
 	// stalledFree recycles drained stall queues so repeated contention
 	// on hot lines does not allocate a fresh slice per episode.
@@ -127,6 +132,7 @@ func (c *TCC) getTBE() *tccTBE {
 		c.onAtomicD(t, old)
 	}
 	t.retryFn = func() { c.issueAtomic(t) }
+	c.allTBEs = append(c.allTBEs, t)
 	return t
 }
 
@@ -497,4 +503,100 @@ func (c *TCC) Stats() map[string]uint64 {
 		"dropped_merges": c.droppedMerges,
 		"dropped_acks":   c.droppedAcks,
 	}
+}
+
+// tccTBESave is a tccTBE's identity fields (the continuations are
+// bound for the TBE's life and never change).
+type tccTBESave struct {
+	kind   tbeKind
+	line   mem.Addr
+	cu     int
+	req    *mem.Request
+	probed bool
+}
+
+// tccSnapshot captures one write-through L2 slice.
+type tccSnapshot struct {
+	array *cache.ArraySnapshot
+	// tbeContents is parallel to allTBEs at snapshot time; TBEs built
+	// later are recycled onto the free list at restore.
+	tbeContents   []tccTBESave
+	tbes          map[mem.Addr]*tccTBE
+	tbeFree       []*tccTBE
+	stalled       map[mem.Addr][]*tcpMsg
+	stalledProbes map[mem.Addr][]func()
+	wbs           map[mem.Addr]int
+
+	rdBlks, wrVicBlks, atomicsSeen, fills, stalls uint64
+	wbAcks, droppedMerges, droppedAcks            uint64
+
+	xbar *network.CrossbarSnapshot
+}
+
+func (c *TCC) snapshot() any {
+	s := &tccSnapshot{
+		array:         c.array.Snapshot(),
+		tbeContents:   make([]tccTBESave, len(c.allTBEs)),
+		tbes:          make(map[mem.Addr]*tccTBE, len(c.tbes)),
+		tbeFree:       append([]*tccTBE(nil), c.tbeFree...),
+		stalled:       make(map[mem.Addr][]*tcpMsg, len(c.stalled)),
+		stalledProbes: make(map[mem.Addr][]func(), len(c.stalledProbes)),
+		wbs:           make(map[mem.Addr]int, len(c.wbs)),
+		rdBlks:        c.rdBlks, wrVicBlks: c.wrVicBlks, atomicsSeen: c.atomicsSeen,
+		fills: c.fills, stalls: c.stalls, wbAcks: c.wbAcks,
+		droppedMerges: c.droppedMerges, droppedAcks: c.droppedAcks,
+		xbar: c.toTCP.Snapshot(),
+	}
+	for i, t := range c.allTBEs {
+		s.tbeContents[i] = tccTBESave{kind: t.kind, line: t.line, cu: t.cu, req: t.req, probed: t.probed}
+	}
+	for line, t := range c.tbes {
+		s.tbes[line] = t
+	}
+	for line, q := range c.stalled {
+		s.stalled[line] = append([]*tcpMsg(nil), q...)
+	}
+	for line, q := range c.stalledProbes {
+		s.stalledProbes[line] = append(([]func())(nil), q...)
+	}
+	for line, n := range c.wbs {
+		s.wbs[line] = n
+	}
+	return s
+}
+
+func (c *TCC) restore(snap any) {
+	s := snap.(*tccSnapshot)
+	c.array.Restore(s.array)
+	for i, t := range c.allTBEs {
+		if i < len(s.tbeContents) {
+			sv := s.tbeContents[i]
+			t.kind, t.line, t.cu, t.req, t.probed = sv.kind, sv.line, sv.cu, sv.req, sv.probed
+		} else {
+			t.req, t.probed = nil, false
+		}
+	}
+	c.tbeFree = append(c.tbeFree[:0], s.tbeFree...)
+	c.tbeFree = append(c.tbeFree, c.allTBEs[len(s.tbeContents):]...)
+	clear(c.tbes)
+	for line, t := range s.tbes {
+		c.tbes[line] = t
+	}
+	clear(c.stalled)
+	for line, q := range s.stalled {
+		c.stalled[line] = append([]*tcpMsg(nil), q...)
+	}
+	c.stalledFree = c.stalledFree[:0]
+	clear(c.stalledProbes)
+	for line, q := range s.stalledProbes {
+		c.stalledProbes[line] = append(([]func())(nil), q...)
+	}
+	clear(c.wbs)
+	for line, n := range s.wbs {
+		c.wbs[line] = n
+	}
+	c.rdBlks, c.wrVicBlks, c.atomicsSeen = s.rdBlks, s.wrVicBlks, s.atomicsSeen
+	c.fills, c.stalls, c.wbAcks = s.fills, s.stalls, s.wbAcks
+	c.droppedMerges, c.droppedAcks = s.droppedMerges, s.droppedAcks
+	c.toTCP.Restore(s.xbar)
 }

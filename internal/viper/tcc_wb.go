@@ -318,6 +318,72 @@ func (c *TCCWB) send(cu int, msg *tccMsg) {
 	c.toTCP.To(cu).SendMsg(fn, msg)
 }
 
+// wbSnapshot captures one write-back L2 slice. wbTBEs are never
+// captured by reference across events (completions look them up by
+// line), so they are deep-copied and rebuilt as fresh structs.
+type wbSnapshot struct {
+	array   *cache.ArraySnapshot
+	tbes    map[mem.Addr]wbTBE
+	stalled map[mem.Addr][]*tcpMsg
+	vicWBs  map[mem.Addr]int
+
+	rdBlks, wrVicBlks, atomicsSeen, fills, stalls, evictWBs uint64
+
+	xbar *network.CrossbarSnapshot
+}
+
+func (c *TCCWB) snapshot() any {
+	s := &wbSnapshot{
+		array:   c.array.Snapshot(),
+		tbes:    make(map[mem.Addr]wbTBE, len(c.tbes)),
+		stalled: make(map[mem.Addr][]*tcpMsg, len(c.stalled)),
+		vicWBs:  make(map[mem.Addr]int, len(c.vicWBs)),
+		rdBlks:  c.rdBlks, wrVicBlks: c.wrVicBlks, atomicsSeen: c.atomicsSeen,
+		fills: c.fills, stalls: c.stalls, evictWBs: c.evictWBs,
+		xbar: c.toTCP.Snapshot(),
+	}
+	for line, tbe := range c.tbes {
+		save := *tbe
+		if tbe.pending != nil {
+			save.pending = append([]byte(nil), tbe.pending...)
+			save.pendingMask = append([]bool(nil), tbe.pendingMask...)
+		}
+		s.tbes[line] = save
+	}
+	for line, q := range c.stalled {
+		s.stalled[line] = append([]*tcpMsg(nil), q...)
+	}
+	for line, n := range c.vicWBs {
+		s.vicWBs[line] = n
+	}
+	return s
+}
+
+func (c *TCCWB) restore(snap any) {
+	s := snap.(*wbSnapshot)
+	c.array.Restore(s.array)
+	clear(c.tbes)
+	for line, save := range s.tbes {
+		tbe := save
+		if save.pending != nil {
+			tbe.pending = append([]byte(nil), save.pending...)
+			tbe.pendingMask = append([]bool(nil), save.pendingMask...)
+		}
+		c.tbes[line] = &tbe
+	}
+	clear(c.stalled)
+	for line, q := range s.stalled {
+		c.stalled[line] = append([]*tcpMsg(nil), q...)
+	}
+	clear(c.vicWBs)
+	for line, n := range s.vicWBs {
+		c.vicWBs[line] = n
+	}
+	c.rdBlks, c.wrVicBlks, c.atomicsSeen = s.rdBlks, s.wrVicBlks, s.atomicsSeen
+	c.fills, c.stalls, c.evictWBs = s.fills, s.stalls, s.evictWBs
+	c.toTCP.Restore(s.xbar)
+}
+
 // Stats returns the controller's activity counters.
 func (c *TCCWB) Stats() map[string]uint64 {
 	return map[string]uint64{

@@ -401,3 +401,74 @@ func (t *TCP) wordWrite(req *mem.Request) (data []byte, mask []bool) {
 func (t *TCP) Stats() (loads, loadHits, stores, atomics, stalls uint64) {
 	return t.loads, t.loadHits, t.stores, t.atomics, t.stalls
 }
+
+// tcpSnapshot captures one L1 controller. TBEs are saved by value and
+// rebuilt as fresh structs on restore — nothing captures a tcpTBE
+// pointer across events, so identity is free to change. Write-through
+// buffers keep their pooled data/mask identities (contents restored by
+// the pool snapshot); stalled requests reference the tester's slab.
+type tcpSnapshot struct {
+	array   *cache.ArraySnapshot
+	tbes    map[mem.Addr]tcpTBE
+	stalled map[mem.Addr][]*mem.Request
+	wt      map[mem.Addr]wtBuf
+
+	loads, loadHits, stores, atomics, stalls uint64
+
+	links []*network.LinkSnapshot
+}
+
+func (t *TCP) snapshot() *tcpSnapshot {
+	s := &tcpSnapshot{
+		array:   t.array.Snapshot(),
+		tbes:    make(map[mem.Addr]tcpTBE, len(t.tbes)),
+		stalled: make(map[mem.Addr][]*mem.Request, len(t.stalled)),
+		wt:      make(map[mem.Addr]wtBuf, len(t.wt)),
+		loads:   t.loads, loadHits: t.loadHits, stores: t.stores,
+		atomics: t.atomics, stalls: t.stalls,
+		links: make([]*network.LinkSnapshot, len(t.toTCC)),
+	}
+	for line, tbe := range t.tbes {
+		save := *tbe
+		save.loads = append([]*mem.Request(nil), tbe.loads...)
+		s.tbes[line] = save
+	}
+	for line, q := range t.stalled {
+		s.stalled[line] = append([]*mem.Request(nil), q...)
+	}
+	for line, buf := range t.wt {
+		s.wt[line] = *buf
+	}
+	for i, l := range t.toTCC {
+		s.links[i] = l.Snapshot()
+	}
+	return s
+}
+
+func (t *TCP) restore(s *tcpSnapshot) {
+	t.array.Restore(s.array)
+	for line, tbe := range t.tbes {
+		tbe.loads = tbe.loads[:0]
+		tbe.atomic, tbe.entry = nil, nil
+		t.tbeFree = append(t.tbeFree, tbe)
+		delete(t.tbes, line)
+	}
+	for line, save := range s.tbes {
+		tbe := t.tbe(line)
+		tbe.loads = append(tbe.loads[:0], save.loads...)
+		tbe.atomic, tbe.entry = save.atomic, save.entry
+	}
+	clear(t.stalled)
+	for line, q := range s.stalled {
+		t.stalled[line] = append([]*mem.Request(nil), q...)
+	}
+	clear(t.wt)
+	for line, save := range s.wt {
+		buf := save
+		t.wt[line] = &buf
+	}
+	t.loads, t.loadHits, t.stores, t.atomics, t.stalls = s.loads, s.loadHits, s.stores, s.atomics, s.stalls
+	for i, l := range t.toTCC {
+		l.Restore(s.links[i])
+	}
+}

@@ -8,15 +8,16 @@
 #
 # The benchmark set defaults to the PR gate: the event-loop
 # microbenchmarks (internal/sim), the end-to-end memops/s benchmarks
-# (repo root), and the hot-path microbenchmarks for the reference
+# (repo root), the hot-path microbenchmarks for the reference
 # memory (internal/mem) and the verification engine
-# (internal/checker). Everything go test prints still goes to stderr,
-# so the JSON on -o (or stdout) stays machine-readable.
+# (internal/checker), and the campaign fork / replay-bisection
+# benchmarks (repo root). Everything go test prints still goes to
+# stderr, so the JSON on -o (or stdout) stays machine-readable.
 set -euo pipefail
 
 out=""
 benchtime="0.5s"
-pattern='EventLoop|Speed_|StoreAccess|Checker|Campaign'
+pattern='EventLoop|Speed_|StoreAccess|Checker|Campaign|Replay'
 while getopts "o:t:b:" opt; do
   case "$opt" in
     o) out="$OPTARG" ;;
