@@ -13,6 +13,10 @@
 //	          [-saturate-k 3] [-max-seeds 1024]
 //	          [-batch 16] [-workers 0] [-campaign-rebuild]
 //	          [-campaign-fork]
+//	gputester -serve ADDR [-serve-workers N] [-store DIR]
+//	          [-report-dir DIR] [-lease-timeout 60s] [-drain-timeout 30s]
+//	gputester -worker URL [-worker-slots N]
+//	gputester -daemon URL [campaign flags] [-lease-seeds N]
 //
 // With -artifact-dir set the run records a bounded execution trace
 // and, on any checker failure, serializes a replay artifact (JSON)
@@ -33,18 +37,36 @@
 // snapshot (copy-on-write journals) instead of Reset-scanning it —
 // same outcomes, higher seeds/sec on large cache configurations.
 //
+// The three daemon modes distribute campaigns across processes
+// (internal/campaignd): -serve runs the control-plane daemon (HTTP
+// API, local worker pool, content-addressed artifact store); -worker
+// connects a worker process that long-polls the daemon for seed
+// leases; -daemon submits the campaign described by the usual campaign
+// flags to a running daemon and waits for its report. A distributed
+// campaign's outcome is byte-identical to the local -campaign path for
+// the same spec. SIGINT/SIGTERM drain the daemon gracefully: in-flight
+// batches finish (leases from dead workers requeue), final reports are
+// written, then workers are released.
+//
 // Exit status is 0 when the protocol passes, 1 when bugs are detected.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"drftest/internal/checker"
 
+	"drftest/internal/campaignd"
 	"drftest/internal/core"
 	"drftest/internal/coverage"
 	"drftest/internal/harness"
@@ -82,6 +104,16 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign: worker pool size (0 = GOMAXPROCS); does not affect the outcome")
 	campaignRebuild := flag.Bool("campaign-rebuild", false, "campaign: rebuild the system for every seed instead of reusing run contexts (baseline mode)")
 	campaignFork := flag.Bool("campaign-fork", false, "campaign: fork seeds from a warm system snapshot instead of Reset-scanning reused contexts (fast path)")
+	serve := flag.String("serve", "", "run the campaign control-plane daemon on this address (e.g. 127.0.0.1:7077)")
+	serveWorkers := flag.Int("serve-workers", 0, "daemon: local worker pool size (0 = GOMAXPROCS, negative = remote workers only)")
+	storeDir := flag.String("store", "", "daemon: content-addressed failure-artifact store directory")
+	reportDir := flag.String("report-dir", "", "daemon: write each finished campaign's final report JSON into this directory")
+	leaseTimeout := flag.Duration("lease-timeout", campaignd.DefaultLeaseTimeout, "daemon: reissue a lease when its result is this overdue")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "daemon: SIGTERM drain bound before in-flight batches are dropped")
+	workerURL := flag.String("worker", "", "run as a campaign worker process against the daemon at this URL")
+	workerSlots := flag.Int("worker-slots", 1, "worker: concurrent lease executors")
+	daemonURL := flag.String("daemon", "", "submit the campaign to the daemon at this URL instead of running locally")
+	leaseSeeds := flag.Int("lease-seeds", 0, "daemon submit: seeds per lease (0 = batch/4); never affects the outcome")
 	flag.Parse()
 
 	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
@@ -147,6 +179,27 @@ func main() {
 	cfg.NumSyncVars = *syncVars
 	cfg.NumDataVars = *dataVars
 	cfg.RecordTrace = *axioms
+
+	switch {
+	case *serve != "":
+		exit(runServe(*serve, *serveWorkers, *storeDir, *reportDir, *leaseTimeout, *drainTimeout))
+	case *workerURL != "":
+		exit(runWorkerMode(*workerURL, *workerSlots))
+	case *daemonURL != "":
+		exit(runDaemonSubmit(*daemonURL, campaignd.Spec{
+			SysCfg:     sysCfg,
+			TestCfg:    cfg,
+			Mode:       *campaignMode,
+			BaseSeed:   *seed,
+			BatchSize:  *batch,
+			SaturateK:  *saturateK,
+			MaxSeeds:   *maxSeeds,
+			Fork:       *campaignFork,
+			Rebuild:    *campaignRebuild,
+			TraceDepth: *traceDepth,
+			LeaseSeeds: *leaseSeeds,
+		}, *jsonOut))
+	}
 
 	if *campaign {
 		mode, err := harness.ParseCampaignMode(*campaignMode)
@@ -277,44 +330,7 @@ func runCampaign(cc harness.CampaignConfig, protocolName, caches string, jsonOut
 	res := harness.RunGPUCampaign(cc)
 
 	if jsonOut {
-		failures := make([]map[string]any, 0, len(res.Failures))
-		for _, sf := range res.Failures {
-			for _, f := range sf.Failures {
-				fj := map[string]any{
-					"seed":    sf.Seed,
-					"kind":    f.Kind.String(),
-					"tick":    f.Tick,
-					"addr":    uint64(f.Addr),
-					"message": f.Message,
-				}
-				if sf.ArtifactPath != "" {
-					fj["artifact"] = sf.ArtifactPath
-				}
-				if sf.ArtifactErr != "" {
-					fj["artifactError"] = sf.ArtifactErr
-				}
-				failures = append(failures, fj)
-			}
-		}
-		out := map[string]any{
-			"passed":            len(res.Failures) == 0,
-			"mode":              res.Mode.String(),
-			"baseSeed":          cc.BaseSeed,
-			"seedsRun":          res.SeedsRun,
-			"batches":           res.Batches,
-			"saturated":         res.Saturated,
-			"seedsToSaturation": res.SeedsToSaturation,
-			"cellsAtSaturation": res.CellsAtSaturation,
-			"newCellsByBatch":   res.NewCellsByBatch,
-			"cornerByBatch":     res.CornerByBatch,
-			"opsIssued":         res.TotalOps,
-			"kernelEvents":      res.TotalEvents,
-			"wallSeconds":       res.Wall.Seconds(),
-			"seedsPerSec":       res.SeedsPerSec(),
-			"l1":                res.UnionL1,
-			"l2":                res.UnionL2,
-			"failures":          failures,
-		}
+		out := harness.CampaignReportJSON(res, cc.BaseSeed)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -393,6 +409,129 @@ func runCampaign(cc harness.CampaignConfig, protocolName, caches string, jsonOut
 		exit(1)
 	}
 	fmt.Println("PASS: no coherence violations detected across the campaign")
+}
+
+// runServe runs the campaign control-plane daemon until SIGINT or
+// SIGTERM, then drains gracefully: in-flight batches finish (bounded
+// by -drain-timeout), unfinished campaigns finalize at their merged
+// prefix with reports written, workers are released with a shutdown
+// status, and only then does the HTTP listener close.
+func runServe(addr string, localWorkers int, storeDir, reportDir string, leaseTimeout, drainTimeout time.Duration) int {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	var store *campaignd.Store
+	if storeDir != "" {
+		var err error
+		if store, err = campaignd.OpenStore(storeDir); err != nil {
+			logf("gputester: %v", err)
+			return 2
+		}
+	}
+	if localWorkers == 0 {
+		localWorkers = runtime.GOMAXPROCS(0)
+	}
+	if localWorkers < 0 {
+		localWorkers = 0
+	}
+	srv := campaignd.NewServer(campaignd.Options{
+		LocalWorkers: localWorkers,
+		Store:        store,
+		LeaseTimeout: leaseTimeout,
+		ReportDir:    reportDir,
+		Logf:         logf,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logf("gputester: %v", err)
+		return 2
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logf("gputester: serve: %v", err)
+		}
+	}()
+	logf("gputester: campaign daemon listening on %s (local workers %d, store %q)",
+		ln.Addr(), localWorkers, storeDir)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	logf("gputester: %s: draining (bound %s)", sig, drainTimeout)
+	// Drain before closing the listener: workers learn about the
+	// shutdown through their lease polls, and in-flight results must
+	// still be accepted.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	srv.Drain(ctx)
+	cancel()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	httpSrv.Shutdown(shutdownCtx)
+	cancel()
+	logf("gputester: daemon stopped")
+	return 0
+}
+
+// runWorkerMode serves leases from a daemon until it shuts down (or
+// SIGINT/SIGTERM, which finishes and posts the in-flight lease first).
+func runWorkerMode(url string, slots int) int {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf("gputester: worker pid %d serving %s (%d slot(s))", os.Getpid(), url, slots)
+	if err := campaignd.RunWorker(ctx, url, campaignd.WorkerOptions{Slots: slots, Logf: logf}); err != nil {
+		logf("gputester: %v", err)
+		return 2
+	}
+	return 0
+}
+
+// runDaemonSubmit submits the campaign spec to a running daemon, waits
+// for completion, and reports like the local -campaign path (exit 1 on
+// failures, matching it).
+func runDaemonSubmit(url string, spec campaignd.Spec, jsonOut bool) int {
+	client := &campaignd.Client{BaseURL: url}
+	ctx := context.Background()
+	id, err := client.Submit(ctx, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gputester: %v\n", err)
+		return 2
+	}
+	if !jsonOut {
+		fmt.Printf("gputester: submitted campaign %s to %s\n", id, url)
+	}
+	report, err := client.WaitDone(ctx, id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gputester: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		fmt.Printf("gputester campaign %s (daemon %s): mode=%v seeds=%v batches=%v saturated=%v aborted=%v\n",
+			id, url, report["mode"], report["seedsRun"], report["batches"], report["saturated"], report["aborted"])
+		fmt.Printf("  new cells %v\n", report["newCellsByBatch"])
+		if fs, ok := report["failures"].([]any); ok && len(fs) > 0 {
+			fmt.Printf("FAIL: %d failure record(s)\n", len(fs))
+			for _, f := range fs {
+				fm, _ := f.(map[string]any)
+				fmt.Printf("  seed %v: %v at tick %v (artifact %v)\n", fm["seed"], fm["kind"], fm["tick"], fm["artifact"])
+			}
+		}
+	}
+	if passed, _ := report["passed"].(bool); !passed {
+		return 1
+	}
+	return 0
 }
 
 // emitJSON writes a machine-readable run report for CI consumption.

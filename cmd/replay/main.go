@@ -6,7 +6,17 @@
 //
 // Usage:
 //
-//	replay [-trace] [-json] [-bisect] [-bisect-every N] artifact.json...
+//	replay [-trace] [-json] [-bisect] [-bisect-every N] [-store DIR]
+//	       artifact.json|sha256:HASH|HASHPREFIX...
+//
+// With -store pointing at a campaign daemon's content-addressed
+// artifact store, arguments may also be object hashes — full
+// "sha256:<hex>", the bare hex, or any unique prefix (≥4 digits), like
+// git abbreviated object names — resolved through the store index. A
+// -bisect run with -store writes the minimized artifact back into the
+// store as a new content-addressed object whose index entry records
+// the source hash as provenance (minimizedFrom), instead of a loose
+// "<artifact>.min.json" file.
 //
 // With -bisect (GPU artifacts only), the replay additionally runs a
 // checkpointed pass that binary-searches the run for its first failing
@@ -40,6 +50,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"drftest/internal/campaignd"
 	"drftest/internal/harness"
 	"drftest/internal/sim"
 )
@@ -47,6 +58,7 @@ import (
 // result is one artifact's outcome, the unit of -json output.
 type result struct {
 	Path       string                  `json:"path"`
+	Hash       string                  `json:"hash,omitempty"`
 	Kind       string                  `json:"kind"`
 	Seed       uint64                  `json:"seed"`
 	Failure    harness.ArtifactFailure `json:"failure"`
@@ -55,6 +67,7 @@ type result struct {
 
 	Bisect              *harness.BisectResult `json:"bisect,omitempty"`
 	MinimizedPath       string                `json:"minimizedPath,omitempty"`
+	MinimizedHash       string                `json:"minimizedHash,omitempty"`
 	MinimizedReproduced bool                  `json:"minimizedReproduced,omitempty"`
 }
 
@@ -63,16 +76,31 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one JSON result object per artifact instead of text")
 	bisect := flag.Bool("bisect", false, "bisect each artifact to its first failing tick and write a minimized companion artifact")
 	bisectEvery := flag.Uint64("bisect-every", 0, "checkpoint cadence in ticks for -bisect (0 = adaptive)")
+	storeDir := flag.String("store", "", "resolve artifact hashes through this content-addressed store (and write minimized artifacts back into it)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: replay [-trace] [-json] [-bisect] [-bisect-every N] artifact.json...")
+		fmt.Fprintln(os.Stderr, "usage: replay [-trace] [-json] [-bisect] [-bisect-every N] [-store DIR] artifact.json|hash...")
 		os.Exit(2)
+	}
+	var store *campaignd.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = campaignd.OpenStore(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	failed, loadFailed := 0, 0
 	var results []result
-	for _, path := range flag.Args() {
-		res, loadErr := replayOne(path, *showTrace && !*asJSON, *bisect, sim.Tick(*bisectEvery), *asJSON)
+	for _, arg := range flag.Args() {
+		path, hash, err := resolveArg(store, arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", arg, err)
+			loadFailed++
+			continue
+		}
+		res, loadErr := replayOne(path, hash, store, *showTrace && !*asJSON, *bisect, sim.Tick(*bisectEvery), *asJSON)
 		if loadErr != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, loadErr)
 			loadFailed++
@@ -105,17 +133,32 @@ func main() {
 	}
 }
 
+// resolveArg maps one command-line argument to an artifact path: an
+// existing file wins; otherwise, with -store, the argument is treated
+// as an object hash or unique hash prefix and resolved through the
+// store index.
+func resolveArg(store *campaignd.Store, arg string) (path, hash string, err error) {
+	if _, statErr := os.Stat(arg); statErr == nil {
+		return arg, "", nil
+	}
+	if store == nil {
+		return "", "", fmt.Errorf("no such file (pass -store to resolve artifact hashes)")
+	}
+	hash, path, err = store.Resolve(arg)
+	return path, hash, err
+}
+
 // replayOne loads, replays, and (optionally) bisects one artifact.
 // A load/validation error returns (nil, err) — the exit-2 class; any
 // divergence after that is reported in result.Error — the exit-1
 // class.
-func replayOne(path string, showTrace, bisect bool, every sim.Tick, quiet bool) (*result, error) {
+func replayOne(path, hash string, store *campaignd.Store, showTrace, bisect bool, every sim.Tick, quiet bool) (*result, error) {
 	art, err := harness.LoadArtifact(path)
 	if err != nil {
 		return nil, err
 	}
 	f := art.FirstFailure()
-	res := &result{Path: path, Kind: art.Kind, Seed: art.Seed, Failure: f}
+	res := &result{Path: path, Hash: hash, Kind: art.Kind, Seed: art.Seed, Failure: f}
 	logf := func(format string, args ...any) {
 		if !quiet {
 			fmt.Printf(format, args...)
@@ -144,10 +187,34 @@ func replayOne(path string, showTrace, bisect bool, every sim.Tick, quiet bool) 
 			bi.FirstFailingTick, bi.ReportedTick, bi.Checkpoints, bi.CheckpointEvery, bi.FineSteps, bi.CoarseTick)
 
 		min := harness.Minimize(art, filepath.Base(path), bi.FirstFailingTick)
-		minPath, err := harness.WriteMinimized(path, min)
-		if err != nil {
-			res.Error = fmt.Sprintf("writing minimized artifact: %v", err)
-			return res, nil
+		var minPath string
+		if store != nil {
+			// Store mode: the minimized artifact becomes a new
+			// content-addressed object whose index entry records the
+			// source object as provenance.
+			data, err := min.Encode()
+			if err != nil {
+				res.Error = fmt.Sprintf("encoding minimized artifact: %v", err)
+				return res, nil
+			}
+			minHash, p, _, err := store.Put(data, campaignd.ObjectMeta{
+				Kind:          min.Kind,
+				Seed:          min.Seed,
+				Tick:          uint64(bi.FirstFailingTick),
+				MinimizedFrom: hash,
+			})
+			if err != nil {
+				res.Error = fmt.Sprintf("storing minimized artifact: %v", err)
+				return res, nil
+			}
+			minPath = p
+			res.MinimizedHash = minHash
+		} else {
+			var err error
+			if minPath, err = harness.WriteMinimized(path, min); err != nil {
+				res.Error = fmt.Sprintf("writing minimized artifact: %v", err)
+				return res, nil
+			}
 		}
 		res.MinimizedPath = minPath
 		minReplayed, err := harness.Replay(min)

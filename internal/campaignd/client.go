@@ -1,0 +1,122 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the submit-side API consumer: `gputester -daemon URL`
+// uses it to submit a campaign to a running daemon and wait for the
+// report (workers use the lease functions in worker.go instead).
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7077".
+	BaseURL string
+	// HTTP overrides the client (nil → a default client; requests that
+	// long-poll carry their own deadline via context).
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// Submit posts a campaign spec and returns the daemon's campaign ID.
+func (c *Client) Submit(ctx context.Context, spec Spec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/campaigns"), bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := doJSON(c.httpClient(), req, &out); err != nil {
+		return "", fmt.Errorf("submit campaign: %w", err)
+	}
+	if out.ID == "" {
+		return "", fmt.Errorf("submit campaign: daemon returned no id")
+	}
+	return out.ID, nil
+}
+
+// Status fetches a campaign's live status summary. waitMs > 0
+// long-polls: the daemon holds the request until the campaign
+// finishes or the wait elapses.
+func (c *Client) Status(ctx context.Context, id string, waitMs int64) (map[string]any, error) {
+	url := c.url("/campaigns/" + id)
+	if waitMs > 0 {
+		url += fmt.Sprintf("?waitMs=%d", waitMs)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := doJSON(c.httpClient(), req, &out); err != nil {
+		return nil, fmt.Errorf("campaign %s status: %w", id, err)
+	}
+	return out, nil
+}
+
+// ResultJSON fetches a finished campaign's report (the same shape
+// `gputester -campaign -json` prints). Errors while the campaign is
+// still running.
+func (c *Client) ResultJSON(ctx context.Context, id string) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/campaigns/"+id+"/result"), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := doJSON(c.httpClient(), req, &out); err != nil {
+		return nil, fmt.Errorf("campaign %s result: %w", id, err)
+	}
+	return out, nil
+}
+
+// WaitDone long-polls status until the campaign finishes, then
+// returns its report. ctx bounds the whole wait.
+func (c *Client) WaitDone(ctx context.Context, id string) (map[string]any, error) {
+	for {
+		st, err := c.Status(ctx, id, 30_000)
+		if err != nil {
+			return nil, err
+		}
+		if done, _ := st["finished"].(bool); done {
+			return c.ResultJSON(ctx, id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Metrics fetches the daemon's /metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metrics"), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := doJSON(c.httpClient(), req, &out); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package campaignd
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+)
+
+// TestMain doubles as the worker-process entry point for the
+// distribution tests: re-executing the test binary with
+// DRFTEST_WORKER_URL set turns it into a real `gputester -worker`
+// equivalent — same RunWorker loop, same wire protocol — so the e2e
+// tests exercise genuine multi-process distribution without needing a
+// separately built binary.
+func TestMain(m *testing.M) {
+	if url := os.Getenv("DRFTEST_WORKER_URL"); url != "" {
+		slots, _ := strconv.Atoi(os.Getenv("DRFTEST_WORKER_SLOTS"))
+		err := RunWorker(context.Background(), url, WorkerOptions{
+			ID:    os.Getenv("DRFTEST_WORKER_ID"),
+			Slots: slots,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startWorkerProcess launches one subprocess worker against baseURL
+// and returns its handle. Callers wait for it after draining the
+// daemon (shutdown status makes it exit 0).
+func startWorkerProcess(t testing.TB, baseURL, id string, slots int) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"DRFTEST_WORKER_URL="+baseURL,
+		"DRFTEST_WORKER_ID="+id,
+		"DRFTEST_WORKER_SLOTS="+strconv.Itoa(slots),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting worker process: %v", err)
+	}
+	return cmd
+}

@@ -1,0 +1,217 @@
+package campaignd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// StoreSchema versions the store index layout.
+const StoreSchema = 1
+
+// ObjectMeta is what the store index records about one artifact
+// object — enough for `replay` to pick an artifact by hash and for
+// humans to see what a hash is without opening it.
+type ObjectMeta struct {
+	// Kind is the artifact kind ("gpu"/"cpu").
+	Kind string `json:"kind"`
+	Seed uint64 `json:"seed"`
+	// Tick is the artifact's first failing tick (its Write name
+	// component).
+	Tick uint64 `json:"tick"`
+	// Campaign is the submitting campaign's ID, when the daemon stored
+	// the object.
+	Campaign string `json:"campaign,omitempty"`
+	// MinimizedFrom is the hash of the artifact this object was
+	// minimized from (`replay -bisect` provenance).
+	MinimizedFrom string `json:"minimizedFrom,omitempty"`
+	Size          int64  `json:"size"`
+}
+
+// storeIndex is the JSON layout of <root>/index.json.
+type storeIndex struct {
+	Schema  int                   `json:"schema"`
+	Objects map[string]ObjectMeta `json:"objects"`
+}
+
+// Store is a content-addressed artifact store: objects live under
+// <root>/objects/<hh>/<sha256>.json (hh = first two hex digits), named
+// by the SHA-256 of their bytes, with <root>/index.json mapping hash →
+// metadata. Identical artifacts deduplicate by construction — the
+// campaign engine's replay artifacts encode deterministically, so the
+// same failing run stored twice (a reissued lease, a re-run campaign)
+// is one object. It replaces the loose `-artifact-dir` files for
+// daemon campaigns.
+type Store struct {
+	root string
+
+	mu  sync.Mutex
+	idx storeIndex
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store %s: %w", dir, err)
+	}
+	s := &Store{root: dir, idx: storeIndex{Schema: StoreSchema, Objects: map[string]ObjectMeta{}}}
+	data, err := os.ReadFile(s.indexPath())
+	switch {
+	case os.IsNotExist(err):
+		return s, nil
+	case err != nil:
+		return nil, fmt.Errorf("store %s: %w", dir, err)
+	}
+	if err := json.Unmarshal(data, &s.idx); err != nil {
+		return nil, fmt.Errorf("store %s: corrupt index: %w", dir, err)
+	}
+	if s.idx.Schema != StoreSchema {
+		return nil, fmt.Errorf("store %s: index schema %d, this build reads %d", dir, s.idx.Schema, StoreSchema)
+	}
+	if s.idx.Objects == nil {
+		s.idx.Objects = map[string]ObjectMeta{}
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) indexPath() string { return filepath.Join(s.root, "index.json") }
+
+// ObjectPath returns the path a (full) hash's object lives at.
+func (s *Store) ObjectPath(hash string) string {
+	return filepath.Join(s.root, "objects", hash[:2], hash+".json")
+}
+
+// HashBytes returns the store's content address for data.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Put stores data under its content address. Created is false when the
+// object already existed (dedup) — the index keeps the first meta. The
+// object file and the index are both written atomically
+// (temp + rename), so a killed daemon never leaves a torn store.
+func (s *Store) Put(data []byte, meta ObjectMeta) (hash, path string, created bool, err error) {
+	hash = HashBytes(data)
+	path = s.ObjectPath(hash)
+	meta.Size = int64(len(data))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.idx.Objects[hash]; ok {
+		return hash, path, false, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return hash, path, false, err
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return hash, path, false, err
+	}
+	s.idx.Objects[hash] = meta
+	if err := s.writeIndexLocked(); err != nil {
+		return hash, path, false, err
+	}
+	return hash, path, true, nil
+}
+
+// writeIndexLocked persists the index; callers hold mu.
+func (s *Store) writeIndexLocked() error {
+	data, err := json.MarshalIndent(&s.idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(s.indexPath(), append(data, '\n'))
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx.Objects)
+}
+
+// Meta returns a (full) hash's index entry.
+func (s *Store) Meta(hash string) (ObjectMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.idx.Objects[hash]
+	return m, ok
+}
+
+// Hashes lists every stored hash in sorted order.
+func (s *Store) Hashes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.idx.Objects))
+	for h := range s.idx.Objects {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve maps a reference — "sha256:<hex>", a full 64-digit hash, a
+// unique hash prefix (≥4 digits), or a path inside the store — to the
+// object's full hash and path. Ambiguous prefixes error with the
+// candidates, like git's abbreviated object names.
+func (s *Store) Resolve(ref string) (hash, path string, err error) {
+	r := strings.TrimPrefix(strings.ToLower(ref), "sha256:")
+	if !isHex(r) || len(r) < 4 || len(r) > 64 {
+		return "", "", fmt.Errorf("store: %q is not a hash or hash prefix (want ≥4 hex digits, optionally sha256:-prefixed)", ref)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(r) == 64 {
+		if _, ok := s.idx.Objects[r]; !ok {
+			return "", "", fmt.Errorf("store: no object %s", r)
+		}
+		return r, s.ObjectPath(r), nil
+	}
+	var matches []string
+	for h := range s.idx.Objects {
+		if strings.HasPrefix(h, r) {
+			matches = append(matches, h)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return "", "", fmt.Errorf("store: no object with prefix %s", r)
+	case 1:
+		return matches[0], s.ObjectPath(matches[0]), nil
+	}
+	sort.Strings(matches)
+	return "", "", fmt.Errorf("store: prefix %s is ambiguous: %s", r, strings.Join(matches, ", "))
+}
+
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,94 @@
+package campaignd
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestStorePutDedupResolve(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := []byte(`{"schema":1,"kind":"gpu"}` + "\n")
+	h1, p1, created, err := st.Put(data, ObjectMeta{Kind: "gpu", Seed: 7, Tick: 42, Campaign: "c001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Error("first Put not marked created")
+	}
+	if got, err := os.ReadFile(p1); err != nil || string(got) != string(data) {
+		t.Fatalf("object file: %q, %v", got, err)
+	}
+
+	// Identical bytes deduplicate; the first metadata wins.
+	h2, _, created, err := st.Put(data, ObjectMeta{Kind: "gpu", Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || h2 != h1 {
+		t.Errorf("duplicate Put: created=%v hash %s vs %s", created, h2, h1)
+	}
+	if st.Len() != 1 {
+		t.Errorf("store has %d objects, want 1", st.Len())
+	}
+	if m, ok := st.Meta(h1); !ok || m.Seed != 7 || m.Tick != 42 || m.Campaign != "c001" {
+		t.Errorf("meta = %+v, %v", m, ok)
+	}
+
+	other := []byte("different artifact\n")
+	h3, _, _, err := st.Put(other, ObjectMeta{Kind: "gpu", Seed: 8, MinimizedFrom: h1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resolution: full hash, sha256: prefix, unique abbreviation.
+	for _, ref := range []string{h1, "sha256:" + h1, h1[:8], strings.ToUpper(h1[:12])} {
+		hash, path, err := st.Resolve(ref)
+		if err != nil || hash != h1 || path != p1 {
+			t.Errorf("Resolve(%q) = %s, %s, %v", ref, hash, path, err)
+		}
+	}
+	if _, _, err := st.Resolve("00"); err == nil {
+		t.Error("too-short prefix resolved")
+	}
+	if _, _, err := st.Resolve("notahash!"); err == nil {
+		t.Error("non-hex ref resolved")
+	}
+	if _, _, err := st.Resolve(strings.Repeat("0", 64)); err == nil {
+		t.Error("absent full hash resolved")
+	}
+	// An ambiguous prefix must error and name the candidates.
+	if common := commonPrefix(h1, h3); len(common) >= 4 {
+		if _, _, err := st.Resolve(common); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+			t.Errorf("ambiguous prefix %q: %v", common, err)
+		}
+	}
+
+	// Reopen: the index round-trips, including provenance.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 2 {
+		t.Errorf("reopened store has %d objects, want 2", st2.Len())
+	}
+	if m, ok := st2.Meta(h3); !ok || m.MinimizedFrom != h1 {
+		t.Errorf("reopened meta = %+v, %v", m, ok)
+	}
+	if got := st2.Hashes(); len(got) != 2 {
+		t.Errorf("Hashes() = %v", got)
+	}
+}
+
+func commonPrefix(a, b string) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	return a[:i]
+}

@@ -1,0 +1,258 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"drftest/internal/harness"
+)
+
+// leaseRunner executes one campaign's leases on a long-lived reusable
+// run context, reconstructing corners from lease level vectors via an
+// interning cache (so consecutive leases under one corner keep the
+// RunContext's pointer-compare fast paths, exactly like the
+// single-process pool).
+type leaseRunner struct {
+	rc      *harness.RunContext
+	corners *harness.CornerCache
+}
+
+// runnerSet caches one leaseRunner per campaign — a worker slot serving
+// interleaved leases from several campaigns keeps a warm context for
+// each.
+type runnerSet struct {
+	runners map[string]*leaseRunner
+}
+
+func newRunnerSet() *runnerSet {
+	return &runnerSet{runners: make(map[string]*leaseRunner)}
+}
+
+// run executes a lease and encodes its result for the merge barrier.
+// spec rides with every lease, so a worker joining mid-campaign builds
+// its context without extra round trips.
+func (rs *runnerSet) run(l *Lease, spec *Spec) (*LeaseResult, error) {
+	if l == nil {
+		return nil, errors.New("campaignd: lease response without lease")
+	}
+	r, ok := rs.runners[l.Campaign]
+	if !ok {
+		if spec == nil {
+			return nil, fmt.Errorf("campaignd: lease for %s without its spec", l.Campaign)
+		}
+		cfg, err := spec.CampaignConfig()
+		if err != nil {
+			return nil, fmt.Errorf("campaignd: spec for %s: %w", l.Campaign, err)
+		}
+		r = &leaseRunner{
+			rc: harness.NewRunContext(cfg),
+			// Anchor the cache at the spec's base configs — the same
+			// anchors the daemon's corner policy uses, so equal level
+			// vectors derive the identical corner.
+			corners: harness.NewCornerCache(cfg.TestCfg, cfg.SysCfg),
+		}
+		rs.runners[l.Campaign] = r
+	}
+	corner := r.corners.Corner(l.Levels)
+	for i := 0; i < l.Count; i++ {
+		r.rc.RunSeed(l.First+uint64(i), corner)
+	}
+	d := r.rc.Delta()
+	res := &LeaseResult{
+		Schema:   WireSchema,
+		Campaign: l.Campaign,
+		Batch:    l.Batch,
+		Lease:    l.Lease,
+		Seeds:    d.Seeds,
+		L1:       SparseFromMatrix(d.L1),
+		L2:       SparseFromMatrix(d.L2),
+		// Copy: ClearDelta reuses the context's failures backing array.
+		Failures: append([]harness.SeedFailure(nil), d.Failures...),
+		Ops:      d.Ops,
+		Events:   d.Events,
+		WallNs:   int64(d.Wall),
+	}
+	r.rc.ClearDelta()
+	return res, nil
+}
+
+// WorkerOptions configures a remote worker process.
+type WorkerOptions struct {
+	// ID names the worker in daemon logs and the active-worker gauge
+	// (empty → "pid-<pid>").
+	ID string
+	// Slots is the number of concurrent lease executors (≤0 → 1). Each
+	// slot keeps its own run contexts.
+	Slots int
+	// PollWait bounds each long poll (≤0 → 30s).
+	PollWait time.Duration
+	// HTTP overrides the client (nil → a client with no overall request
+	// timeout; lease polls are long).
+	HTTP *http.Client
+	// Logf receives worker diagnostics (nil → silent).
+	Logf func(format string, args ...any)
+}
+
+// RunWorker connects a worker process to a daemon at baseURL and
+// serves leases until the daemon answers StatusShutdown or ctx ends.
+// Cancelling ctx is graceful: each slot finishes its in-flight lease
+// and posts the result before returning — seeds already run are never
+// thrown away (and if they were, the lease would expire and reissue;
+// nothing is lost either way).
+func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
+	if opts.ID == "" {
+		opts.ID = fmt.Sprintf("pid-%d", os.Getpid())
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = 1
+	}
+	if opts.PollWait <= 0 {
+		opts.PollWait = 30 * time.Second
+	}
+	if opts.HTTP == nil {
+		opts.HTTP = &http.Client{}
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	errs := make(chan error, opts.Slots)
+	for i := 0; i < opts.Slots; i++ {
+		id := opts.ID
+		if opts.Slots > 1 {
+			id = fmt.Sprintf("%s/%d", opts.ID, i+1)
+		}
+		go func() {
+			errs <- workerSlot(ctx, baseURL, id, opts, logf)
+		}()
+	}
+	var first error
+	for i := 0; i < opts.Slots; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// workerSlot is one lease-serving loop: poll, execute, post, repeat.
+func workerSlot(ctx context.Context, baseURL, id string, opts WorkerOptions, logf func(string, ...any)) error {
+	runners := newRunnerSet()
+	failures := 0
+	for {
+		if ctx.Err() != nil {
+			return nil // graceful: the previous lease's result is posted
+		}
+		resp, err := pollLease(ctx, baseURL, id, opts)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			failures++
+			if failures >= 10 {
+				return fmt.Errorf("campaignd worker %s: daemon unreachable: %w", id, err)
+			}
+			logf("worker %s: poll: %v (retrying)", id, err)
+			select {
+			case <-time.After(time.Second):
+			case <-ctx.Done():
+				return nil
+			}
+			continue
+		}
+		failures = 0
+		switch resp.Status {
+		case StatusShutdown:
+			logf("worker %s: daemon shutting down", id)
+			return nil
+		case StatusWait:
+			continue
+		case StatusLease:
+		default:
+			return fmt.Errorf("campaignd worker %s: unknown poll status %q", id, resp.Status)
+		}
+		res, err := runners.run(resp.Lease, resp.Spec)
+		if err != nil {
+			logf("worker %s: lease %s/%d/%d: %v", id, resp.Lease.Campaign, resp.Lease.Batch, resp.Lease.Lease, err)
+			continue // the daemon reissues it on expiry
+		}
+		res.Worker = id
+		// Post even when ctx was cancelled mid-lease: the work is done,
+		// shipping it beats forcing a reissue.
+		if err := postResult(baseURL, res, opts); err != nil {
+			logf("worker %s: post result %s/%d/%d: %v", id, res.Campaign, res.Batch, res.Lease, err)
+		}
+	}
+}
+
+// pollLease long-polls POST /lease.
+func pollLease(ctx context.Context, baseURL, id string, opts WorkerOptions) (*LeaseResponse, error) {
+	body, err := json.Marshal(LeaseRequest{
+		Schema: WireSchema,
+		Worker: id,
+		WaitMs: opts.PollWait.Milliseconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out LeaseResponse
+	if err := doJSON(opts.HTTP, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// postResult ships a lease result. It deliberately takes no ctx: a
+// graceful shutdown still posts completed work.
+func postResult(baseURL string, res *LeaseResult, opts WorkerOptions) error {
+	body, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/results", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(opts.HTTP, req, nil)
+}
+
+// doJSON executes a request and decodes a JSON response into out,
+// mapping non-2xx responses to errors carrying the server's message.
+func doJSON(client *http.Client, req *http.Request, out any) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

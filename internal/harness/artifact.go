@@ -176,6 +176,18 @@ func cpuFailures(fs []*cputester.Failure) []ArtifactFailure {
 	return out
 }
 
+// Encode serializes the artifact to its canonical on-disk form (the
+// exact bytes Write produces). Because the encoding is deterministic,
+// the bytes double as the artifact's identity in a content-addressed
+// store: the same failing run always hashes to the same object.
+func (a *Artifact) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // Write serializes the artifact into dir (created if needed) under a
 // deterministic name and returns the full path.
 func (a *Artifact) Write(dir string) (string, error) {
@@ -190,14 +202,20 @@ func writeArtifactAs(a *Artifact, dir, name string) (string, error) {
 		return "", err
 	}
 	path := filepath.Join(dir, name)
-	data, err := json.MarshalIndent(a, "", "  ")
+	data, err := a.Encode()
 	if err != nil {
 		return "", err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return "", err
 	}
 	return path, nil
+}
+
+// LoadArtifactBytes parses and validates an artifact from its encoded
+// form (store objects, inline wire artifacts). name labels errors.
+func LoadArtifactBytes(name string, data []byte) (*Artifact, error) {
+	return decodeArtifact(name, data)
 }
 
 // LoadArtifact reads and validates an artifact file.
@@ -206,6 +224,12 @@ func LoadArtifact(path string) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeArtifact(path, data)
+}
+
+// decodeArtifact parses and validates an encoded artifact; path labels
+// errors.
+func decodeArtifact(path string, data []byte) (*Artifact, error) {
 	var a Artifact
 	if err := json.Unmarshal(data, &a); err != nil {
 		return nil, fmt.Errorf("artifact %s: %w", path, err)

@@ -6,35 +6,43 @@
 // matrix saturates — so the harness needs more than fixed-length
 // sweeps. This file provides:
 //
-//   - Reusable run contexts: each worker builds one system and replays
-//     it across hundreds of seeds via the Reset paths (sim.Kernel,
-//     viper.System, coverage.Collector, core.Tester), skipping the
-//     per-run construction cost of caches, pools, address space and
-//     reference memory. A reset run is bit-identical to a fresh-build
-//     run for the same seed (pinned by TestResetRunBitIdentical).
-//   - A saturation-driven scheduler: workers pull seeds from an
-//     unbounded sequence via an atomic ticket counter and accumulate
-//     per-worker coverage deltas; after every batch the merger unions
-//     the deltas into the campaign matrices and counts newly activated
-//     cells. K consecutive batches with zero new transitions stop the
-//     campaign — run-until-plateau, the paper's actual stopping rule —
-//     bounded by a hard seed cap.
+//   - Reusable run contexts (RunContext): each worker builds one system
+//     and replays it across hundreds of seeds via the Reset paths
+//     (sim.Kernel, viper.System, coverage.Collector, core.Tester),
+//     skipping the per-run construction cost of caches, pools, address
+//     space and reference memory. A reset run is bit-identical to a
+//     fresh-build run for the same seed (pinned by
+//     TestResetRunBitIdentical).
+//   - A saturation-driven scheduler split into three layers. The *spec*
+//     layer is CampaignConfig: a pure description of the campaign. The
+//     *lease* layer is CampaignState.Plan: the next batch of seeds and
+//     the configuration corner it must run under, which any executor —
+//     the in-process worker pool below, or the control-plane daemon's
+//     local and remote workers (internal/campaignd) — can shard and
+//     run. The *merge* layer is CampaignState.Apply: coverage deltas
+//     union into the campaign matrices at the batch barrier, newly
+//     activated cells are counted and attributed, the corner policy
+//     observes the yield, and the K-zero-batch stopping rule advances.
 //   - Scalable merging: the run path touches only worker-local
 //     matrices (the collector's direct counter tables); union merging
 //     happens at batch boundaries, outside the workers, so there is no
-//     shared-map or lock contention while seeds execute.
+//     shared-map or lock contention while seeds execute. Executors
+//     hand whole-batch deltas to Apply, so merge cost amortizes per
+//     batch — the property that lets the distributed daemon stream one
+//     compact result per lease instead of one per seed.
 //
 // Determinism: the campaign's outcome — seeds run, batch count, union
 // matrices, failure set — is a pure function of (Mode, BaseSeed,
 // BatchSize, SaturateK, MaxSeeds) and is independent of the worker
-// count. Seeds are dealt from one counter so every seed in [BaseSeed,
-// BaseSeed+SeedsRun) runs exactly once; matrix union is addition
-// (commutative), the newly-activated-cell count per batch is a set
-// property of the batch, and failures are keyed and sorted by seed.
-// The swarm/directed corner policy (directed.go) only extends the
-// argument: corners are chosen at batch boundaries from (BaseSeed,
-// batch, per-batch new-cell history), all of which are themselves
-// worker-count independent.
+// count *and* of how batches are sharded into deltas. Seeds are dealt
+// from one counter so every seed in [BaseSeed, BaseSeed+SeedsRun) runs
+// exactly once; matrix union is addition (commutative), the
+// newly-activated-cell count per batch is a set property of the batch
+// (independent of the order deltas merge in), and failures are keyed
+// and sorted by seed. The swarm/directed corner policy (directed.go)
+// only extends the argument: corners are chosen at batch boundaries
+// from (BaseSeed, batch, per-batch new-cell history), all of which are
+// themselves worker-count independent.
 package harness
 
 import (
@@ -58,28 +66,28 @@ const DefaultCampaignMaxSeeds = 1024
 type CampaignConfig struct {
 	// SysCfg and TestCfg shape every run; TestCfg.Seed is ignored —
 	// run i uses seed BaseSeed + i.
-	SysCfg  viper.Config
-	TestCfg core.Config
+	SysCfg  viper.Config `json:"sysCfg"`
+	TestCfg core.Config  `json:"testCfg"`
 	// BaseSeed is the first seed of the campaign's seed sequence.
-	BaseSeed uint64
+	BaseSeed uint64 `json:"baseSeed"`
 	// Workers sizes the worker pool (≤0 → GOMAXPROCS). The campaign
 	// outcome does not depend on it, only wall clock does.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// BatchSize is the number of seeds between coverage merges (≤0 →
 	// 16). The saturation rule advances in whole batches, so smaller
 	// batches stop closer to the true plateau but merge more often.
-	BatchSize int
+	BatchSize int `json:"batchSize,omitempty"`
 	// SaturateK stops the campaign after this many consecutive batches
 	// that activate zero new transition cells. Zero disables the
 	// plateau rule: the campaign runs exactly MaxSeeds seeds.
-	SaturateK int
+	SaturateK int `json:"saturateK,omitempty"`
 	// MaxSeeds is the hard cap on seeds run (≤0 →
 	// DefaultCampaignMaxSeeds).
-	MaxSeeds int
+	MaxSeeds int `json:"maxSeeds,omitempty"`
 	// Rebuild disables run-context reuse: every seed constructs a
 	// fresh system. This is the pre-campaign baseline mode, kept for
 	// benchmarking the reset path against (BenchmarkCampaign).
-	Rebuild bool
+	Rebuild bool `json:"rebuild,omitempty"`
 	// Fork makes each worker fork per-seed run contexts from a warm
 	// system snapshot (core.Tester.Fork) instead of Reset-scanning the
 	// system: the snapshot arms copy-on-write journals over the caches
@@ -91,19 +99,25 @@ type CampaignConfig struct {
 	// is unchanged — a forked run is bit-identical to a reset run
 	// (pinned by TestForkRunBitIdentical and
 	// TestForkCampaignMatchesReset).
-	Fork bool
+	Fork bool `json:"fork,omitempty"`
 	// Mode selects the per-batch configuration policy: uniform (every
 	// batch at the base config), swarm (a random lattice corner per
 	// batch) or directed (corner sampling biased by cold-cell yield).
 	// See directed.go.
-	Mode CampaignMode
+	Mode CampaignMode `json:"mode,omitempty"`
 	// ArtifactDir, when non-empty, writes one replay artifact per
 	// failing seed into the directory (named by seed, the PR 1
 	// reproduce-every-failure guarantee extended to campaigns);
 	// TraceDepth sizes the embedded execution trace (≤0 →
 	// DefaultTraceCapacity).
-	ArtifactDir string
-	TraceDepth  int
+	ArtifactDir string `json:"artifactDir,omitempty"`
+	TraceDepth  int    `json:"traceDepth,omitempty"`
+	// CaptureArtifacts embeds each failing seed's replay artifact,
+	// JSON-encoded, in SeedFailure.Artifact instead of (or in addition
+	// to) writing loose files. The control-plane daemon sets it so
+	// remote workers ship artifacts inline with their batch results and
+	// the daemon persists them into its content-addressed store.
+	CaptureArtifacts bool `json:"captureArtifacts,omitempty"`
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -121,13 +135,19 @@ func (c CampaignConfig) withDefaults() CampaignConfig {
 
 // SeedFailure records the failures one seed produced.
 type SeedFailure struct {
-	Seed     uint64
-	Failures []*core.Failure
+	Seed     uint64          `json:"seed"`
+	Failures []*core.Failure `json:"failures"`
 	// ArtifactPath is the replay artifact written for this seed
-	// (CampaignConfig.ArtifactDir set); ArtifactErr records a write
-	// failure instead. Both empty when artifacts were not requested.
-	ArtifactPath string
-	ArtifactErr  string
+	// (CampaignConfig.ArtifactDir set, or the daemon's store path);
+	// ArtifactErr records a write failure instead. Both empty when
+	// artifacts were not requested.
+	ArtifactPath string `json:"artifactPath,omitempty"`
+	ArtifactErr  string `json:"artifactError,omitempty"`
+	// Artifact is the JSON-encoded replay artifact
+	// (CampaignConfig.CaptureArtifacts set): the wire form a remote
+	// worker ships to the daemon, which persists it into the artifact
+	// store and replaces it with ArtifactPath.
+	Artifact []byte `json:"artifact,omitempty"`
 }
 
 // CampaignResult is the outcome of a saturation campaign.
@@ -188,10 +208,247 @@ func (r *CampaignResult) SeedsPerSec() float64 {
 	return float64(r.SeedsRun) / r.Wall.Seconds()
 }
 
-// campaignWorker owns one long-lived run context. All fields are
-// touched only by the goroutine running the worker during a batch, and
-// only by the merger between batches.
-type campaignWorker struct {
+// BatchPlan is one batch the campaign wants executed: Count seeds
+// starting at First, all under Corner. It is the lease layer's unit of
+// work — an executor may run it on one context, shard it across a
+// worker pool, or slice it into sub-leases for remote worker
+// processes; the outcome is the same as long as every seed runs
+// exactly once and the deltas all reach Apply.
+type BatchPlan struct {
+	// Index is the batch's position in the campaign (0-based).
+	Index int
+	// First is the batch's first seed; seeds are First..First+Count-1.
+	First uint64
+	Count int
+	// Corner is the configuration corner every seed of the batch runs
+	// under (the base corner in uniform mode).
+	Corner *Corner
+}
+
+// BatchDelta is the merge-ready outcome of some subset of a batch's
+// seeds: the coverage those seeds added (worker-local matrices),
+// their failures, and their work counters. Matrices may be nil when a
+// delta carries only failures/counters.
+type BatchDelta struct {
+	L1, L2   *coverage.Matrix
+	Failures []SeedFailure
+	// Seeds is the number of seeds the delta covers — bookkeeping for
+	// executors that shard batches; Apply trusts the plan's Count.
+	Seeds  int
+	Ops    uint64
+	Events uint64
+	Wall   time.Duration
+}
+
+// CampaignState is the spec+merge layer of the campaign scheduler: it
+// owns the corner policy, the union matrices, the saturation rule and
+// every per-batch record, while delegating seed execution to whoever
+// calls it. The single-process RunGPUCampaign and the control-plane
+// daemon (internal/campaignd) drive the same state machine, which is
+// why a distributed campaign's outcome is byte-identical to the local
+// one: both are the same sequence of Plan/Apply transitions.
+//
+// The protocol is strictly alternating: Plan returns the current
+// batch (idempotently — calling it twice plans the same batch), the
+// caller executes those seeds however it likes, and Apply merges the
+// batch's deltas at the barrier and advances. CampaignState is not
+// goroutine-safe; callers serialize access (the daemon holds its
+// campaign lock across Apply).
+type CampaignState struct {
+	cfg    CampaignConfig
+	policy *cornerPolicy
+	out    *CampaignResult
+
+	l2Name        string
+	impossible    coverage.CellSet
+	tcpImpossible coverage.CellSet
+
+	start       time.Time
+	zeroBatches int
+	done        bool
+	finalized   bool
+}
+
+// NewCampaignState initializes the campaign state machine for cfg
+// (defaults applied as in RunGPUCampaign).
+func NewCampaignState(cfg CampaignConfig) *CampaignState {
+	cfg = cfg.withDefaults()
+	l2Spec, l2Name, impossible := campaignSpecs(cfg.SysCfg)
+	return &CampaignState{
+		cfg:    cfg,
+		policy: newCornerPolicy(cfg),
+		out: &CampaignResult{
+			Mode:    cfg.Mode,
+			UnionL1: coverage.NewMatrix(viper.NewTCPSpec()),
+			UnionL2: coverage.NewMatrix(l2Spec),
+		},
+		l2Name:        l2Name,
+		impossible:    impossible,
+		tcpImpossible: TCPImpossible(),
+		start:         time.Now(),
+	}
+}
+
+// Config returns the campaign's configuration with defaults applied.
+func (s *CampaignState) Config() CampaignConfig { return s.cfg }
+
+// Done reports whether the campaign has ended (saturation or seed
+// cap). Once true, Plan returns ok=false and Result may be taken.
+func (s *CampaignState) Done() bool { return s.done }
+
+// Plan returns the batch the campaign wants executed next. It is
+// idempotent — the batch advances only when Apply merges its deltas —
+// and returns ok=false once the campaign is done. The corner is a pure
+// function of (BaseSeed, batch index, union history), so re-planning
+// after a crash or lease reissue yields the identical batch.
+func (s *CampaignState) Plan() (plan BatchPlan, ok bool) {
+	if s.done {
+		return BatchPlan{}, false
+	}
+	count := s.cfg.BatchSize
+	if rest := s.cfg.MaxSeeds - s.out.SeedsRun; count > rest {
+		count = rest
+	}
+	return BatchPlan{
+		Index:  s.out.Batches,
+		First:  s.cfg.BaseSeed + uint64(s.out.SeedsRun),
+		Count:  count,
+		Corner: s.policy.corner(s.out.Batches),
+	}, true
+}
+
+// Apply merges the current batch's deltas at the batch barrier:
+// coverage unions accumulate, newly activated cells are counted and
+// attributed to the batch's corner, the policy observes the yield, and
+// the saturation rule advances. The deltas must jointly cover exactly
+// the current plan's seeds; their order is irrelevant (union is
+// addition, the new-cell count is a set property of the batch, and the
+// attribution record is sorted).
+func (s *CampaignState) Apply(deltas []BatchDelta) {
+	plan, ok := s.Plan()
+	if !ok {
+		panic("harness: Apply on a finished campaign")
+	}
+	out := s.out
+	newCells := 0
+	var activated []string
+	onL1 := func(st, ev int) {
+		activated = append(activated, "GPU-L1 "+out.UnionL1.CellName(coverage.Cell{State: st, Event: ev}))
+	}
+	onL2 := func(st, ev int) {
+		activated = append(activated, s.l2Name+" "+out.UnionL2.CellName(coverage.Cell{State: st, Event: ev}))
+	}
+	for _, d := range deltas {
+		if d.L1 != nil {
+			newCells += out.UnionL1.MergeCountNewFunc(d.L1, onL1)
+		}
+		if d.L2 != nil {
+			newCells += out.UnionL2.MergeCountNewFunc(d.L2, onL2)
+		}
+		out.Failures = append(out.Failures, d.Failures...)
+		out.TotalOps += d.Ops
+		out.TotalEvents += d.Events
+		out.TotalWall += d.Wall
+	}
+	// Delta merge order is irrelevant to the counts; sort the
+	// attribution list so the record reads the same regardless of which
+	// worker (or lease) ran the activating seed.
+	sort.Strings(activated)
+	s.policy.observe(plan.Corner, newCells)
+	out.SeedsRun += plan.Count
+	out.Batches++
+	out.NewCellsByBatch = append(out.NewCellsByBatch, newCells)
+	out.NewCellNamesByBatch = append(out.NewCellNamesByBatch, activated)
+	out.CornerByBatch = append(out.CornerByBatch, plan.Corner.Name())
+	out.ColdByBatch = append(out.ColdByBatch,
+		len(out.UnionL1.ColdCells(s.tcpImpossible))+len(out.UnionL2.ColdCells(s.impossible)))
+	if newCells > 0 {
+		out.SeedsToSaturation = out.SeedsRun
+	}
+	if newCells == 0 {
+		s.zeroBatches++
+	} else {
+		s.zeroBatches = 0
+	}
+	if s.cfg.SaturateK > 0 && s.zeroBatches >= s.cfg.SaturateK {
+		out.Saturated = true
+		s.done = true
+	}
+	if out.SeedsRun >= s.cfg.MaxSeeds {
+		s.done = true
+	}
+}
+
+// Progress is a cheap point-in-time view of a running campaign, the
+// payload of the daemon's live status endpoint.
+type Progress struct {
+	SeedsRun        int    `json:"seedsRun"`
+	Batches         int    `json:"batches"`
+	NewCellsByBatch []int  `json:"newCellsByBatch"`
+	ActiveCells     int    `json:"activeCells"`
+	ColdCells       int    `json:"coldCells"`
+	Failures        int    `json:"failures"`
+	Saturated       bool   `json:"saturated"`
+	Done            bool   `json:"done"`
+	Corner          string `json:"corner,omitempty"`
+}
+
+// Progress snapshots the campaign's live counters. ActiveCells is the
+// sum of per-batch newly-activated cells — exactly the active union
+// cell count, since a cell is counted once when it first goes nonzero.
+func (s *CampaignState) Progress() Progress {
+	p := Progress{
+		SeedsRun:        s.out.SeedsRun,
+		Batches:         s.out.Batches,
+		NewCellsByBatch: append([]int(nil), s.out.NewCellsByBatch...),
+		Failures:        len(s.out.Failures),
+		Saturated:       s.out.Saturated,
+		Done:            s.done,
+	}
+	for _, n := range s.out.NewCellsByBatch {
+		p.ActiveCells += n
+	}
+	if n := len(s.out.ColdByBatch); n > 0 {
+		p.ColdCells = s.out.ColdByBatch[n-1]
+	}
+	if plan, ok := s.Plan(); ok {
+		p.Corner = plan.Corner.Name()
+	}
+	return p
+}
+
+// Abort ends the campaign early (daemon drain): no further batches are
+// planned, and Result finalizes whatever whole batches merged. The
+// merged prefix is still deterministic — it is the same Plan/Apply
+// sequence any run of the spec would produce, just truncated.
+func (s *CampaignState) Abort() { s.done = true }
+
+// Result finalizes and returns the campaign outcome: failures sorted
+// by seed, union summaries computed, wall clock closed. Idempotent;
+// callable once Done (or after Abort).
+func (s *CampaignState) Result() *CampaignResult {
+	if !s.finalized {
+		out := s.out
+		// Failing seeds were appended in delta order; seed order is the
+		// deterministic presentation (seeds are unique, so the sort is a
+		// total order).
+		sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Seed < out.Failures[j].Seed })
+		out.UnionL1Sum = out.UnionL1.Summarize(s.tcpImpossible)
+		out.UnionL2Sum = out.UnionL2.Summarize(s.impossible)
+		out.CellsAtSaturation = out.UnionL1Sum.Active + out.UnionL2Sum.Active
+		out.Wall = time.Since(s.start)
+		s.finalized = true
+	}
+	return s.out
+}
+
+// RunContext owns one long-lived reusable run context: a built system,
+// its tester, and the worker-local coverage/failure accumulators. All
+// fields are touched only by the goroutine running seeds during a
+// batch, and only by the merger between batches. It is the execution
+// half the lease layer hands seeds to — the in-process pool below and
+// the daemon's local and remote workers all run seeds through it.
+type RunContext struct {
 	cfg    CampaignConfig
 	l2Name string
 
@@ -211,22 +468,36 @@ type campaignWorker struct {
 	snap       *viper.SystemSnapshot
 	snapCorner *Corner
 
-	// dL1/dL2 accumulate the worker's coverage since its last publish;
-	// failures, ops, events and wall likewise. The collector inside b
-	// is reset before every run, so its matrices hold exactly one
-	// run's hits, merged here on completion.
+	// dL1/dL2 accumulate the context's coverage since its last delta
+	// handoff; failures, seeds, ops, events and wall likewise. The
+	// collector inside b is reset before every run, so its matrices
+	// hold exactly one run's hits, merged here on completion.
 	dL1, dL2 *coverage.Matrix
 	failures []SeedFailure
+	seeds    int
 	ops      uint64
 	events   uint64
 	wall     time.Duration
+}
+
+// NewRunContext creates a reusable run context for cfg. The context is
+// built lazily on the first RunSeed, so creating a pool is cheap.
+func NewRunContext(cfg CampaignConfig) *RunContext {
+	cfg = cfg.withDefaults()
+	l2Spec, l2Name, _ := campaignSpecs(cfg.SysCfg)
+	return &RunContext{
+		cfg:    cfg,
+		l2Name: l2Name,
+		dL1:    coverage.NewMatrix(viper.NewTCPSpec()),
+		dL2:    coverage.NewMatrix(l2Spec),
+	}
 }
 
 // forkEligible reports whether seed runs under corner c can use the
 // warm-snapshot fork path: Fork mode on, a snapshot taken for this
 // exact corner, the context currently configured for it, and no
 // per-seed jitter reseeding (which must route through SetRespJitter).
-func (w *campaignWorker) forkEligible(c *Corner) bool {
+func (w *RunContext) forkEligible(c *Corner) bool {
 	return w.cfg.Fork && !c.JitterPerSeed &&
 		w.snap != nil && w.snapCorner == c && w.corner == c
 }
@@ -237,7 +508,7 @@ func (w *campaignWorker) forkEligible(c *Corner) bool {
 // journaling overhead into — which is why it is only taken in Fork
 // mode — and a corner change replaces it, so swarm batches fork
 // within their own corner.
-func (w *campaignWorker) takeForkSnapshot(c *Corner) {
+func (w *RunContext) takeForkSnapshot(c *Corner) {
 	if !w.cfg.Fork || w.cfg.Rebuild || c.JitterPerSeed || (w.snap != nil && w.snapCorner == c) {
 		return
 	}
@@ -246,7 +517,7 @@ func (w *campaignWorker) takeForkSnapshot(c *Corner) {
 }
 
 // cornerSysCfg is the system config corner c runs under for seed.
-func (w *campaignWorker) cornerSysCfg(c *Corner, seed uint64) viper.Config {
+func (w *RunContext) cornerSysCfg(c *Corner, seed uint64) viper.Config {
 	sc := w.cfg.SysCfg
 	sc.RespJitter = c.RespJitter
 	if c.JitterPerSeed {
@@ -255,10 +526,18 @@ func (w *campaignWorker) cornerSysCfg(c *Corner, seed uint64) viper.Config {
 	return sc
 }
 
-func (w *campaignWorker) runSeed(seed uint64, c *Corner) {
+// wantArtifacts reports whether failing seeds must capture a replay
+// artifact (loose file, inline bytes, or both).
+func (w *RunContext) wantArtifacts() bool {
+	return w.cfg.ArtifactDir != "" || w.cfg.CaptureArtifacts
+}
+
+// RunSeed executes one seed under corner c, accumulating its coverage,
+// failures and counters into the context's pending delta.
+func (w *RunContext) RunSeed(seed uint64, c *Corner) {
 	if w.b == nil || w.cfg.Rebuild {
 		w.b = BuildGPU(w.cornerSysCfg(c, seed))
-		if w.cfg.ArtifactDir != "" {
+		if w.wantArtifacts() {
 			w.ring = EnableTrace(w.b.K, w.cfg.TraceDepth)
 		}
 		tc := c.TestCfg
@@ -304,45 +583,55 @@ func (w *campaignWorker) runSeed(seed uint64, c *Corner) {
 	w.dL2.Merge(w.b.Col.Matrix(w.l2Name))
 	if len(rep.Failures) > 0 {
 		sf := SeedFailure{Seed: seed, Failures: rep.Failures}
-		if w.cfg.ArtifactDir != "" {
+		if w.wantArtifacts() {
 			tc := c.TestCfg
 			tc.Seed = seed
 			art := NewGPUArtifact(w.b.Sys.Cfg, tc, w.tester, rep, w.ring)
-			if path, err := art.Write(w.cfg.ArtifactDir); err != nil {
-				sf.ArtifactErr = err.Error()
-			} else {
-				sf.ArtifactPath = path
+			if w.cfg.CaptureArtifacts {
+				if data, err := art.Encode(); err != nil {
+					sf.ArtifactErr = err.Error()
+				} else {
+					sf.Artifact = data
+				}
+			}
+			if w.cfg.ArtifactDir != "" {
+				if path, err := art.Write(w.cfg.ArtifactDir); err != nil {
+					sf.ArtifactErr = err.Error()
+				} else {
+					sf.ArtifactPath = path
+				}
 			}
 		}
 		w.failures = append(w.failures, sf)
 	}
+	w.seeds++
 	w.ops += rep.OpsIssued
 	w.events += rep.EventsExecuted
 	w.wall += rep.WallTime
 }
 
-// publish merges the worker's accumulated delta into the campaign
-// result, returning the number of newly activated union cells, and
-// clears the delta for the next batch. onNew (optional) observes each
-// newly activated cell — the merge-time attribution hook directed mode
-// uses to credit the batch's corner.
-func (w *campaignWorker) publish(out *CampaignResult, onNew func(machine string, state, event int)) int {
-	onL1, onL2 := (func(int, int))(nil), (func(int, int))(nil)
-	if onNew != nil {
-		onL1 = func(s, e int) { onNew("GPU-L1", s, e) }
-		onL2 = func(s, e int) { onNew(w.l2Name, s, e) }
+// Delta returns the context's accumulated coverage/failure delta. The
+// matrices are *references* into the context — merge them (Apply, or a
+// wire encoding) before the next RunSeed, then ClearDelta.
+func (w *RunContext) Delta() BatchDelta {
+	return BatchDelta{
+		L1:       w.dL1,
+		L2:       w.dL2,
+		Failures: w.failures,
+		Seeds:    w.seeds,
+		Ops:      w.ops,
+		Events:   w.events,
+		Wall:     w.wall,
 	}
-	n := out.UnionL1.MergeCountNewFunc(w.dL1, onL1)
-	n += out.UnionL2.MergeCountNewFunc(w.dL2, onL2)
+}
+
+// ClearDelta zeroes the accumulators for the next batch.
+func (w *RunContext) ClearDelta() {
 	w.dL1.Zero()
 	w.dL2.Zero()
-	out.Failures = append(out.Failures, w.failures...)
 	w.failures = w.failures[:0]
-	out.TotalOps += w.ops
-	out.TotalEvents += w.events
-	out.TotalWall += w.wall
+	w.seeds = 0
 	w.ops, w.events, w.wall = 0, 0, 0
-	return n
 }
 
 // campaignSpecs resolves the L2 spec, collector matrix name and
@@ -354,6 +643,15 @@ func campaignSpecs(sysCfg viper.Config) (l2Spec *protocol.Spec, l2Name string, i
 	return viper.NewTCCSpec(), "GPU-L2", TCCImpossibleGPUOnly()
 }
 
+// CampaignSpecs resolves the protocol specs and collector matrix name
+// a campaign over sysCfg records coverage against — the shape a
+// distributed executor needs to decode sparse coverage deltas into
+// mergeable matrices.
+func CampaignSpecs(sysCfg viper.Config) (l1Spec, l2Spec *protocol.Spec, l2Name string) {
+	l2, name, _ := campaignSpecs(sysCfg)
+	return viper.NewTCPSpec(), l2, name
+}
+
 // RunGPUCampaign runs a coverage-saturation campaign over GPU-only
 // systems: batches of seeds execute on the worker pool's reusable run
 // contexts until SaturateK consecutive batches add no new transition
@@ -361,35 +659,18 @@ func campaignSpecs(sysCfg viper.Config) (l2Spec *protocol.Spec, l2Name string, i
 // the determinism argument.
 func RunGPUCampaign(cfg CampaignConfig) *CampaignResult {
 	cfg = cfg.withDefaults()
-	start := time.Now()
-	l2Spec, l2Name, impossible := campaignSpecs(cfg.SysCfg)
-	tcpImpossible := TCPImpossible()
-	policy := newCornerPolicy(cfg)
-
-	out := &CampaignResult{
-		Mode:    cfg.Mode,
-		UnionL1: coverage.NewMatrix(viper.NewTCPSpec()),
-		UnionL2: coverage.NewMatrix(l2Spec),
-	}
-	workers := make([]*campaignWorker, cfg.Workers)
+	st := NewCampaignState(cfg)
+	workers := make([]*RunContext, cfg.Workers)
 	for i := range workers {
-		workers[i] = &campaignWorker{
-			cfg:    cfg,
-			l2Name: l2Name,
-			dL1:    coverage.NewMatrix(viper.NewTCPSpec()),
-			dL2:    coverage.NewMatrix(l2Spec),
-		}
+		workers[i] = NewRunContext(cfg)
 	}
 
-	zeroBatches := 0
-	for out.SeedsRun < cfg.MaxSeeds {
-		batch := cfg.BatchSize
-		if rest := cfg.MaxSeeds - out.SeedsRun; batch > rest {
-			batch = rest
+	deltas := make([]BatchDelta, len(workers))
+	for {
+		plan, ok := st.Plan()
+		if !ok {
+			break
 		}
-		first := cfg.BaseSeed + uint64(out.SeedsRun)
-		corner := policy.corner(out.Batches)
-
 		// Workers claim seeds within the batch from an atomic ticket
 		// counter; the barrier below is the merge point. Which worker
 		// runs which seed is racy, but nothing observable depends on it.
@@ -397,65 +678,26 @@ func RunGPUCampaign(cfg CampaignConfig) *CampaignResult {
 		var wg sync.WaitGroup
 		for _, w := range workers {
 			wg.Add(1)
-			go func(w *campaignWorker) {
+			go func(w *RunContext) {
 				defer wg.Done()
 				for {
 					i := next.Add(1) - 1
-					if i >= int64(batch) {
+					if i >= int64(plan.Count) {
 						return
 					}
-					w.runSeed(first+uint64(i), corner)
+					w.RunSeed(plan.First+uint64(i), plan.Corner)
 				}
 			}(w)
 		}
 		wg.Wait()
 
-		newCells := 0
-		var activated []string
-		onNew := func(machine string, state, event int) {
-			m := out.UnionL1
-			if machine != "GPU-L1" {
-				m = out.UnionL2
-			}
-			activated = append(activated, machine+" "+m.CellName(coverage.Cell{State: state, Event: event}))
+		for i, w := range workers {
+			deltas[i] = w.Delta()
 		}
+		st.Apply(deltas)
 		for _, w := range workers {
-			newCells += w.publish(out, onNew)
-		}
-		// Worker merge order is fixed (the workers slice), so the
-		// attribution list is deterministic; sort it anyway so the
-		// record reads the same regardless of which worker ran the
-		// activating seed.
-		sort.Strings(activated)
-		policy.observe(corner, newCells)
-		out.SeedsRun += batch
-		out.Batches++
-		out.NewCellsByBatch = append(out.NewCellsByBatch, newCells)
-		out.NewCellNamesByBatch = append(out.NewCellNamesByBatch, activated)
-		out.CornerByBatch = append(out.CornerByBatch, corner.Name())
-		out.ColdByBatch = append(out.ColdByBatch,
-			len(out.UnionL1.ColdCells(tcpImpossible))+len(out.UnionL2.ColdCells(impossible)))
-		if newCells > 0 {
-			out.SeedsToSaturation = out.SeedsRun
-		}
-		if newCells == 0 {
-			zeroBatches++
-		} else {
-			zeroBatches = 0
-		}
-		if cfg.SaturateK > 0 && zeroBatches >= cfg.SaturateK {
-			out.Saturated = true
-			break
+			w.ClearDelta()
 		}
 	}
-
-	// Failing seeds were appended in worker order; seed order is the
-	// deterministic presentation (seeds are unique, so the sort is a
-	// total order).
-	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Seed < out.Failures[j].Seed })
-	out.UnionL1Sum = out.UnionL1.Summarize(tcpImpossible)
-	out.UnionL2Sum = out.UnionL2.Summarize(impossible)
-	out.CellsAtSaturation = out.UnionL1Sum.Active + out.UnionL2Sum.Active
-	out.Wall = time.Since(start)
-	return out
+	return st.Result()
 }

@@ -99,6 +99,16 @@ const (
 
 const levelsPerAxis = 3
 
+// NumCornerAxes is the lattice's axis count; CornerLevels is the wire
+// form of a corner — the per-axis level vector a control-plane lease
+// carries, from which any worker process reconstructs the identical
+// corner (makeCorner is a pure function of the campaign base configs
+// and the levels).
+const NumCornerAxes = numAxes
+
+// CornerLevels is a corner's per-axis level vector.
+type CornerLevels = [NumCornerAxes]int
+
 var axisNames = [numAxes]string{"atomics", "locality", "scale", "jitter"}
 
 var levelNames = [numAxes][levelsPerAxis]string{
@@ -210,16 +220,46 @@ const (
 // corner's cold-cell yield dries up.
 const cornerDecay = 0.5
 
+// CornerCache interns corners per (testCfg, sysCfg) base, so equal
+// level vectors always yield the same *Corner and run contexts can
+// pointer-compare to skip the reconfigure path when consecutive
+// batches share a corner. Worker processes keep one per campaign to
+// reconstruct corners from lease level vectors.
+type CornerCache struct {
+	testCfg core.Config
+	sysCfg  viper.Config
+	corners map[CornerLevels]*Corner
+}
+
+// NewCornerCache creates an interning cache anchored at the campaign's
+// base configurations.
+func NewCornerCache(testCfg core.Config, sysCfg viper.Config) *CornerCache {
+	return &CornerCache{
+		testCfg: testCfg,
+		sysCfg:  sysCfg,
+		corners: make(map[CornerLevels]*Corner),
+	}
+}
+
+// Corner returns the interned corner for a level vector, deriving it
+// on first use.
+func (cc *CornerCache) Corner(levels CornerLevels) *Corner {
+	if c, ok := cc.corners[levels]; ok {
+		return c
+	}
+	c := makeCorner(cc.testCfg, cc.sysCfg, levels)
+	cc.corners[levels] = c
+	return c
+}
+
 // cornerPolicy deals corners to batches and, in directed mode, learns
 // from the per-batch cold-cell yield. All methods are called only
 // between batches, from the campaign's merge loop.
 type cornerPolicy struct {
 	mode     CampaignMode
 	baseSeed uint64
-	testCfg  core.Config
-	sysCfg   viper.Config
+	cache    *CornerCache
 
-	corners map[[numAxes]int]*Corner
 	// scores[axis][level]: exponentially decayed count of cold cells
 	// activated by batches that ran with that level.
 	scores [numAxes][levelsPerAxis]float64
@@ -234,21 +274,13 @@ func newCornerPolicy(cfg CampaignConfig) *cornerPolicy {
 	return &cornerPolicy{
 		mode:     cfg.Mode,
 		baseSeed: cfg.BaseSeed,
-		testCfg:  cfg.TestCfg,
-		sysCfg:   cfg.SysCfg,
-		corners:  make(map[[numAxes]int]*Corner),
+		cache:    NewCornerCache(cfg.TestCfg, cfg.SysCfg),
 	}
 }
 
-// get interns the corner for a level vector, so equal levels always
-// yield the same *Corner and workers can pointer-compare.
+// get interns the corner for a level vector via the cache.
 func (p *cornerPolicy) get(levels [numAxes]int) *Corner {
-	if c, ok := p.corners[levels]; ok {
-		return c
-	}
-	c := makeCorner(p.testCfg, p.sysCfg, levels)
-	p.corners[levels] = c
-	return c
+	return p.cache.Corner(levels)
 }
 
 // corner returns the corner batch b runs with. Uniform mode always

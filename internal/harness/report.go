@@ -1,0 +1,47 @@
+package harness
+
+// CampaignReportJSON renders a campaign result as the machine-readable
+// report map `gputester -campaign -json` emits. The control-plane
+// daemon's result endpoint serves the same shape, so a campaign
+// submitted over the API reports byte-for-byte like one run in
+// process (wall-clock fields aside).
+func CampaignReportJSON(res *CampaignResult, baseSeed uint64) map[string]any {
+	failures := make([]map[string]any, 0, len(res.Failures))
+	for _, sf := range res.Failures {
+		for _, f := range sf.Failures {
+			fj := map[string]any{
+				"seed":    sf.Seed,
+				"kind":    f.Kind.String(),
+				"tick":    f.Tick,
+				"addr":    uint64(f.Addr),
+				"message": f.Message,
+			}
+			if sf.ArtifactPath != "" {
+				fj["artifact"] = sf.ArtifactPath
+			}
+			if sf.ArtifactErr != "" {
+				fj["artifactError"] = sf.ArtifactErr
+			}
+			failures = append(failures, fj)
+		}
+	}
+	return map[string]any{
+		"passed":            len(res.Failures) == 0,
+		"mode":              res.Mode.String(),
+		"baseSeed":          baseSeed,
+		"seedsRun":          res.SeedsRun,
+		"batches":           res.Batches,
+		"saturated":         res.Saturated,
+		"seedsToSaturation": res.SeedsToSaturation,
+		"cellsAtSaturation": res.CellsAtSaturation,
+		"newCellsByBatch":   res.NewCellsByBatch,
+		"cornerByBatch":     res.CornerByBatch,
+		"opsIssued":         res.TotalOps,
+		"kernelEvents":      res.TotalEvents,
+		"wallSeconds":       res.Wall.Seconds(),
+		"seedsPerSec":       res.SeedsPerSec(),
+		"l1":                res.UnionL1,
+		"l2":                res.UnionL2,
+		"failures":          failures,
+	}
+}

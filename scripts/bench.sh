@@ -29,8 +29,13 @@ done
 
 cd "$(dirname "$0")/.."
 
-raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./ ./internal/sim/ ./internal/mem/ ./internal/checker/)
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./ ./internal/sim/ ./internal/mem/ ./internal/checker/ ./internal/campaignd/)
 echo "$raw" >&2
+
+# Record the core count: the campaignd worker-scaling gate only applies
+# on hosts with enough CPUs for worker processes to actually run in
+# parallel.
+numcpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 0)
 
 json=$(echo "$raw" | awk '
   /^goos:/    { goos = $2 }
@@ -52,10 +57,10 @@ json=$(echo "$raw" | awk '
     benches = benches sprintf("\"%s\":{\"iterations\":%s,%s}", name, iters, m)
   }
   END {
-    printf "{\"goos\":\"%s\",\"goarch\":\"%s\",\"cpu\":\"%s\",\"benchtime\":\"%s\",\"benchmarks\":{%s}}\n",
-      goos, goarch, cpu, BENCHTIME, benches
+    printf "{\"goos\":\"%s\",\"goarch\":\"%s\",\"cpu\":\"%s\",\"numcpu\":%s,\"benchtime\":\"%s\",\"benchmarks\":{%s}}\n",
+      goos, goarch, cpu, NUMCPU, BENCHTIME, benches
   }
-' BENCHTIME="$benchtime")
+' BENCHTIME="$benchtime" NUMCPU="$numcpu")
 
 # pretty-print if a json formatter is around; otherwise emit raw
 if command -v python3 >/dev/null 2>&1; then

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# smoke_daemon.sh — end-to-end smoke test of the distributed campaign
+# control plane, exercising the real binaries the way an operator
+# would:
+#
+#   1. start `gputester -serve` with no local workers and a
+#      content-addressed artifact store,
+#   2. attach two `gputester -worker` processes,
+#   3. submit a bug-injected campaign via `gputester -daemon` and
+#      check it reports failures with stored artifacts,
+#   4. replay one stored artifact by hash prefix through
+#      `replay -store` (with -bisect, writing the minimized artifact
+#      back into the store),
+#   5. SIGTERM the daemon and verify the graceful drain: final report
+#      written, workers released, clean exits all around.
+#
+# Exits nonzero on any failed step. Used by CI's daemon-smoke job and
+# runnable locally: scripts/smoke_daemon.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+store="$workdir/store"
+reports="$workdir/reports"
+addr="127.0.0.1:7199"
+url="http://$addr"
+
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building =="
+go build -o "$workdir/gputester" ./cmd/gputester
+go build -o "$workdir/replay" ./cmd/replay
+
+echo "== starting daemon (no local workers, store=$store) =="
+"$workdir/gputester" -serve "$addr" -serve-workers -1 \
+  -store "$store" -report-dir "$reports" -lease-timeout 30s &
+daemon_pid=$!
+
+for _ in $(seq 1 50); do
+  curl -sf "$url/metrics" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "$url/metrics" >/dev/null || { echo "daemon never came up"; exit 1; }
+
+echo "== attaching 2 worker processes =="
+"$workdir/gputester" -worker "$url" &
+w1=$!
+"$workdir/gputester" -worker "$url" &
+w2=$!
+
+echo "== submitting bug-injected campaign =="
+# The lostwrite campaign must fail (exit 1) and report stored artifacts.
+set +e
+"$workdir/gputester" -daemon "$url" -json \
+  -bug lostwrite -wfs 6 -episodes 6 -actions 24 -syncvars 4 -datavars 64 \
+  -seed 100 -batch 8 -saturate-k 0 -max-seeds 24 >"$workdir/report.json"
+status=$?
+set -e
+[ "$status" -eq 1 ] || { echo "daemon campaign exit $status, want 1 (bugs found)"; exit 1; }
+
+python3 - "$workdir/report.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["passed"] is False, "bug campaign passed"
+assert r["seedsRun"] == 24, f'seedsRun {r["seedsRun"]}'
+assert len(r["failures"]) > 0, "no failures reported"
+missing = [f["seed"] for f in r["failures"] if "objects" not in f.get("artifact", "")]
+assert not missing, f"failures without stored artifacts: {missing}"
+print(f'  campaign OK: {r["seedsRun"]} seeds, {len(r["failures"])} failure records, artifacts stored')
+EOF
+
+echo "== metrics sanity =="
+curl -sf "$url/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+assert m["seedsRun"] >= 24, m
+assert m["batchesMerged"] >= 3, m
+assert m["artifacts"] > 0, m
+print("  metrics OK: seeds=%d batches=%d artifacts=%d workers=%d"
+      % (m["seedsRun"], m["batchesMerged"], m["artifacts"], m["activeWorkers"]))'
+curl -sf "$url/debug/pprof/cmdline" >/dev/null
+echo "  pprof OK"
+
+echo "== replaying a stored artifact by hash prefix =="
+hash=$(python3 -c '
+import json, sys
+idx = json.load(open(sys.argv[1] + "/index.json"))
+print(sorted(idx["objects"])[0])' "$store")
+"$workdir/replay" -store "$store" -bisect "${hash:0:12}"
+python3 - "$store" "$hash" <<'EOF'
+import json, sys
+idx = json.load(open(sys.argv[1] + "/index.json"))["objects"]
+minimized = [h for h, m in idx.items() if m.get("minimizedFrom") == sys.argv[2]]
+assert minimized, "no minimized artifact with provenance in the store"
+print(f"  minimized artifact stored with provenance: {minimized[0][:12]}")
+EOF
+
+echo "== graceful shutdown (SIGTERM) =="
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+wait "$w1"; wait "$w2"
+ls "$reports"/*.json >/dev/null || { echo "no final campaign report written"; exit 1; }
+echo "  daemon drained, workers exited cleanly, report present"
+
+echo "SMOKE OK"
