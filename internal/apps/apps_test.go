@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"drftest/internal/coverage"
+	"drftest/internal/mem"
 	"drftest/internal/sim"
 	"drftest/internal/viper"
 )
@@ -99,5 +100,43 @@ func TestLocalityTrackerClassification(t *testing.T) {
 		if b[i] != want {
 			t.Fatalf("breakdown[%d] = %v, want %v (all: %v)", i, b[i], want, b)
 		}
+	}
+}
+
+// TestLocalityTrackerWideWavefronts covers the spill path: wavefront
+// IDs beyond the bitmask width classify exactly like narrow ones.
+func TestLocalityTrackerWideWavefronts(t *testing.T) {
+	tr := NewLocalityTracker(64)
+	tr.Access(200, 0x000) // streaming
+	tr.Access(200, 0x040) // intra: one wide WF, twice
+	tr.Access(200, 0x044)
+	tr.Access(0, 0x080) // inter: narrow + wide, once each
+	tr.Access(300, 0x084)
+	tr.Access(150, 0x0C0) // mix: wide WF reuses, another touches
+	tr.Access(150, 0x0C4)
+	tr.Access(1, 0x0C8)
+	b := tr.Breakdown()
+	for i, want := range []float64{0.25, 0.25, 0.25, 0.25} {
+		if b[i] != want {
+			t.Fatalf("breakdown[%d] = %v, want %v (all: %v)", i, b[i], want, b)
+		}
+	}
+}
+
+// TestLocalityTrackerSteadyStateAllocs pins the value-type line
+// records: re-touching known lines allocates nothing (the old tracker
+// carried a per-line map and allocated on every access).
+func TestLocalityTrackerSteadyStateAllocs(t *testing.T) {
+	tr := NewLocalityTracker(64)
+	round := func() {
+		for wf := 0; wf < 8; wf++ {
+			for a := mem.Addr(0); a < 0x400; a += 0x20 {
+				tr.Access(wf, a)
+			}
+		}
+	}
+	round()
+	if n := testing.AllocsPerRun(20, round); n != 0 {
+		t.Fatalf("steady-state tracker access allocates %.1f objects, want 0", n)
 	}
 }

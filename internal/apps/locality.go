@@ -1,6 +1,10 @@
 package apps
 
-import "drftest/internal/mem"
+import (
+	"math/bits"
+
+	"drftest/internal/mem"
+)
 
 // LocalityClass is Koo et al.'s cache-line reuse classification used
 // by the paper's Fig. 6.
@@ -31,32 +35,53 @@ func (c LocalityClass) String() string {
 	return "?"
 }
 
+// lineUse folds one line's access history into exactly what classify
+// needs: the total, which wavefronts touched it, and which touched it
+// more than once. Wavefront sets are bitmasks (apps run tens of
+// wavefronts, not thousands), so the tracker stores plain values — no
+// per-line pointer or per-line map — and the record stays classifiable
+// without replaying counts. Wavefronts beyond the mask width spill
+// into a map allocated only if such a wavefront ever appears.
 type lineUse struct {
-	total int
-	perWF map[int]int
+	total  int32
+	seen   [2]uint64 // wavefronts 0..127 that touched the line
+	repeat [2]uint64 // of those, the ones that touched it more than once
+	spill  map[int]int32
+}
+
+func (u *lineUse) record(wf int) {
+	u.total++
+	if wf < 128 {
+		w, bit := wf>>6, uint64(1)<<(wf&63)
+		if u.seen[w]&bit != 0 {
+			u.repeat[w] |= bit
+		}
+		u.seen[w] |= bit
+		return
+	}
+	if u.spill == nil {
+		u.spill = make(map[int]int32)
+	}
+	u.spill[wf]++
 }
 
 // LocalityTracker profiles cache-line usage across wavefronts.
 type LocalityTracker struct {
 	lineSize int
-	lines    map[mem.Addr]*lineUse
+	lines    map[mem.Addr]lineUse
 }
 
 // NewLocalityTracker creates a tracker for the given line size.
 func NewLocalityTracker(lineSize int) *LocalityTracker {
-	return &LocalityTracker{lineSize: lineSize, lines: make(map[mem.Addr]*lineUse)}
+	return &LocalityTracker{lineSize: lineSize, lines: make(map[mem.Addr]lineUse)}
 }
 
 // Access records that wavefront wf touched addr.
 func (t *LocalityTracker) Access(wf int, addr mem.Addr) {
 	line := mem.LineAddr(addr, t.lineSize)
-	u, ok := t.lines[line]
-	if !ok {
-		u = &lineUse{perWF: make(map[int]int)}
-		t.lines[line] = u
-	}
-	u.total++
-	u.perWF[wf]++
+	u := t.lines[line]
+	u.record(wf)
+	t.lines[line] = u
 }
 
 // classify buckets one line.
@@ -64,10 +89,14 @@ func (u *lineUse) classify() LocalityClass {
 	if u.total == 1 {
 		return ClassStreaming
 	}
-	if len(u.perWF) == 1 {
+	distinct := bits.OnesCount64(u.seen[0]) + bits.OnesCount64(u.seen[1]) + len(u.spill)
+	if distinct == 1 {
 		return ClassIntraWF
 	}
-	for _, n := range u.perWF {
+	if u.repeat[0] != 0 || u.repeat[1] != 0 {
+		return ClassMixWF
+	}
+	for _, n := range u.spill {
 		if n > 1 {
 			return ClassMixWF
 		}
@@ -101,8 +130,8 @@ func (t *LocalityTracker) BreakdownByAccess() [4]float64 {
 	var counts [4]int
 	total := 0
 	for _, u := range t.lines {
-		counts[u.classify()] += u.total
-		total += u.total
+		counts[u.classify()] += int(u.total)
+		total += int(u.total)
 	}
 	var out [4]float64
 	if total == 0 {

@@ -1,0 +1,205 @@
+package checker
+
+// This file gives the online Stream checker the same rewind/rearm
+// surface the rest of the stack has: Reset (campaign reuse),
+// Snapshot/Restore (checkpointed replay). The fold state is small by
+// design — bounded by live episodes plus touched variables — so a cut
+// is cheap relative to the system snapshots taken alongside it.
+//
+// Identity doctrine: nothing outside the Stream holds epState or
+// varState pointers, so Restore is free to rebuild them. The one
+// identity constraint is internal — a live episode's epState is
+// reachable from both the eps map and the liveQ, and RetireEpisode
+// communicates death to minLiveCreate through that shared object — so
+// Restore materializes each saved episode exactly once and links it
+// into both structures.
+
+// epSave captures one epState. The first nLive entries of a
+// snapshot's eps slice are the live queue in order (including dead
+// heads not yet popped, which are no longer in the eps map); entries
+// after that are unknown-episode records, which are only in the map.
+type epSave struct {
+	id        uint64
+	createSeq uint64
+	known     bool
+	dead      bool
+	ownWrites []ownWrite
+	touched   []int
+}
+
+// varSave captures one data variable's A2/A3 fold.
+type varSave struct {
+	intervals []ival
+	prev      ival
+	hasPrev   bool
+	writers   []writerRec
+}
+
+// atomicSave captures one sync variable's A1 fold.
+type atomicSave struct {
+	contig  int
+	pending map[uint32]int
+	npend   int
+}
+
+// StreamSnapshot is a Stream cut; obtain via Stream.Snapshot (or
+// Pipeline.Snapshot, which quiesces the ring first), reinstate via
+// Restore.
+type StreamSnapshot struct {
+	delta uint32
+
+	eps   []epSave
+	nLive int
+
+	atomics map[int]atomicSave
+	data    map[int]varSave
+
+	a2unknown []Violation
+	a2overlap []overlapViol
+	a3        []Violation
+
+	finished bool
+	result   []Violation
+}
+
+// Reset rearms the stream for a fresh run, keeping its maps and the
+// episode free list so a campaign's per-seed loop does not rebuild
+// them. Dropped episode records are harvested into the free list.
+func (s *Stream) Reset(atomicDelta uint32) {
+	if atomicDelta == 0 {
+		atomicDelta = 1
+	}
+	s.delta = atomicDelta
+	s.harvest()
+	clear(s.eps)
+	s.liveQ, s.liveHead = s.liveQ[:0], 0
+	clear(s.atomics)
+	clear(s.data)
+	s.a2unknown = s.a2unknown[:0]
+	s.a2overlap = s.a2overlap[:0]
+	s.a3 = s.a3[:0]
+	s.finished, s.result = false, nil
+}
+
+// harvest moves every reachable epState onto the free list: the live
+// queue tail (live episodes plus dead not-yet-popped heads) and the
+// map's unknown-episode records. Live known episodes appear in both
+// structures but are harvested once, from the queue.
+func (s *Stream) harvest() {
+	for _, es := range s.liveQ[s.liveHead:] {
+		s.epFree = append(s.epFree, es)
+	}
+	for _, es := range s.eps {
+		if !es.known {
+			s.epFree = append(s.epFree, es)
+		}
+	}
+}
+
+func saveEp(es *epState) epSave {
+	return epSave{
+		id:        es.id,
+		createSeq: es.createSeq,
+		known:     es.known,
+		dead:      es.dead,
+		ownWrites: append([]ownWrite(nil), es.ownWrites...),
+		touched:   append([]int(nil), es.touched...),
+	}
+}
+
+// Snapshot deep-captures the fold state. The caller must hold the
+// stream quiescent (no concurrent folding) — Pipeline.Snapshot
+// arranges this by flushing the ring first.
+func (s *Stream) Snapshot() *StreamSnapshot {
+	snap := &StreamSnapshot{
+		delta:     s.delta,
+		atomics:   make(map[int]atomicSave, len(s.atomics)),
+		data:      make(map[int]varSave, len(s.data)),
+		a2unknown: append([]Violation(nil), s.a2unknown...),
+		a2overlap: append([]overlapViol(nil), s.a2overlap...),
+		a3:        append([]Violation(nil), s.a3...),
+		finished:  s.finished,
+		result:    append([]Violation(nil), s.result...),
+	}
+	live := s.liveQ[s.liveHead:]
+	snap.nLive = len(live)
+	snap.eps = make([]epSave, 0, len(live)+len(s.eps))
+	for _, es := range live {
+		snap.eps = append(snap.eps, saveEp(es))
+	}
+	for _, es := range s.eps {
+		if !es.known {
+			snap.eps = append(snap.eps, saveEp(es))
+		}
+	}
+	for v, a := range s.atomics {
+		as := atomicSave{contig: a.contig, npend: a.npend}
+		if a.pending != nil {
+			as.pending = make(map[uint32]int, len(a.pending))
+			for k, n := range a.pending {
+				as.pending[k] = n
+			}
+		}
+		snap.atomics[v] = as
+	}
+	for v, vs := range s.data {
+		snap.data[v] = varSave{
+			intervals: append([]ival(nil), vs.intervals...),
+			prev:      vs.prev,
+			hasPrev:   vs.hasPrev,
+			writers:   append([]writerRec(nil), vs.writers...),
+		}
+	}
+	return snap
+}
+
+// Restore reinstates a cut captured by Snapshot. Current episode
+// records are harvested for reuse; every saved episode is rebuilt
+// once and linked into the eps map and/or the live queue exactly as
+// the save recorded (dead queue heads stay out of the map, unknown
+// records stay out of the queue).
+func (s *Stream) Restore(snap *StreamSnapshot) {
+	s.delta = snap.delta
+	s.harvest()
+	clear(s.eps)
+	s.liveQ, s.liveHead = s.liveQ[:0], 0
+	for i := range snap.eps {
+		sv := &snap.eps[i]
+		es := s.newEpState()
+		es.id, es.createSeq = sv.id, sv.createSeq
+		es.known, es.dead = sv.known, sv.dead
+		es.ownWrites = append(es.ownWrites, sv.ownWrites...)
+		es.touched = append(es.touched, sv.touched...)
+		if i < snap.nLive {
+			s.liveQ = append(s.liveQ, es)
+		}
+		if !es.dead {
+			s.eps[es.id] = es
+		}
+	}
+	clear(s.atomics)
+	for v, as := range snap.atomics {
+		a := &atomicState{contig: as.contig, npend: as.npend}
+		if as.pending != nil {
+			a.pending = make(map[uint32]int, len(as.pending))
+			for k, n := range as.pending {
+				a.pending[k] = n
+			}
+		}
+		s.atomics[v] = a
+	}
+	clear(s.data)
+	for v, vs := range snap.data {
+		s.data[v] = &varState{
+			intervals: append([]ival(nil), vs.intervals...),
+			prev:      vs.prev,
+			hasPrev:   vs.hasPrev,
+			writers:   append([]writerRec(nil), vs.writers...),
+		}
+	}
+	s.a2unknown = append(s.a2unknown[:0], snap.a2unknown...)
+	s.a2overlap = append(s.a2overlap[:0], snap.a2overlap...)
+	s.a3 = append(s.a3[:0], snap.a3...)
+	s.finished = snap.finished
+	s.result = append([]Violation(nil), snap.result...)
+}

@@ -7,18 +7,34 @@ import (
 	"drftest/internal/mem"
 )
 
+// LogKind distinguishes request issue records from response records.
+type LogKind uint8
+
+const (
+	LogIssue LogKind = iota
+	LogResp
+)
+
+func (k LogKind) String() string {
+	if k == LogIssue {
+		return "issue"
+	}
+	return "resp"
+}
+
 // LogEntry is one memory transaction in the tester's rolling event log
 // (§III.D): enough identity to reconstruct the window of activity
-// around a failure.
+// around a failure. Fields are packed small on purpose — the ring
+// holds thousands of entries and is part of every tester's footprint.
 type LogEntry struct {
 	Tick      uint64
-	Kind      string // "issue" or "resp"
-	Op        mem.Op
 	Addr      mem.Addr
-	ThreadID  int
-	WFID      int
 	EpisodeID uint64
 	Value     uint32
+	ThreadID  int32
+	WFID      int32
+	Op        mem.Op
+	Kind      LogKind
 	Acquire   bool
 	Release   bool
 }
@@ -32,7 +48,7 @@ func (e LogEntry) String() string {
 		sem += " rel"
 	}
 	return fmt.Sprintf("%8d %-5s %s%s addr=%#06x val=%-6d thr=%d wf=%d eps=%d",
-		e.Tick, e.Kind, e.Op, sem, uint64(e.Addr), e.Value, e.ThreadID, e.WFID, e.EpisodeID)
+		e.Tick, e.Kind.String(), e.Op, sem, uint64(e.Addr), e.Value, e.ThreadID, e.WFID, e.EpisodeID)
 }
 
 // EventLog is a fixed-capacity ring of recent transactions.

@@ -30,8 +30,9 @@ import (
 // reference values, atomic bookkeeping) plus the random address
 // mapping.
 type spaceSave struct {
-	slab  []variable
-	addrs []mem.Addr
+	slab        []variable
+	addrs       []mem.Addr
+	lastWriters []AccessRecord
 }
 
 // episodeSave captures one live episode. Variable pointers are
@@ -83,6 +84,7 @@ type TesterSnapshot struct {
 
 	traceOps []checker.Op
 	epMeta   map[uint64]checker.EpisodeMeta
+	stream   *checker.StreamSnapshot
 
 	nextReqID     uint64
 	nextEpisodeID uint64
@@ -112,13 +114,13 @@ func (t *Tester) Report() *Report { return t.report() }
 func (t *Tester) FailureCount() int { return len(t.failures) }
 
 // CanCheckpoint reports whether this tester supports mid-run
-// Snapshot/Restore. The online stream checker is the one component
-// whose incremental state cannot be rewound (its verification frontier
-// only moves forward), so checkpointing requires StreamCheck off.
+// Snapshot/Restore. Every component now does: the online stream
+// checker — historically the one holdout, because its verification
+// frontier only moved forward — gained Snapshot/Restore of its own
+// (checker.StreamSnapshot), so online checking composes with
+// checkpointed replay and campaign forking. The method is retained as
+// the callers' seam for any future non-checkpointable component.
 func (t *Tester) CanCheckpoint() error {
-	if t.cfg.StreamCheck {
-		return fmt.Errorf("core: checkpointing requires Config.StreamCheck off (the online checker's frontier cannot rewind)")
-	}
 	return nil
 }
 
@@ -222,8 +224,9 @@ func (t *Tester) Snapshot() *TesterSnapshot {
 		cfg: t.cfg,
 		rnd: *t.rnd,
 		space: spaceSave{
-			slab:  make([]variable, len(t.space.slab)),
-			addrs: append([]mem.Addr(nil), t.space.addrs...),
+			slab:        make([]variable, len(t.space.slab)),
+			addrs:       append([]mem.Addr(nil), t.space.addrs...),
+			lastWriters: append([]AccessRecord(nil), t.space.lastWriters...),
 		},
 		threads:       make([]threadSave, len(t.threads)),
 		wfs:           make([]wfSave, len(t.wfs)),
@@ -264,6 +267,9 @@ func (t *Tester) Snapshot() *TesterSnapshot {
 			s.epMeta[id] = *m
 		}
 	}
+	if t.stream != nil {
+		s.stream = t.stream.Snapshot()
+	}
 	return s
 }
 
@@ -281,12 +287,16 @@ func (t *Tester) Restore(s *TesterSnapshot) {
 	if len(t.space.slab) != len(s.space.slab) {
 		panic("core: Restore with mismatched address-space shape")
 	}
+	if (t.stream != nil) != (s.stream != nil) {
+		panic("core: Restore with mismatched stream-checker shape")
+	}
 	t.cfg = s.cfg
 	*t.rnd = s.rnd
 	for i := range s.space.slab {
 		restoreVar(&t.space.slab[i], &s.space.slab[i])
 	}
 	t.space.addrs = append(t.space.addrs[:0], s.space.addrs...)
+	t.space.lastWriters = append(t.space.lastWriters[:0], s.space.lastWriters...)
 	for i, ts := range s.threads {
 		thr := t.threads[i]
 		thr.episodesDone = ts.episodesDone
@@ -314,6 +324,9 @@ func (t *Tester) Restore(s *TesterSnapshot) {
 			mc := m
 			t.epMeta[id] = &mc
 		}
+	}
+	if t.stream != nil {
+		t.stream.Restore(s.stream)
 	}
 	t.nextReqID = s.nextReqID
 	t.nextEpisodeID = s.nextEpisodeID

@@ -109,7 +109,7 @@ type Tester struct {
 	lastWorkTick  uint64
 	genSeq        uint64
 	trace         *checker.Trace
-	stream        *checker.Stream
+	stream        *checker.Pipeline
 	epMeta        map[uint64]*checker.EpisodeMeta
 	nextReqID     uint64
 	nextEpisodeID uint64
@@ -161,7 +161,7 @@ func NewMulti(k *sim.Kernel, systems []*viper.System, cfg Config) *Tester {
 		t.epMeta = make(map[uint64]*checker.EpisodeMeta)
 	}
 	if cfg.StreamCheck {
-		t.stream = checker.NewStream(cfg.AtomicDelta)
+		t.stream = checker.NewPipeline(cfg.AtomicDelta, cfg.StreamInline)
 	}
 
 	numCUs := len(t.seqs)
@@ -216,7 +216,16 @@ func (t *Tester) Reset(seed uint64) {
 		t.epMeta = make(map[uint64]*checker.EpisodeMeta)
 	}
 	if t.cfg.StreamCheck {
-		t.stream = checker.NewStream(t.cfg.AtomicDelta)
+		// Reuse the pipeline (its ring and the stream's fold maps)
+		// across runs; rebuild only when the inline knob changed.
+		if t.stream != nil && t.stream.ForcedInline() == t.cfg.StreamInline {
+			t.stream.Reset(t.cfg.AtomicDelta)
+		} else {
+			if t.stream != nil {
+				t.stream.Close()
+			}
+			t.stream = checker.NewPipeline(t.cfg.AtomicDelta, t.cfg.StreamInline)
+		}
 	}
 	t.nextReqID = 0
 	t.nextEpisodeID = 0
@@ -265,6 +274,9 @@ func (t *Tester) ResetWithConfig(seed uint64, cfg Config) {
 		t.epMeta = nil
 	}
 	if !cfg.StreamCheck {
+		if t.stream != nil {
+			t.stream.Close()
+		}
 		t.stream = nil
 	}
 	t.Reset(seed)
@@ -387,8 +399,8 @@ func (t *Tester) issueOp(wf *wavefront, thr *thread, op genOp) {
 		t.k.Trace(traceComponent, "issue "+opName(op.kind), uint64(req.Addr))
 	}
 	t.log.Append(LogEntry{
-		Tick: uint64(t.k.Now()), Kind: "issue", Op: req.Op, Addr: req.Addr,
-		ThreadID: thr.id, WFID: thr.wf, EpisodeID: thr.ep.id,
+		Tick: uint64(t.k.Now()), Kind: LogIssue, Op: req.Op, Addr: req.Addr,
+		ThreadID: int32(thr.id), WFID: int32(thr.wf), EpisodeID: thr.ep.id,
 		Value: req.Data, Acquire: req.Acquire, Release: req.Release,
 	})
 	t.seqs[wf.cu].Issue(req)
@@ -504,13 +516,13 @@ func (t *Tester) HandleResponse(resp *mem.Response) {
 	}
 
 	t.log.Append(LogEntry{
-		Tick: resp.Tick, Kind: "resp", Op: req.Op, Addr: req.Addr,
-		ThreadID: thr.id, WFID: thr.wf, EpisodeID: req.EpisodeID,
+		Tick: resp.Tick, Kind: LogResp, Op: req.Op, Addr: req.Addr,
+		ThreadID: int32(thr.id), WFID: int32(thr.wf), EpisodeID: req.EpisodeID,
 		Value: resp.Data, Acquire: req.Acquire, Release: req.Release,
 	})
 
 	rec := AccessRecord{
-		ThreadID: thr.id, WFID: thr.wf, EpisodeID: req.EpisodeID,
+		ThreadID: int32(thr.id), WFID: int32(thr.wf), EpisodeID: req.EpisodeID,
 		Addr: req.Addr, Cycle: resp.Tick, Value: resp.Data,
 	}
 
@@ -527,13 +539,10 @@ func (t *Tester) HandleResponse(resp *mem.Response) {
 	switch op.kind {
 	case opLoad:
 		t.checkLoad(ep, op.v, rec, resp)
-		op.v.lastReader = rec
-		op.v.hasReader = true
 	case opStore:
 		wrec := rec
 		wrec.Value = req.Data
-		op.v.lastWriter = wrec
-		op.v.hasWriter = true
+		t.space.setLastWriter(op.v, wrec)
 	case opAcquire, opRelease, opExtra:
 		t.checkAtomic(op.v, rec)
 		if op.kind == opRelease {
@@ -568,8 +577,7 @@ func (t *Tester) checkLoad(ep *episode, v *variable, rec AccessRecord, resp *mem
 		LastReader: &r,
 		Window:     t.log.ForAddr(v.addr, 16),
 	}
-	if v.hasWriter {
-		w := v.lastWriter
+	if w, ok := t.space.lastWriter(v); ok {
 		f.LastWriter = &w
 	}
 	t.fail(f)

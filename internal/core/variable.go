@@ -8,13 +8,15 @@ import (
 )
 
 // AccessRecord identifies one access to a variable, the unit of the
-// paper's Table V failure reports.
+// paper's Table V failure reports. Packed small: sync variables keep
+// one record per distinct atomic old value, so the struct size scales
+// the checker's per-run footprint.
 type AccessRecord struct {
-	ThreadID  int
-	WFID      int
 	EpisodeID uint64
 	Addr      mem.Addr
 	Cycle     uint64
+	ThreadID  int32
+	WFID      int32
 	Value     uint32
 }
 
@@ -45,10 +47,11 @@ type variable struct {
 	seenOld   map[uint32]AccessRecord
 	completed uint64
 
-	lastReader AccessRecord
-	lastWriter AccessRecord
-	hasReader  bool
-	hasWriter  bool
+	// lastWIdx indexes the address space's lastWriters side slice, -1
+	// when the variable was never stored. Keeping the 48-byte record
+	// out of line shrinks the slab by ~2/3: a large space has far more
+	// variables than any run ever stores to.
+	lastWIdx int32
 }
 
 // canLoad reports whether episode eps may generate a load of v: no
@@ -106,6 +109,29 @@ type addressSpace struct {
 	slab   []variable
 	chosen []uint64
 	addrs  []mem.Addr
+
+	// lastWriters holds the most recent store record per stored-to
+	// variable, indexed by variable.lastWIdx. Dense in touched
+	// variables rather than all variables.
+	lastWriters []AccessRecord
+}
+
+// setLastWriter records the most recent store to v.
+func (sp *addressSpace) setLastWriter(v *variable, rec AccessRecord) {
+	if v.lastWIdx < 0 {
+		v.lastWIdx = int32(len(sp.lastWriters))
+		sp.lastWriters = append(sp.lastWriters, rec)
+		return
+	}
+	sp.lastWriters[v.lastWIdx] = rec
+}
+
+// lastWriter returns the most recent store record for v, if any.
+func (sp *addressSpace) lastWriter(v *variable) (AccessRecord, bool) {
+	if v.lastWIdx < 0 {
+		return AccessRecord{}, false
+	}
+	return sp.lastWriters[v.lastWIdx], true
 }
 
 func buildAddressSpace(rnd *rng.PCG, numSync, numData int, rangeBytes uint64) *addressSpace {
@@ -166,13 +192,14 @@ func (sp *addressSpace) rebuild(rnd *rng.PCG, numSync, numData int, rangeBytes u
 	}
 	sp.syncVars = sp.syncVars[:0]
 	sp.dataVars = sp.dataVars[:0]
+	sp.lastWriters = sp.lastWriters[:0]
 	for i, a := range sp.addrs {
 		v := &sp.slab[i]
 		readers, seenOld := v.readers, v.seenOld
 		if readers != nil {
 			clear(readers)
 		}
-		*v = variable{id: i, sync: i < numSync, addr: a, readers: readers}
+		*v = variable{id: i, sync: i < numSync, addr: a, readers: readers, lastWIdx: -1}
 		if v.sync {
 			if seenOld == nil {
 				seenOld = make(map[uint32]AccessRecord)

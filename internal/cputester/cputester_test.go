@@ -16,7 +16,7 @@ import (
 // buildCPUSystem assembles numCPUs moesi caches over a directory and
 // memory controller.
 func buildCPUSystem(k *sim.Kernel, numCPUs int, cacheCfg cache.Config, rec protocol.Recorder) ([]*moesi.Cache, *directory.Directory) {
-	ctrl := memctrl.New(k, memctrl.DefaultConfig(), mem.NewStore())
+	ctrl := memctrl.New(k, memctrl.DefaultConfig(), mem.NewStore(), nil)
 	dir := directory.New(k, rec, nil, ctrl, cacheCfg.LineSize)
 	spec := moesi.NewCPUSpec()
 	caches := make([]*moesi.Cache, numCPUs)

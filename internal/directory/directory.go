@@ -2,7 +2,7 @@ package directory
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"drftest/internal/mem"
 	"drftest/internal/memctrl"
@@ -51,27 +51,75 @@ const (
 	opDMAWr
 )
 
+// maxPorts bounds the CPU and GPU port counts so holder and sharer
+// sets fit in one bitmask word (no per-line set allocation).
+const maxPorts = 64
+
+// tbe carries one transaction from request to completion. TBEs are
+// pooled: entry points fill one from the free list, complete (or the
+// stale-vic early out) zeroes it back. Everything a stalled retry
+// needs is in here, so the stall queue holds no closures.
 type tbe struct {
 	op   dirOp
 	line mem.Addr
 	cpu  int
-	gpu  int // requesting GPU for GPU ops; -1 otherwise
+	gpu  int // requesting GPU for GPU ops
 
 	probesOut int
 	dirty     []byte // probe data that must reach memory
 	serve     []byte // probe data served directly (owner keeps O)
+	have      bool   // CPURdX requester believes it holds a copy
 	upgrade   bool   // CPURdX by an existing sharer: no data needed
 
-	wrData []byte
-	wrMask []bool
+	// wrLine is a GPU write-through payload: a borrowed line handle the
+	// TBE owns until the memory phase hands it to the controller.
+	wrLine *mem.Line
+	wrData []byte // CPU victim / DMA write payload (borrowed bytes)
 	atAddr mem.Addr
 	delta  uint32
 
 	doneData func([]byte)
 	doneCPU  func([]byte, FillKind)
 	done     func()
-	doneAt   func(uint32, bool)
+	// GPU-side completions carry the requester's opaque ctx (gctx); the
+	// fill transfers a line handle the callee then owns.
+	doneGPUData func(*mem.Line, any)
+	doneGPU     func(any)
+	doneAt      func(uint32, bool, any)
+	gctx        any
 }
+
+// stalledReq is one queued retry: the event to re-fire plus the
+// already-built TBE, so a stall-and-wake cycle allocates nothing.
+type stalledReq struct {
+	ev int
+	t  *tbe
+}
+
+// pendingResp is one queued completion delivery. All requester
+// responses leave the directory after the same constant respLatency
+// and the kernel is stable, so a reusable FIFO drained by one prebound
+// handler replaces a per-completion closure (the network.Link SendMsg
+// pattern). fn holds the typed callback; kind selects its signature.
+type pendingResp struct {
+	kind    uint8
+	nack    bool
+	cpuKind FillKind
+	old     uint32
+	fn      any
+	line    *mem.Line
+	buf     []byte
+	gctx    any
+}
+
+const (
+	respPlain   uint8 = iota // fn: func()
+	respGPUWr                // fn: func(any)
+	respGPUFill              // fn: func(*mem.Line, any)
+	respAtomic               // fn: func(uint32, bool, any)
+	respData                 // fn: func([]byte)
+	respCPU                  // fn: func([]byte, FillKind)
+)
 
 // Directory is the blocking CPU–GPU–DMA system directory. It
 // implements the GPU L2's backend interface (FetchLine / WriteLine /
@@ -81,6 +129,10 @@ type Directory struct {
 	machine  *protocol.Machine
 	mem      *memctrl.Controller
 	lineSize int
+	// lines supplies payload handles for the writes the directory
+	// originates itself (CPU victim flushes, DMA writes); GPU payloads
+	// arrive as handles and pass through untouched.
+	lines *mem.LinePool
 
 	// probeLatency and respLatency model the interconnect hops.
 	probeLatency sim.Tick
@@ -89,14 +141,32 @@ type Directory struct {
 	gpus []GPUPort
 	cpus []CPUPort
 
-	// gpuHolders lists which GPU L2s may hold each line; multi-GPU
-	// systems probe the *other* L2s on writes and atomics (Table II's
-	// "invalidation request from other L2").
-	gpuHolders map[mem.Addr]map[int]bool
-	sharers    map[mem.Addr]map[int]bool
+	// gpuHolders is the bitmask of GPU L2s that may hold each line;
+	// multi-GPU systems probe the *other* L2s on writes and atomics
+	// (Table II's "invalidation request from other L2"). sharers is
+	// the same for CPU caches.
+	gpuHolders map[mem.Addr]uint64
+	sharers    map[mem.Addr]uint64
 	owner      map[mem.Addr]int
 	tbes       map[mem.Addr]*tbe
-	stalled    map[mem.Addr][]func()
+	stalled    map[mem.Addr][]stalledReq
+
+	// Free lists: retired TBEs and drained stall queues (their backing
+	// arrays) cycle back through these instead of the heap.
+	tbeFree   []*tbe
+	stallFree [][]stalledReq
+
+	// Completion FIFO (see pendingResp).
+	respQ    []pendingResp
+	respHead int
+	respFn   func()
+
+	// Prebound memory-controller callbacks; the TBE rides as ctx.
+	onGPUFill   func(*mem.Line, any)
+	onReadData  func(*mem.Line, any)
+	onWriteDone func(any)
+	onDirtyWB   func(any)
+	onAtomicOld func(uint32, bool, any)
 
 	// stats
 	nacks, probes, staleVics uint64
@@ -106,19 +176,52 @@ type Directory struct {
 func New(k *sim.Kernel, rec protocol.Recorder, onFault func(*protocol.FaultError), ctrl *memctrl.Controller, lineSize int) *Directory {
 	m := protocol.NewMachine(NewSpec(), rec)
 	m.OnFault = onFault
-	return &Directory{
+	d := &Directory{
 		k:            k,
 		machine:      m,
 		mem:          ctrl,
 		lineSize:     lineSize,
+		lines:        mem.NewLinePool(lineSize),
 		probeLatency: 8,
 		respLatency:  8,
-		gpuHolders:   make(map[mem.Addr]map[int]bool),
-		sharers:      make(map[mem.Addr]map[int]bool),
+		gpuHolders:   make(map[mem.Addr]uint64),
+		sharers:      make(map[mem.Addr]uint64),
 		owner:        make(map[mem.Addr]int),
 		tbes:         make(map[mem.Addr]*tbe),
-		stalled:      make(map[mem.Addr][]func()),
+		stalled:      make(map[mem.Addr][]stalledReq),
 	}
+	d.respFn = d.deliverResp
+	d.onGPUFill = func(data *mem.Line, ctx any) {
+		t := ctx.(*tbe)
+		d.machine.Fire(StateB, EvMemData)
+		d.completeGPUFill(t, data)
+	}
+	d.onReadData = func(data *mem.Line, ctx any) {
+		t := ctx.(*tbe)
+		d.machine.Fire(StateB, EvMemData)
+		d.complete(t, data.Data)
+		data.Release()
+	}
+	d.onWriteDone = func(ctx any) {
+		t := ctx.(*tbe)
+		d.machine.Fire(StateB, EvMemWBAck)
+		d.complete(t, nil)
+	}
+	d.onDirtyWB = func(ctx any) {
+		t := ctx.(*tbe)
+		d.machine.Fire(StateB, EvMemWBAck)
+		d.memPhase(t)
+	}
+	d.onAtomicOld = func(old uint32, _ bool, ctx any) {
+		t := ctx.(*tbe)
+		d.machine.Fire(StateB, EvMemData)
+		fn, gctx := t.doneAt, t.gctx
+		// complete recycles the TBE and runs stalled retries; the
+		// response is queued after so event order matches the retries'.
+		d.complete(t, nil)
+		d.pushResp(pendingResp{kind: respAtomic, fn: fn, old: old, gctx: gctx})
+	}
+	return d
 }
 
 // AttachGPU registers a GPU (slot 0) for probes — the common
@@ -134,6 +237,9 @@ func (d *Directory) AttachGPU(gpu GPUPort) {
 // later with BindGPU (the viper system needs the backend to build, and
 // the directory needs the built system to probe).
 func (d *Directory) AddGPU() int {
+	if len(d.gpus) == maxPorts {
+		panic("directory: too many GPUs for the holder bitmask")
+	}
 	d.gpus = append(d.gpus, nil)
 	return len(d.gpus) - 1
 }
@@ -156,22 +262,25 @@ type GPUBackendPort struct {
 }
 
 // FetchLine implements the GPU L2 backend.
-func (g GPUBackendPort) FetchLine(line mem.Addr, size int, done func([]byte)) {
-	g.d.gpuFetch(g.id, line, size, done)
+func (g GPUBackendPort) FetchLine(line mem.Addr, size int, done func(*mem.Line, any), ctx any) {
+	g.d.gpuFetch(g.id, line, size, done, ctx)
 }
 
 // WriteLine implements the GPU L2 backend.
-func (g GPUBackendPort) WriteLine(line mem.Addr, data []byte, mask []bool, done func()) {
-	g.d.gpuWrite(g.id, line, data, mask, done)
+func (g GPUBackendPort) WriteLine(line mem.Addr, payload *mem.Line, done func(any), ctx any) {
+	g.d.gpuWrite(g.id, line, payload, done, ctx)
 }
 
 // Atomic implements the GPU L2 backend.
-func (g GPUBackendPort) Atomic(addr mem.Addr, delta uint32, done func(uint32, bool)) {
-	g.d.gpuAtomic(g.id, addr, delta, done)
+func (g GPUBackendPort) Atomic(addr mem.Addr, delta uint32, done func(uint32, bool, any), ctx any) {
+	g.d.gpuAtomic(g.id, addr, delta, done, ctx)
 }
 
 // AttachCPU registers a CPU cache and returns its port ID.
 func (d *Directory) AttachCPU(c CPUPort) int {
+	if len(d.cpus) == maxPorts {
+		panic("directory: too many CPUs for the sharer bitmask")
+	}
 	d.cpus = append(d.cpus, c)
 	return len(d.cpus) - 1
 }
@@ -188,13 +297,13 @@ func (d *Directory) state(line mem.Addr) int {
 	if _, busy := d.tbes[line]; busy {
 		return StateB
 	}
-	if len(d.gpuHolders[line]) > 0 {
+	if d.gpuHolders[line] != 0 {
 		return StateG
 	}
 	if d.ownerOf(line) >= 0 {
 		return StateCM
 	}
-	if len(d.sharers[line]) > 0 {
+	if d.sharers[line] != 0 {
 		return StateCS
 	}
 	return StateU
@@ -207,17 +316,91 @@ func (d *Directory) ownerOf(line mem.Addr) int {
 	return -1
 }
 
-// request fires ev for line; on stall it queues retry, otherwise it
-// calls start with the pre-transaction stable state.
-func (d *Directory) request(line mem.Addr, ev int, retry func(), start func(st int)) {
+func (d *Directory) getTBE() *tbe {
+	if n := len(d.tbeFree); n > 0 {
+		t := d.tbeFree[n-1]
+		d.tbeFree = d.tbeFree[:n-1]
+		return t
+	}
+	return &tbe{}
+}
+
+func (d *Directory) putTBE(t *tbe) {
+	*t = tbe{}
+	d.tbeFree = append(d.tbeFree, t)
+}
+
+func (d *Directory) pushResp(r pendingResp) {
+	d.respQ = append(d.respQ, r)
+	d.k.Schedule(d.respLatency, d.respFn)
+}
+
+// deliverResp completes the oldest queued response. FIFO matching is
+// sound because every response is scheduled exactly respLatency ticks
+// out and the kernel is stable, so deliveries fire in queue order.
+func (d *Directory) deliverResp() {
+	r := d.respQ[d.respHead]
+	d.respQ[d.respHead] = pendingResp{}
+	d.respHead++
+	if d.respHead == len(d.respQ) {
+		d.respQ = d.respQ[:0]
+		d.respHead = 0
+	}
+	switch r.kind {
+	case respPlain:
+		r.fn.(func())()
+	case respGPUWr:
+		r.fn.(func(any))(r.gctx)
+	case respGPUFill:
+		r.fn.(func(*mem.Line, any))(r.line, r.gctx)
+	case respAtomic:
+		r.fn.(func(uint32, bool, any))(r.old, r.nack, r.gctx)
+	case respData:
+		r.fn.(func([]byte))(r.buf)
+	case respCPU:
+		r.fn.(func([]byte, FillKind))(r.buf, r.cpuKind)
+	}
+}
+
+// request fires ev for line; on stall it queues the TBE for a wake
+// retry, otherwise the transaction starts against the pre-transaction
+// stable state.
+func (d *Directory) request(line mem.Addr, ev int, t *tbe) {
 	st := d.state(line)
 	cell := d.machine.Fire(st, ev)
 	switch cell.Kind {
 	case protocol.Stall:
-		d.stalled[line] = append(d.stalled[line], retry)
+		q, ok := d.stalled[line]
+		if !ok && len(d.stallFree) > 0 {
+			q = d.stallFree[len(d.stallFree)-1]
+			d.stallFree = d.stallFree[:len(d.stallFree)-1]
+		}
+		d.stalled[line] = append(q, stalledReq{ev: ev, t: t})
 	case protocol.Defined:
-		start(st)
+		d.start(t, st)
 	}
+}
+
+// start runs the per-op admission logic that must see the transaction's
+// actual start state (not its enqueue state), then begins it.
+func (d *Directory) start(t *tbe, st int) {
+	switch t.op {
+	case opCPURdX:
+		// Upgrade validity is judged now: sharer lists go stale while a
+		// request waits, and probes can invalidate the requester's copy.
+		t.upgrade = t.have && d.sharers[t.line]&(1<<uint(t.cpu)) != 0
+	case opCPUVic:
+		// Write-backs that lost a race with a probe (the directory no
+		// longer believes t.cpu owns the line) are acknowledged without
+		// touching memory.
+		if st != StateCM || d.ownerOf(t.line) != t.cpu {
+			d.staleVics++
+			d.pushResp(pendingResp{kind: respPlain, fn: t.done})
+			d.putTBE(t)
+			return
+		}
+	}
+	d.begin(t, st)
 }
 
 // --- GPU side ---
@@ -226,43 +409,39 @@ func (d *Directory) request(line mem.Addr, ev int, retry func(), start func(st i
 // surface (GPU slot 0); multi-GPU systems go through GPUBackend.
 
 // FetchLine services a GPU L2 miss.
-func (d *Directory) FetchLine(line mem.Addr, size int, done func([]byte)) {
-	d.gpuFetch(0, line, size, done)
+func (d *Directory) FetchLine(line mem.Addr, size int, done func(*mem.Line, any), ctx any) {
+	d.gpuFetch(0, line, size, done, ctx)
 }
 
 // WriteLine services a GPU write-through.
-func (d *Directory) WriteLine(line mem.Addr, data []byte, mask []bool, done func()) {
-	d.gpuWrite(0, line, data, mask, done)
+func (d *Directory) WriteLine(line mem.Addr, payload *mem.Line, done func(any), ctx any) {
+	d.gpuWrite(0, line, payload, done, ctx)
 }
 
 // Atomic services a GPU atomic.
-func (d *Directory) Atomic(addr mem.Addr, delta uint32, done func(old uint32, nack bool)) {
-	d.gpuAtomic(0, addr, delta, done)
+func (d *Directory) Atomic(addr mem.Addr, delta uint32, done func(old uint32, nack bool, ctx any), ctx any) {
+	d.gpuAtomic(0, addr, delta, done, ctx)
 }
 
-func (d *Directory) gpuFetch(gpu int, line mem.Addr, size int, done func([]byte)) {
+func (d *Directory) gpuFetch(gpu int, line mem.Addr, size int, done func(*mem.Line, any), ctx any) {
 	if size != d.lineSize {
 		panic(fmt.Sprintf("directory: fetch size %d != line size %d", size, d.lineSize))
 	}
-	d.request(line, EvGPURd,
-		func() { d.gpuFetch(gpu, line, size, done) },
-		func(st int) {
-			d.begin(&tbe{op: opGPURd, line: line, gpu: gpu, doneData: done}, st)
-		})
+	t := d.getTBE()
+	t.op, t.line, t.gpu, t.doneGPUData, t.gctx = opGPURd, line, gpu, done, ctx
+	d.request(line, EvGPURd, t)
 }
 
-func (d *Directory) gpuWrite(gpu int, line mem.Addr, data []byte, mask []bool, done func()) {
-	d.request(line, EvGPUWr,
-		func() { d.gpuWrite(gpu, line, data, mask, done) },
-		func(st int) {
-			d.begin(&tbe{op: opGPUWr, line: line, gpu: gpu, wrData: data, wrMask: mask, done: done}, st)
-		})
+func (d *Directory) gpuWrite(gpu int, line mem.Addr, payload *mem.Line, done func(any), ctx any) {
+	t := d.getTBE()
+	t.op, t.line, t.gpu, t.wrLine, t.doneGPU, t.gctx = opGPUWr, line, gpu, payload, done, ctx
+	d.request(line, EvGPUWr, t)
 }
 
 // gpuAtomic never blocks the requester: a busy or CPU-held line is
 // NACKed (the TCC's AtomicND path) and, for CPU-held lines, a cleanup
 // transaction evicts the CPU copies so the retry can succeed.
-func (d *Directory) gpuAtomic(gpu int, addr mem.Addr, delta uint32, done func(old uint32, nack bool)) {
+func (d *Directory) gpuAtomic(gpu int, addr mem.Addr, delta uint32, done func(old uint32, nack bool, ctx any), ctx any) {
 	line := mem.LineAddr(addr, d.lineSize)
 	st := d.state(line)
 	cell := d.machine.Fire(st, EvGPUAt)
@@ -272,13 +451,18 @@ func (d *Directory) gpuAtomic(gpu int, addr mem.Addr, delta uint32, done func(ol
 	switch st {
 	case StateB:
 		d.nacks++
-		d.k.Schedule(d.respLatency, func() { done(0, true) })
+		d.pushResp(pendingResp{kind: respAtomic, fn: done, nack: true, gctx: ctx})
 	case StateCS, StateCM:
 		d.nacks++
-		d.k.Schedule(d.respLatency, func() { done(0, true) })
-		d.begin(&tbe{op: opGPUClean, line: line, gpu: gpu}, st)
+		d.pushResp(pendingResp{kind: respAtomic, fn: done, nack: true, gctx: ctx})
+		t := d.getTBE()
+		t.op, t.line, t.gpu = opGPUClean, line, gpu
+		d.begin(t, st)
 	default:
-		d.begin(&tbe{op: opGPUAt, line: line, gpu: gpu, atAddr: addr, delta: delta, doneAt: done}, st)
+		t := d.getTBE()
+		t.op, t.line, t.gpu = opGPUAt, line, gpu
+		t.atAddr, t.delta, t.doneAt, t.gctx = addr, delta, done, ctx
+		d.begin(t, st)
 	}
 }
 
@@ -286,70 +470,48 @@ func (d *Directory) gpuAtomic(gpu int, addr mem.Addr, delta uint32, done func(ol
 
 // CPURead services a CPU load miss.
 func (d *Directory) CPURead(cpu int, line mem.Addr, done func(data []byte, kind FillKind)) {
-	d.request(line, EvCPURd,
-		func() { d.CPURead(cpu, line, done) },
-		func(st int) {
-			d.begin(&tbe{op: opCPURd, line: line, cpu: cpu, doneCPU: done}, st)
-		})
+	t := d.getTBE()
+	t.op, t.line, t.cpu, t.doneCPU = opCPURd, line, cpu, done
+	d.request(line, EvCPURd, t)
 }
 
 // CPUReadX services a CPU store miss or upgrade. have reports whether
 // the requester still holds a valid copy; only when both the requester
-// and the directory agree is the fill an upgrade (nil data) — sharer
-// lists go stale when caches silently drop clean lines, and probes can
-// invalidate the requester's copy while its request is in flight.
+// and the directory agree is the fill an upgrade (nil data) — see
+// start. A stale upgrade is still accepted but serviced as a full
+// exclusive fill.
 func (d *Directory) CPUReadX(cpu int, line mem.Addr, have bool, done func(data []byte, kind FillKind)) {
 	ev := EvCPURdX
 	if have {
-		// The requester believes it holds a copy: an upgrade. A stale
-		// upgrade (the directory no longer lists the requester — a
-		// probe raced the request) is still accepted but serviced as a
-		// full exclusive fill.
 		ev = EvCPUUpg
 	}
-	d.request(line, ev,
-		func() { d.CPUReadX(cpu, line, have, done) },
-		func(st int) {
-			t := &tbe{op: opCPURdX, line: line, cpu: cpu, doneCPU: done}
-			t.upgrade = have && d.sharers[line][cpu]
-			d.begin(t, st)
-		})
+	t := d.getTBE()
+	t.op, t.line, t.cpu, t.have, t.doneCPU = opCPURdX, line, cpu, have, done
+	d.request(line, ev, t)
 }
 
-// CPUWriteBack services a dirty victim. Write-backs that lost a race
-// with a probe (the directory no longer believes cpu owns the line)
-// are acknowledged without touching memory.
+// CPUWriteBack services a dirty victim (stale victims are filtered in
+// start).
 func (d *Directory) CPUWriteBack(cpu int, line mem.Addr, data []byte, done func()) {
-	d.request(line, EvCPUVic,
-		func() { d.CPUWriteBack(cpu, line, data, done) },
-		func(st int) {
-			if st != StateCM || d.ownerOf(line) != cpu {
-				d.staleVics++
-				d.k.Schedule(d.respLatency, done)
-				return
-			}
-			d.begin(&tbe{op: opCPUVic, line: line, cpu: cpu, wrData: data, done: done}, st)
-		})
+	t := d.getTBE()
+	t.op, t.line, t.cpu, t.wrData, t.done = opCPUVic, line, cpu, data, done
+	d.request(line, EvCPUVic, t)
 }
 
 // --- DMA side ---
 
 // DMARead services a DMA engine read.
 func (d *Directory) DMARead(line mem.Addr, done func([]byte)) {
-	d.request(line, EvDMARd,
-		func() { d.DMARead(line, done) },
-		func(st int) {
-			d.begin(&tbe{op: opDMARd, line: line, doneData: done}, st)
-		})
+	t := d.getTBE()
+	t.op, t.line, t.doneData = opDMARd, line, done
+	d.request(line, EvDMARd, t)
 }
 
 // DMAWrite services a DMA engine write.
 func (d *Directory) DMAWrite(line mem.Addr, data []byte, done func()) {
-	d.request(line, EvDMAWr,
-		func() { d.DMAWrite(line, data, done) },
-		func(st int) {
-			d.begin(&tbe{op: opDMAWr, line: line, wrData: data, done: done}, st)
-		})
+	t := d.getTBE()
+	t.op, t.line, t.wrData, t.done = opDMAWr, line, data, done
+	d.request(line, EvDMAWr, t)
 }
 
 // --- transaction engine ---
@@ -388,24 +550,22 @@ func (d *Directory) begin(t *tbe, st int) {
 }
 
 // probeGPUs invalidates every GPU holder of t.line except `except`
-// (-1 probes all).
+// (-1 probes all). Bitmask iteration walks holders in ascending ID
+// order.
 func (d *Directory) probeGPUs(t *tbe, except int) {
-	ids := make([]int, 0, len(d.gpuHolders[t.line]))
-	for id := range d.gpuHolders[t.line] {
-		if id != except {
-			ids = append(ids, id)
-		}
+	hs := d.gpuHolders[t.line]
+	if except >= 0 {
+		hs &^= 1 << uint(except)
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		id := id
+	line := t.line
+	for rest := hs; rest != 0; rest &= rest - 1 {
+		id := bits.TrailingZeros64(rest)
 		t.probesOut++
 		d.probes++
-		line := t.line
 		d.k.Schedule(d.probeLatency, func() {
 			d.gpus[id].ProbeInv(line, func() {
 				d.k.Schedule(d.probeLatency, func() {
-					delete(d.gpuHolders[line], id)
+					d.clearHolder(line, id)
 					d.probeAck(t, nil, false, -1, true)
 				})
 			})
@@ -413,19 +573,32 @@ func (d *Directory) probeGPUs(t *tbe, except int) {
 	}
 }
 
+func (d *Directory) clearHolder(line mem.Addr, id int) {
+	if hs := d.gpuHolders[line] &^ (1 << uint(id)); hs == 0 {
+		delete(d.gpuHolders, line)
+	} else {
+		d.gpuHolders[line] = hs
+	}
+}
+
+func (d *Directory) clearSharer(line mem.Addr, cpu int) {
+	if ss := d.sharers[line] &^ (1 << uint(cpu)); ss == 0 {
+		delete(d.sharers, line)
+	} else {
+		d.sharers[line] = ss
+	}
+}
+
 func (d *Directory) probeAllCPUs(t *tbe, except int) {
-	ids := make([]int, 0, len(d.sharers[t.line])+1)
-	for id := range d.sharers[t.line] {
-		ids = append(ids, id)
+	ids := d.sharers[t.line]
+	if o := d.ownerOf(t.line); o >= 0 {
+		ids |= 1 << uint(o)
 	}
-	if o := d.ownerOf(t.line); o >= 0 && !d.sharers[t.line][o] {
-		ids = append(ids, o)
+	if except >= 0 {
+		ids &^= 1 << uint(except)
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		if id != except {
-			d.probeCPU(t, id, true)
-		}
+	for rest := ids; rest != 0; rest &= rest - 1 {
+		d.probeCPU(t, bits.TrailingZeros64(rest), true)
 	}
 }
 
@@ -437,7 +610,7 @@ func (d *Directory) probeCPU(t *tbe, cpu int, inv bool) {
 		d.cpus[cpu].Probe(line, inv, func(dirty []byte, fromVic bool) {
 			d.k.Schedule(d.probeLatency, func() {
 				if inv {
-					delete(d.sharers[line], cpu)
+					d.clearSharer(line, cpu)
 					if d.ownerOf(line) == cpu {
 						delete(d.owner, line)
 					}
@@ -448,7 +621,7 @@ func (d *Directory) probeCPU(t *tbe, cpu int, inv bool) {
 						delete(d.owner, line)
 					}
 					if fromVic {
-						delete(d.sharers[line], cpu)
+						d.clearSharer(line, cpu)
 					}
 				}
 				d.probeAck(t, dirty, fromVic, cpu, inv)
@@ -482,113 +655,106 @@ func (d *Directory) afterProbes(t *tbe) {
 	if t.dirty != nil {
 		data := t.dirty
 		t.dirty = nil
-		d.mem.WriteLine(t.line, data, nil, func() {
-			d.machine.Fire(StateB, EvMemWBAck)
-			d.memPhase(t)
-		})
+		wl := d.lines.Get(len(data))
+		copy(wl.Data, data)
+		d.mem.WriteLine(t.line, wl, d.onDirtyWB, t)
 		return
 	}
 	d.memPhase(t)
 }
 
+// borrowWrite copies borrowed bytes into a pool line and issues the
+// masked-less write: the caller's buffer is free to be reused the
+// moment this returns, matching the old controller's copy-at-enqueue
+// contract that CPU caches and the DMA engine rely on.
+func (d *Directory) borrowWrite(line mem.Addr, data []byte, t *tbe) {
+	wl := d.lines.Get(len(data))
+	copy(wl.Data, data)
+	d.mem.WriteLine(line, wl, d.onWriteDone, t)
+}
+
 func (d *Directory) memPhase(t *tbe) {
 	switch t.op {
-	case opGPURd, opDMARd:
-		d.mem.ReadLine(t.line, d.lineSize, func(data []byte) {
-			d.machine.Fire(StateB, EvMemData)
-			d.complete(t, data)
-		})
+	case opGPURd:
+		d.mem.ReadLine(t.line, d.lineSize, d.onGPUFill, t)
+	case opDMARd:
+		d.mem.ReadLine(t.line, d.lineSize, d.onReadData, t)
 	case opCPURd:
 		if t.serve != nil {
 			d.complete(t, t.serve)
 			return
 		}
-		d.mem.ReadLine(t.line, d.lineSize, func(data []byte) {
-			d.machine.Fire(StateB, EvMemData)
-			d.complete(t, data)
-		})
+		d.mem.ReadLine(t.line, d.lineSize, d.onReadData, t)
 	case opCPURdX:
 		if t.upgrade {
 			d.complete(t, nil)
 			return
 		}
-		d.mem.ReadLine(t.line, d.lineSize, func(data []byte) {
-			d.machine.Fire(StateB, EvMemData)
-			d.complete(t, data)
-		})
-	case opGPUWr, opCPUVic, opDMAWr:
-		d.mem.WriteLine(t.line, t.wrData, t.wrMask, func() {
-			d.machine.Fire(StateB, EvMemWBAck)
-			d.complete(t, nil)
-		})
+		d.mem.ReadLine(t.line, d.lineSize, d.onReadData, t)
+	case opGPUWr:
+		// The GPU's payload handle passes through to the controller
+		// untouched — the zero-copy write path.
+		wl := t.wrLine
+		t.wrLine = nil
+		d.mem.WriteLine(t.line, wl, d.onWriteDone, t)
+	case opCPUVic, opDMAWr:
+		d.borrowWrite(t.line, t.wrData, t)
 	case opGPUAt:
-		d.mem.Atomic(t.atAddr, t.delta, func(old uint32) {
-			d.machine.Fire(StateB, EvMemData)
-			d.complete(t, nil)
-			d.k.Schedule(d.respLatency, func() { t.doneAt(old, false) })
-		})
+		d.mem.Atomic(t.atAddr, t.delta, d.onAtomicOld, t)
 	case opGPUClean:
 		d.complete(t, nil)
 	}
+}
+
+// completeGPUFill finishes a GPU read: holder bookkeeping, then the
+// data handle transfers to the requesting L2 without a copy.
+func (d *Directory) completeGPUFill(t *tbe, data *mem.Line) {
+	line := t.line
+	delete(d.tbes, line)
+	d.gpuHolders[line] |= 1 << uint(t.gpu)
+	d.pushResp(pendingResp{kind: respGPUFill, fn: t.doneGPUData, line: data, gctx: t.gctx})
+	d.putTBE(t)
+	d.wake(line)
 }
 
 func (d *Directory) complete(t *tbe, data []byte) {
 	delete(d.tbes, t.line)
 	line := t.line
 	switch t.op {
-	case opGPURd:
-		set, ok := d.gpuHolders[line]
-		if !ok {
-			set = make(map[int]bool)
-			d.gpuHolders[line] = set
-		}
-		set[t.gpu] = true
+	case opGPUWr:
+		d.pushResp(pendingResp{kind: respGPUWr, fn: t.doneGPU, gctx: t.gctx})
+	case opDMAWr:
+		d.pushResp(pendingResp{kind: respPlain, fn: t.done})
+	case opDMARd:
 		d.respondData(t, data)
-	case opGPUWr, opDMAWr, opDMARd:
-		if t.op == opDMARd {
-			d.respondData(t, data)
-		} else {
-			d.k.Schedule(d.respLatency, t.done)
-		}
 	case opCPURd:
 		kind := FillS
-		if len(d.sharers[line]) == 0 && d.ownerOf(line) < 0 {
+		if d.sharers[line] == 0 && d.ownerOf(line) < 0 {
 			kind = FillE
 			d.owner[line] = t.cpu
 		}
-		d.addSharer(line, t.cpu)
+		d.sharers[line] |= 1 << uint(t.cpu)
 		d.respondCPU(t, data, kind)
 	case opCPURdX:
-		for id := range d.sharers[line] {
-			delete(d.sharers[line], id)
-		}
-		d.addSharer(line, t.cpu)
+		d.sharers[line] = 1 << uint(t.cpu)
 		d.owner[line] = t.cpu
 		d.respondCPU(t, data, FillM)
 	case opCPUVic:
 		delete(d.owner, line)
-		delete(d.sharers[line], t.cpu)
-		d.k.Schedule(d.respLatency, t.done)
+		d.clearSharer(line, t.cpu)
+		d.pushResp(pendingResp{kind: respPlain, fn: t.done})
 	case opGPUAt, opGPUClean:
-		// opGPUAt responds from memPhase (it needs the old value);
-		// opGPUClean has no requester.
+		// opGPUAt responds from its memory-phase callback (it needs the
+		// old value); opGPUClean has no requester.
 	}
+	d.putTBE(t)
 	d.wake(line)
-}
-
-func (d *Directory) addSharer(line mem.Addr, cpu int) {
-	set, ok := d.sharers[line]
-	if !ok {
-		set = make(map[int]bool)
-		d.sharers[line] = set
-	}
-	set[cpu] = true
 }
 
 func (d *Directory) respondData(t *tbe, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	d.k.Schedule(d.respLatency, func() { t.doneData(buf) })
+	d.pushResp(pendingResp{kind: respData, fn: t.doneData, buf: buf})
 }
 
 func (d *Directory) respondCPU(t *tbe, data []byte, kind FillKind) {
@@ -597,18 +763,20 @@ func (d *Directory) respondCPU(t *tbe, data []byte, kind FillKind) {
 		buf = make([]byte, len(data))
 		copy(buf, data)
 	}
-	d.k.Schedule(d.respLatency, func() { t.doneCPU(buf, kind) })
+	d.pushResp(pendingResp{kind: respCPU, fn: t.doneCPU, buf: buf, cpuKind: kind})
 }
 
 func (d *Directory) wake(line mem.Addr) {
-	queue := d.stalled[line]
-	if len(queue) == 0 {
+	queue, ok := d.stalled[line]
+	if !ok {
 		return
 	}
 	delete(d.stalled, line)
-	for _, retry := range queue {
-		retry()
+	for i, r := range queue {
+		queue[i] = stalledReq{}
+		d.request(line, r.ev, r.t)
 	}
+	d.stallFree = append(d.stallFree, queue[:0])
 }
 
 // DebugDump renders the directory's live state for diagnosing hangs.
@@ -621,8 +789,8 @@ func (d *Directory) DebugDump() string {
 		out += fmt.Sprintf("stalled line=%#x count=%d\n", uint64(line), len(q))
 	}
 	for line, hs := range d.gpuHolders {
-		if len(hs) > 0 {
-			out += fmt.Sprintf("holders line=%#x %v\n", uint64(line), hs)
+		if hs != 0 {
+			out += fmt.Sprintf("holders line=%#x mask=%#x\n", uint64(line), hs)
 		}
 	}
 	return out

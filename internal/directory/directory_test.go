@@ -40,7 +40,7 @@ func newDir(t *testing.T) (*sim.Kernel, *Directory, *mem.Store, *coverage.Collec
 	k := sim.NewKernel()
 	col := coverage.NewCollector(NewSpec())
 	store := mem.NewStore()
-	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store)
+	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store, nil)
 	return k, New(k, col, nil, ctrl, 64), store, col
 }
 
@@ -59,7 +59,10 @@ func TestGPUFetchSetsGState(t *testing.T) {
 	k, d, store, _ := newDir(t)
 	store.WriteWord(0x40, 7)
 	var got []byte
-	d.FetchLine(0x40, 64, func(data []byte) { got = data })
+	d.FetchLine(0x40, 64, func(data *mem.Line, _ any) {
+		got = append([]byte(nil), data.Data...)
+		data.Release()
+	}, nil)
 	k.RunUntilIdle()
 	if got == nil || got[0] != 7 {
 		t.Fatal("fetch returned wrong data")
@@ -74,7 +77,7 @@ func TestCPUReadProbesGPU(t *testing.T) {
 	gpu := &fakeGPU{}
 	d.AttachGPU(gpu)
 	cpu := d.AttachCPU(&fakeCPU{})
-	d.FetchLine(0x80, 64, func([]byte) {})
+	d.FetchLine(0x80, 64, func(l *mem.Line, _ any) { l.Release() }, nil)
 	k.RunUntilIdle()
 	var kind FillKind
 	d.CPURead(cpu, 0x80, func(_ []byte, fk FillKind) { kind = fk })
@@ -119,9 +122,9 @@ func TestAtomicNackInB(t *testing.T) {
 	k, d, _, col := newDir(t)
 	// Start a long transaction on the line, then fire an atomic at it
 	// mid-flight: the atomic must NACK, not stall.
-	d.FetchLine(0x140, 64, func([]byte) {})
+	d.FetchLine(0x140, 64, func(l *mem.Line, _ any) { l.Release() }, nil)
 	nacked := false
-	d.Atomic(0x140, 1, func(_ uint32, nack bool) { nacked = nack })
+	d.Atomic(0x140, 1, func(_ uint32, nack bool, _ any) { nacked = nack }, nil)
 	k.RunUntilIdle()
 	if !nacked {
 		t.Fatal("atomic on a busy line was not NACKed")
@@ -151,13 +154,13 @@ func TestAtomicCleansCPUCopies(t *testing.T) {
 	var old uint32
 	var fire func()
 	fire = func() {
-		d.Atomic(0x180, 1, func(o uint32, nack bool) {
+		d.Atomic(0x180, 1, func(o uint32, nack bool, _ any) {
 			if nack {
 				k.Schedule(20, fire)
 				return
 			}
 			old = o + 1 // mark completion (old is 9<<0? value check below)
-		})
+		}, nil)
 	}
 	fire()
 	k.RunUntilIdle()
@@ -178,9 +181,11 @@ func TestAtomicCleansCPUCopies(t *testing.T) {
 func TestBlockingSerializesSameLine(t *testing.T) {
 	k, d, _, _ := newDir(t)
 	order := []int{}
-	d.FetchLine(0x200, 64, func([]byte) { order = append(order, 1) })
-	d.FetchLine(0x200, 64, func([]byte) { order = append(order, 2) })
-	d.WriteLine(0x200, make([]byte, 64), nil, func() { order = append(order, 3) })
+	d.FetchLine(0x200, 64, func(l *mem.Line, _ any) { order = append(order, 1); l.Release() }, nil)
+	d.FetchLine(0x200, 64, func(l *mem.Line, _ any) { order = append(order, 2); l.Release() }, nil)
+	payload := d.lines.Get(64)
+	clear(payload.Data)
+	d.WriteLine(0x200, payload, func(any) { order = append(order, 3) }, nil)
 	k.RunUntilIdle()
 	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
 		t.Fatalf("blocked ops completed out of order: %v", order)
@@ -225,5 +230,38 @@ func TestDirectorySpecTextRoundTrip(t *testing.T) {
 	}
 	if !orig.Equal(re) {
 		t.Fatalf("round trip changed the table: %v", orig.Diff(re))
+	}
+}
+
+// TestDirectorySteadyStateAllocs pins the closure-free transaction
+// engine: once the TBE pool, stall queues and response FIFO are warm,
+// a round of GPU fetches, write-throughs and atomics over a fixed
+// working set allocates nothing. (CPU/DMA read responses are excluded:
+// they hand out a fresh copy of borrowed bytes by contract.)
+func TestDirectorySteadyStateAllocs(t *testing.T) {
+	k, d, _, _ := newDir(t)
+	pool := mem.NewLinePool(64)
+	lines := []mem.Addr{0x000, 0x040, 0x080, 0x0c0, 0x100, 0x140, 0x180, 0x1c0}
+	round := func() {
+		for _, ln := range lines {
+			d.FetchLine(ln, 64, func(l *mem.Line, _ any) { l.Release() }, nil)
+		}
+		k.RunUntilIdle()
+		for _, ln := range lines {
+			wl := pool.Get(64)
+			wl.Data[0] = byte(ln)
+			d.WriteLine(ln, wl, func(any) {}, nil)
+		}
+		k.RunUntilIdle()
+		for _, ln := range lines {
+			d.Atomic(ln, 1, func(uint32, bool, any) {}, nil)
+		}
+		k.RunUntilIdle()
+	}
+	for i := 0; i < 3; i++ {
+		round() // warm pools, maps and rings
+	}
+	if n := testing.AllocsPerRun(50, round); n != 0 {
+		t.Fatalf("steady-state directory round allocates %.1f objects, want 0", n)
 	}
 }

@@ -22,6 +22,7 @@ type Engine struct {
 
 	reads, writes uint64
 	inflight      int
+	free          []*transfer
 }
 
 // New builds a DMA engine over dir.
@@ -47,6 +48,43 @@ func (e *Engine) CopyOut(base mem.Addr, lines int, interval sim.Tick, done func(
 	e.run(base, lines, interval, false, done)
 }
 
+// transfer is one CopyIn/CopyOut in flight: pooled, with its callbacks
+// prebound and (for writes) one pattern buffer reused line to line, so
+// a transfer allocates nothing per line. Buffer reuse is safe because
+// the next write is only issued after the previous one completed, long
+// after the directory copied the borrowed bytes into its own line.
+type transfer struct {
+	e        *Engine
+	line     mem.Addr
+	left     int
+	interval sim.Tick
+	write    bool
+	done     func()
+	buf      []byte
+
+	stepFn   func()
+	wrDoneFn func()
+	rdDoneFn func([]byte)
+}
+
+func (e *Engine) getXfer() *transfer {
+	if n := len(e.free); n > 0 {
+		t := e.free[n-1]
+		e.free = e.free[:n-1]
+		return t
+	}
+	t := &transfer{e: e}
+	t.stepFn = t.step
+	t.wrDoneFn = t.wrDone
+	t.rdDoneFn = t.rdDone
+	return t
+}
+
+func (e *Engine) putXfer(t *transfer) {
+	t.line, t.left, t.interval, t.write, t.done = 0, 0, 0, false, nil
+	e.free = append(e.free, t)
+}
+
 func (e *Engine) run(base mem.Addr, lines int, interval sim.Tick, write bool, done func()) {
 	if lines <= 0 {
 		if done != nil {
@@ -54,33 +92,60 @@ func (e *Engine) run(base mem.Addr, lines int, interval sim.Tick, write bool, do
 		}
 		return
 	}
-	line := mem.LineAddr(base, e.lineSize)
+	t := e.getXfer()
+	t.line = mem.LineAddr(base, e.lineSize)
+	t.left, t.interval, t.write, t.done = lines, interval, write, done
 	e.inflight++
-	finish := func() {
-		e.inflight--
-		if lines == 1 {
-			if done != nil {
-				done()
-			}
-			return
+	t.issue()
+}
+
+func (t *transfer) issue() {
+	e := t.e
+	if t.write {
+		if t.buf == nil {
+			t.buf = make([]byte, e.lineSize)
 		}
-		e.k.Schedule(interval, func() {
-			e.run(line+mem.Addr(e.lineSize), lines-1, interval, write, done)
-		})
-	}
-	if write {
-		data := make([]byte, e.lineSize)
-		for i := range data {
-			data[i] = byte(uint64(line)>>6 + uint64(i))
+		for i := range t.buf {
+			t.buf[i] = byte(uint64(t.line)>>6 + uint64(i))
 		}
-		e.dir.DMAWrite(line, data, func() {
-			e.writes++
-			finish()
-		})
+		e.dir.DMAWrite(t.line, t.buf, t.wrDoneFn)
 		return
 	}
-	e.dir.DMARead(line, func([]byte) {
-		e.reads++
-		finish()
-	})
+	e.dir.DMARead(t.line, t.rdDoneFn)
+}
+
+func (t *transfer) wrDone() {
+	t.e.writes++
+	t.finish()
+}
+
+func (t *transfer) rdDone([]byte) {
+	t.e.reads++
+	t.finish()
+}
+
+// finish completes one line: the last line runs done synchronously
+// (after the transfer is recycled — done may start another transfer);
+// otherwise the next line is issued after the inter-op interval. The
+// in-flight count drops across the gap, as it always has: Inflight
+// counts issued-but-incomplete line ops, not active transfers.
+func (t *transfer) finish() {
+	e := t.e
+	e.inflight--
+	if t.left == 1 {
+		done := t.done
+		e.putXfer(t)
+		if done != nil {
+			done()
+		}
+		return
+	}
+	e.k.Schedule(t.interval, t.stepFn)
+}
+
+func (t *transfer) step() {
+	t.line += mem.Addr(t.e.lineSize)
+	t.left--
+	t.e.inflight++
+	t.issue()
 }

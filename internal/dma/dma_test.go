@@ -14,7 +14,7 @@ func newRig() (*sim.Kernel, *Engine, *mem.Store, *coverage.Collector) {
 	k := sim.NewKernel()
 	col := coverage.NewCollector(directory.NewSpec())
 	store := mem.NewStore()
-	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store)
+	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store, nil)
 	dir := directory.New(k, col, nil, ctrl, 64)
 	return k, New(k, dir, 64), store, col
 }
@@ -68,5 +68,24 @@ func TestZeroLinesCompletesImmediately(t *testing.T) {
 	}
 	if e.Inflight() != 0 {
 		t.Fatal("inflight count leaked")
+	}
+}
+
+// TestCopyInSteadyStateAllocs pins the pooled-transfer engine: once a
+// transfer object and its pattern buffer exist, repeated CopyIns over
+// the same buffer allocate nothing — the per-line closures and pattern
+// buffers the old engine built are gone. (CopyOut is excluded: each
+// read response carries a fresh copy of the line by contract.)
+func TestCopyInSteadyStateAllocs(t *testing.T) {
+	k, e, _, _ := newRig()
+	round := func() {
+		e.CopyIn(0x1000, 8, 10, nil)
+		k.RunUntilIdle()
+	}
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	if n := testing.AllocsPerRun(50, round); n != 0 {
+		t.Fatalf("steady-state CopyIn allocates %.1f objects, want 0", n)
 	}
 }

@@ -94,9 +94,6 @@ func newBisectRun(a *Artifact) (*bisectRun, error) {
 	if a.Kind != ArtifactGPU {
 		return nil, fmt.Errorf("bisect: %s artifacts are not supported (checkpointed replay is GPU-only)", a.Kind)
 	}
-	if a.GPU.TestCfg.StreamCheck {
-		return nil, fmt.Errorf("bisect: artifact was recorded with StreamCheck, whose online state cannot be checkpointed — re-record without it")
-	}
 	depth := a.TraceCapacity
 	if depth <= 0 {
 		depth = DefaultTraceCapacity

@@ -77,7 +77,7 @@ func BuildCPU(numCPUs int, cacheCfg cache.Config) *CPUBuild {
 	col := coverage.NewCollector(moesi.NewCPUSpec(), directory.NewSpec())
 	rec := traced(k, col, moesi.NewCPUSpec(), directory.NewSpec())
 	store := mem.NewStore()
-	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store)
+	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store, nil)
 	dir := directory.New(k, rec, nil, ctrl, cacheCfg.LineSize)
 	spec := moesi.NewCPUSpec()
 	caches := make([]*moesi.Cache, numCPUs)
@@ -114,7 +114,7 @@ func BuildHetero(gpuCfg viper.Config, numCPUs int, cpuCache cache.Config) *Heter
 		moesi.NewCPUSpec(), directory.NewSpec(),
 	)
 	store := mem.NewStore()
-	ctrl := memctrl.New(k, gpuCfg.Mem, store)
+	ctrl := memctrl.New(k, gpuCfg.Mem, store, nil)
 	dir := directory.New(k, rec, nil, ctrl, gpuCfg.L1.LineSize)
 	gpu := viper.NewSystemWithBackend(k, gpuCfg, rec, dir)
 	dir.AttachGPU(gpu)

@@ -28,7 +28,7 @@ func BuildMultiGPU(gpuCfg viper.Config, numGPUs int) *MultiGPUBuild {
 	k := sim.NewKernel()
 	col := coverage.NewCollector(viper.NewTCPSpec(), viper.NewTCCSpec(), directory.NewSpec())
 	store := mem.NewStore()
-	ctrl := memctrl.New(k, gpuCfg.Mem, store)
+	ctrl := memctrl.New(k, gpuCfg.Mem, store, nil)
 	dir := directory.New(k, col, nil, ctrl, gpuCfg.L1.LineSize)
 
 	b := &MultiGPUBuild{K: k, Dir: dir, Store: store, Col: col}

@@ -14,15 +14,12 @@ func TestSnapshotFieldAudit(t *testing.T) {
 		"k":          "config: owning kernel, survives Reset/Restore",
 		"cfg":        "config: fixed at construction",
 		"store":      "state: backing store, snapshotted via its own COW Snapshot",
-		"queue":      "state: Reset clears; Snapshot deep-copies queued data/mask buffers",
-		"head":       "state: Reset/Restore normalize the queue to head 0",
+		"queue":      "state: ring; Reset clears (dropping payload refs; owning system reclaims via pool Reset); Snapshot linearizes, retaining payload handles by identity",
 		"busy":       "state: Reset clears, Snapshot/Restore copy",
-		"inflight":   "state: Reset clears; Snapshot deep-copies in-flight buffers",
-		"inflightHd": "state: Reset/Restore normalize to head 0",
+		"inflight":   "state: ring; Reset clears (dropping payload refs; owning system reclaims via pool Reset); Snapshot linearizes, retaining payload handles by identity",
 		"serviceFn":  "config: pre-bound closure, survives Reset/Restore",
 		"completeFn": "config: pre-bound closure, survives Reset/Restore",
-		"freeData":   "pool: recycled buffers; Restore re-clones through it, Reset keeps it",
-		"freeMasks":  "pool: recycled buffers; Restore re-clones through it, Reset keeps it",
+		"pool":       "pool: shared line pool; the owning system snapshots/resets it at the same cut (private pools are quiescent between runs)",
 		"reads":      "stats: ResetStats zeroes, Snapshot/Restore copy",
 		"writes":     "stats: ResetStats zeroes, Snapshot/Restore copy",
 		"atomics":    "stats: ResetStats zeroes, Snapshot/Restore copy",

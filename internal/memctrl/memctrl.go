@@ -10,9 +10,12 @@
 // stay occupied.
 //
 // The controller sits on every miss and write-through path, so its
-// steady state is allocation-free: requests are held by value in a
-// head-indexed queue, completion closures are pre-bound, and line
-// buffers are recycled through free lists.
+// steady state is allocation- and copy-free: requests are held by value
+// in power-of-two ring queues, completion callbacks are pre-bound and carry
+// an opaque ctx instead of closing over per-request state, and line
+// payloads travel as refcounted *mem.Line handles — WriteLine takes
+// ownership of the caller's handle rather than copying its bytes, and
+// ReadLine hands the callee a pool-backed handle it then owns.
 package memctrl
 
 import (
@@ -35,19 +38,20 @@ func DefaultConfig() Config {
 }
 
 // request is one queued DRAM command. Exactly one of the on* callbacks
-// is set, matching kind; the typed fields avoid a per-request adapter
-// closure.
+// is set, matching kind; the typed fields plus the opaque ctx avoid a
+// per-request adapter closure.
 type request struct {
-	kind     kind
-	line     mem.Addr
-	size     int
-	data     []byte
-	mask     []bool
-	addr     mem.Addr // word address for atomics
-	delta    uint32
-	onRead   func(data []byte)
-	onWrite  func()
-	onAtomic func(old uint32)
+	kind    kind
+	line    mem.Addr
+	size    int
+	payload *mem.Line // write payload; the request owns one reference
+	addr    mem.Addr  // word address for atomics
+	delta   uint32
+
+	onRead   func(data *mem.Line, ctx any)
+	onWrite  func(ctx any)
+	onAtomic func(old uint32, nack bool, ctx any)
+	ctx      any
 }
 
 type kind uint8
@@ -58,43 +62,113 @@ const (
 	kindAtomic
 )
 
+// ring is a growable power-of-two FIFO of requests. Push and pop are a
+// single indexed write each; the backing array doubles only when the
+// live window outgrows it, so steady state runs allocation-free at a
+// footprint bounded by the peak depth.
+type ring struct {
+	slots      []request // len is a power of two (or zero)
+	head, tail uint64    // pop at head&mask, push at tail&mask
+}
+
+func (q *ring) len() int { return int(q.tail - q.head) }
+
+func (q *ring) push(r request) {
+	if q.len() == len(q.slots) {
+		q.grow()
+	}
+	q.slots[q.tail&uint64(len(q.slots)-1)] = r
+	q.tail++
+}
+
+func (q *ring) pop() request {
+	i := q.head & uint64(len(q.slots)-1)
+	r := q.slots[i]
+	q.slots[i] = request{}
+	q.head++
+	return r
+}
+
+func (q *ring) grow() {
+	n := len(q.slots) * 2
+	if n == 0 {
+		n = 32
+	}
+	slots := make([]request, n)
+	for i, h := 0, q.head; h != q.tail; i, h = i+1, h+1 {
+		slots[i] = q.slots[h&uint64(len(q.slots)-1)]
+	}
+	q.tail -= q.head
+	q.head = 0
+	q.slots = slots
+}
+
+// reset empties the ring, clearing every slot so dropped requests do
+// not pin payloads or ctx objects.
+func (q *ring) reset() {
+	clear(q.slots)
+	q.head, q.tail = 0, 0
+}
+
+// save returns the live window in FIFO order (nil when empty).
+func (q *ring) save() []request {
+	if q.len() == 0 {
+		return nil
+	}
+	out := make([]request, 0, q.len())
+	for h := q.head; h != q.tail; h++ {
+		out = append(out, q.slots[h&uint64(len(q.slots)-1)])
+	}
+	return out
+}
+
+// load replaces the ring's contents with the given FIFO window.
+func (q *ring) load(reqs []request) {
+	q.reset()
+	for _, r := range reqs {
+		q.push(r)
+	}
+}
+
 // Controller services line reads, masked line writes and word atomics
 // against a backing Store.
 type Controller struct {
 	k     *sim.Kernel
 	cfg   Config
 	store *mem.Store
+	pool  *mem.LinePool
 
-	// queue is head-indexed: pops advance head and the backing array is
-	// reset (not reallocated) whenever the queue drains.
-	queue []request
-	head  int
+	// queue is a power-of-two ring: slots are reused as head laps the
+	// array, so the footprint tracks the peak queue depth instead of
+	// the total request count (an append-only head-indexed queue never
+	// shrinks while at least one request is always pending).
+	queue ring
 	busy  bool
 
 	// inflight holds dequeued requests awaiting completion, drained
 	// FIFO by completeFn: every dequeue schedules completion exactly
 	// AccessLatency ticks out and dequeues happen at nondecreasing
 	// ticks, so completions fire in dequeue order.
-	inflight   []request
-	inflightHd int
+	inflight ring
 
 	serviceFn  func()
 	completeFn func()
-
-	// Free lists for the data/mask copies made by WriteLine and the
-	// buffers handed to ReadLine callbacks. Misses fall back to
-	// allocation, so an unrecycled buffer is a leak, never a bug.
-	freeData  [][]byte
-	freeMasks [][]bool
 
 	// stats
 	reads, writes, atomics uint64
 	peakQueue              int
 }
 
-// New creates a controller on kernel k over backing store st.
-func New(k *sim.Kernel, cfg Config, st *mem.Store) *Controller {
-	c := &Controller{k: k, cfg: cfg, store: st}
+// New creates a controller on kernel k over backing store st. Line
+// payloads for read fills are drawn from pool; pass the owning
+// system's shared pool so handles can flow across components (and so
+// one pool snapshot covers every in-flight payload), or nil to give
+// the controller a private pool.
+func New(k *sim.Kernel, cfg Config, st *mem.Store, pool *mem.LinePool) *Controller {
+	if pool == nil {
+		pool = mem.NewLinePool(64)
+	}
+	c := &Controller{k: k, cfg: cfg, store: st, pool: pool}
 	c.serviceFn = c.service
 	c.completeFn = c.complete
 	return c
@@ -104,83 +178,54 @@ func New(k *sim.Kernel, cfg Config, st *mem.Store) *Controller {
 // end-of-run consistency audits).
 func (c *Controller) Store() *mem.Store { return c.store }
 
+// Pool exposes the controller's line pool (the system's shared pool
+// when one was supplied to New).
+func (c *Controller) Pool() *mem.LinePool { return c.pool }
+
 // Reset drops all queued and in-flight requests, zeroes the stats, and
 // empties the backing store. The kernel must be reset alongside: the
 // pending service/complete events reference the dropped requests, and
-// busy=false assumes no serviceFn remains scheduled. Queued payload
-// copies are released to GC rather than the free lists — after a reset
-// their completion would never fire, so recycling them eagerly risks
-// nothing but is also unnecessary (the free lists themselves are kept).
+// busy=false assumes no serviceFn remains scheduled. Dropped write
+// payloads keep their references — their holders are being reset by
+// identity alongside (pool restore or caller reset reclaims them), so
+// releasing here would double-free.
 func (c *Controller) Reset() {
-	clear(c.queue[:cap(c.queue)])
-	c.queue = c.queue[:0]
-	c.head = 0
+	c.queue.reset()
 	c.busy = false
-	clear(c.inflight[:cap(c.inflight)])
-	c.inflight = c.inflight[:0]
-	c.inflightHd = 0
+	c.inflight.reset()
 	c.reads, c.writes, c.atomics, c.peakQueue = 0, 0, 0, 0
 	c.store.Reset()
 }
 
-func (c *Controller) getData(n int) []byte {
-	for i := len(c.freeData) - 1; i >= 0; i-- {
-		if cap(c.freeData[i]) >= n {
-			b := c.freeData[i][:n]
-			c.freeData[i] = c.freeData[len(c.freeData)-1]
-			c.freeData[len(c.freeData)-1] = nil
-			c.freeData = c.freeData[:len(c.freeData)-1]
-			return b
-		}
-	}
-	return make([]byte, n)
+// ReadLine fetches size bytes at line and calls done with a pool-owned
+// data handle. Ownership of the handle transfers to the callee, which
+// must Release it (after at most retaining it into longer-lived
+// state); nothing is copied on the way.
+func (c *Controller) ReadLine(line mem.Addr, size int, done func(data *mem.Line, ctx any), ctx any) {
+	c.enqueue(request{kind: kindRead, line: line, size: size, onRead: done, ctx: ctx})
 }
 
-func (c *Controller) getMask(n int) []bool {
-	for i := len(c.freeMasks) - 1; i >= 0; i-- {
-		if cap(c.freeMasks[i]) >= n {
-			m := c.freeMasks[i][:n]
-			c.freeMasks[i] = c.freeMasks[len(c.freeMasks)-1]
-			c.freeMasks[len(c.freeMasks)-1] = nil
-			c.freeMasks = c.freeMasks[:len(c.freeMasks)-1]
-			return m
-		}
-	}
-	return make([]bool, n)
-}
-
-// ReadLine fetches size bytes at line and calls done with the data.
-// The data slice is only valid for the duration of the done call: the
-// controller recycles the buffer for later reads. Callers must copy
-// anything they retain.
-func (c *Controller) ReadLine(line mem.Addr, size int, done func(data []byte)) {
-	c.enqueue(request{kind: kindRead, line: line, size: size, onRead: done})
-}
-
-// WriteLine writes data (length = line size) at line under mask and
-// calls done when the write is globally performed.
-func (c *Controller) WriteLine(line mem.Addr, data []byte, mask []bool, done func()) {
-	// Copy: the caller may reuse its buffers before service time.
-	d := c.getData(len(data))
-	copy(d, data)
-	var m []bool
-	if mask != nil {
-		m = c.getMask(len(mask))
-		copy(m, mask)
-	}
-	c.enqueue(request{kind: kindWrite, line: line, data: d, mask: m, onWrite: done})
+// WriteLine writes payload (data under its mask, if any) at line and
+// calls done when the write is globally performed. The controller
+// takes ownership of one reference to payload: callers that keep using
+// the line (e.g. a write-combining buffer) retain their own reference,
+// and copy-on-write isolates the queued bytes if they then mutate it.
+func (c *Controller) WriteLine(line mem.Addr, payload *mem.Line, done func(ctx any), ctx any) {
+	c.enqueue(request{kind: kindWrite, line: line, payload: payload, onWrite: done, ctx: ctx})
 }
 
 // Atomic performs a fetch-add at word address addr and calls done with
 // the old value. Atomicity is inherent: the controller services one
-// request at a time against the functional store.
-func (c *Controller) Atomic(addr mem.Addr, delta uint32, done func(old uint32)) {
-	c.enqueue(request{kind: kindAtomic, addr: addr, delta: delta, onAtomic: done})
+// request at a time against the functional store. The controller never
+// NACKs; the bool matches the shared backend callback shape so
+// adapters stay allocation-free.
+func (c *Controller) Atomic(addr mem.Addr, delta uint32, done func(old uint32, nack bool, ctx any), ctx any) {
+	c.enqueue(request{kind: kindAtomic, addr: addr, delta: delta, onAtomic: done, ctx: ctx})
 }
 
 func (c *Controller) enqueue(r request) {
-	c.queue = append(c.queue, r)
-	if n := len(c.queue) - c.head; n > c.peakQueue {
+	c.queue.push(r)
+	if n := c.queue.len(); n > c.peakQueue {
 		c.peakQueue = n
 	}
 	if !c.busy {
@@ -190,16 +235,12 @@ func (c *Controller) enqueue(r request) {
 }
 
 func (c *Controller) service() {
-	if c.head == len(c.queue) {
-		c.queue = c.queue[:0]
-		c.head = 0
+	if c.queue.len() == 0 {
 		c.busy = false
 		return
 	}
-	r := c.queue[c.head]
-	c.queue[c.head] = request{}
-	c.head++
-	c.inflight = append(c.inflight, r)
+	r := c.queue.pop()
+	c.inflight.push(r)
 	c.k.Schedule(c.cfg.AccessLatency, c.completeFn)
 	period := c.cfg.ServicePeriod
 	if period == 0 {
@@ -209,32 +250,23 @@ func (c *Controller) service() {
 }
 
 func (c *Controller) complete() {
-	r := c.inflight[c.inflightHd]
-	c.inflight[c.inflightHd] = request{}
-	c.inflightHd++
-	if c.inflightHd == len(c.inflight) {
-		c.inflight = c.inflight[:0]
-		c.inflightHd = 0
-	}
+	r := c.inflight.pop()
 	switch r.kind {
 	case kindRead:
 		c.reads++
-		data := c.getData(r.size)
-		c.store.ReadBytes(r.line, data)
-		r.onRead(data)
-		c.freeData = append(c.freeData, data)
+		data := c.pool.Get(r.size)
+		c.store.ReadBytes(r.line, data.Data)
+		r.onRead(data, r.ctx)
 	case kindWrite:
 		c.writes++
-		c.store.WriteBytes(r.line, r.data, r.mask)
-		c.freeData = append(c.freeData, r.data)
-		if r.mask != nil {
-			c.freeMasks = append(c.freeMasks, r.mask)
-		}
-		r.onWrite()
+		p := r.payload
+		c.store.WriteBytes(r.line, p.Data, p.Mask())
+		p.Release()
+		r.onWrite(r.ctx)
 	case kindAtomic:
 		c.atomics++
 		old := c.store.AtomicAdd(r.addr, r.delta)
-		r.onAtomic(old)
+		r.onAtomic(old, false, r.ctx)
 	}
 }
 
@@ -245,11 +277,14 @@ func (c *Controller) Stats() (reads, writes, atomics uint64, peakQueue int) {
 }
 
 // Snapshot captures the controller's queues, stats and backing store.
-// Queued payload buffers are deep-copied (the live ones are recycled
-// through the free lists and would be overwritten); completion
-// callbacks are pre-bound to stable owner objects, so the value copies
-// stay valid. The kernel events referencing serviceFn/completeFn must
-// be snapshotted alongside by the owner.
+// Queued requests are captured by value, retaining payload handles and
+// callback ctx objects by identity: both are restored-in-place by
+// their owners (the shared line pool's Snapshot/Restore covers payload
+// contents and refcounts; message/TBE pools cover the ctx objects), so
+// a mid-run snapshot needs the owning system to snapshot its pools at
+// the same cut. Quiescent snapshots hold no requests at all. The
+// kernel events referencing serviceFn/completeFn must be snapshotted
+// alongside by the owner.
 type Snapshot struct {
 	queue    []request
 	inflight []request
@@ -261,46 +296,11 @@ type Snapshot struct {
 	store *mem.StoreSnapshot
 }
 
-func snapReqs(src []request) []request {
-	if len(src) == 0 {
-		return nil
-	}
-	out := make([]request, len(src))
-	copy(out, src)
-	for i := range out {
-		if out[i].data != nil {
-			out[i].data = append([]byte(nil), out[i].data...)
-		}
-		if out[i].mask != nil {
-			out[i].mask = append([]bool(nil), out[i].mask...)
-		}
-	}
-	return out
-}
-
-// cloneReq re-privatizes a snapshotted request for live use, drawing
-// payload buffers from the free lists (they will be recycled back by
-// complete, keeping the snapshot's own buffers pristine for repeated
-// restores).
-func (c *Controller) cloneReq(r request) request {
-	if r.data != nil {
-		d := c.getData(len(r.data))
-		copy(d, r.data)
-		r.data = d
-	}
-	if r.mask != nil {
-		m := c.getMask(len(r.mask))
-		copy(m, r.mask)
-		r.mask = m
-	}
-	return r
-}
-
 // Snapshot captures the controller and its backing store.
 func (c *Controller) Snapshot() *Snapshot {
 	return &Snapshot{
-		queue:     snapReqs(c.queue[c.head:]),
-		inflight:  snapReqs(c.inflight[c.inflightHd:]),
+		queue:     c.queue.save(),
+		inflight:  c.inflight.save(),
 		busy:      c.busy,
 		reads:     c.reads,
 		writes:    c.writes,
@@ -312,20 +312,12 @@ func (c *Controller) Snapshot() *Snapshot {
 
 // Restore returns the controller and its backing store to the captured
 // state. The kernel must be restored in lockstep (the service/complete
-// events must match the restored queues).
+// events must match the restored queues), and the owning system must
+// restore its line/message pools at the same cut so the retained
+// payload and ctx identities carry the captured contents.
 func (c *Controller) Restore(s *Snapshot) {
-	clear(c.queue[:cap(c.queue)])
-	c.queue = c.queue[:0]
-	c.head = 0
-	for _, r := range s.queue {
-		c.queue = append(c.queue, c.cloneReq(r))
-	}
-	clear(c.inflight[:cap(c.inflight)])
-	c.inflight = c.inflight[:0]
-	c.inflightHd = 0
-	for _, r := range s.inflight {
-		c.inflight = append(c.inflight, c.cloneReq(r))
-	}
+	c.queue.load(s.queue)
+	c.inflight.load(s.inflight)
 	c.busy = s.busy
 	c.reads, c.writes, c.atomics, c.peakQueue = s.reads, s.writes, s.atomics, s.peakQueue
 	c.store.Restore(s.store)

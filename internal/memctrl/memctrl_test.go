@@ -9,16 +9,27 @@ import (
 
 func newCtrl() (*sim.Kernel, *Controller) {
 	k := sim.NewKernel()
-	return k, New(k, Config{AccessLatency: 100, ServicePeriod: 4}, mem.NewStore())
+	return k, New(k, Config{AccessLatency: 100, ServicePeriod: 4}, mem.NewStore(), nil)
+}
+
+// wline builds a pool-owned unmasked write payload.
+func wline(c *Controller, n int, set func(d []byte)) *mem.Line {
+	l := c.Pool().Get(n)
+	clear(l.Data)
+	if set != nil {
+		set(l.Data)
+	}
+	return l
 }
 
 func TestReadAfterWriteFIFO(t *testing.T) {
 	k, c := newCtrl()
-	data := make([]byte, 64)
-	data[3] = 0xEE
 	var got []byte
-	c.WriteLine(0x1000, data, nil, func() {})
-	c.ReadLine(0x1000, 64, func(d []byte) { got = append([]byte(nil), d...) })
+	c.WriteLine(0x1000, wline(c, 64, func(d []byte) { d[3] = 0xEE }), func(any) {}, nil)
+	c.ReadLine(0x1000, 64, func(d *mem.Line, _ any) {
+		got = append([]byte(nil), d.Data...)
+		d.Release()
+	}, nil)
 	k.RunUntilIdle()
 	if got == nil || got[3] != 0xEE {
 		t.Fatal("read did not observe earlier queued write (FIFO broken)")
@@ -27,47 +38,74 @@ func TestReadAfterWriteFIFO(t *testing.T) {
 
 func TestMaskedWrite(t *testing.T) {
 	k, c := newCtrl()
-	full := make([]byte, 8)
-	for i := range full {
-		full[i] = 0x11
-	}
-	c.WriteLine(0, full, nil, func() {})
-	patch := make([]byte, 8)
-	mask := make([]bool, 8)
-	patch[2], mask[2] = 0x99, true
-	c.WriteLine(0, patch, mask, func() {})
+	full := wline(c, 8, func(d []byte) {
+		for i := range d {
+			d[i] = 0x11
+		}
+	})
+	c.WriteLine(0, full, func(any) {}, nil)
+	patch := c.Pool().GetMasked(8)
+	clear(patch.Data)
+	patch.Data[2], patch.Mask()[2] = 0x99, true
+	c.WriteLine(0, patch, func(any) {}, nil)
 	var got []byte
-	c.ReadLine(0, 8, func(d []byte) { got = append([]byte(nil), d...) })
+	c.ReadLine(0, 8, func(d *mem.Line, _ any) {
+		got = append([]byte(nil), d.Data...)
+		d.Release()
+	}, nil)
 	k.RunUntilIdle()
 	if got[2] != 0x99 || got[1] != 0x11 {
 		t.Fatalf("masked write produced %v", got)
 	}
 }
 
-func TestWriteBuffersAreCopied(t *testing.T) {
+// TestWriteOwnershipAndCOW pins the handle-transfer contract that
+// replaced the old copy-at-enqueue behaviour: a caller that keeps
+// using a queued payload must retain it and mutate only through
+// Writable, which copies exactly when the queued reference is live.
+func TestWriteOwnershipAndCOW(t *testing.T) {
 	k, c := newCtrl()
-	data := make([]byte, 4)
-	data[0] = 1
-	c.WriteLine(0, data, nil, func() {})
-	data[0] = 99 // caller reuses the buffer before service time
+	l := wline(c, 4, func(d []byte) { d[0] = 1 })
+	l.Retain() // caller keeps a reference alongside the queued write
+	c.WriteLine(0, l, func(any) {}, nil)
+	// Caller "reuses the buffer" before service time — through
+	// Writable, which must copy (the controller still holds a ref).
+	wl := l.Writable()
+	if wl == l {
+		t.Fatal("Writable aliased a shared payload")
+	}
+	wl.Data[0] = 99
+	wl.Release()
 	var got []byte
-	c.ReadLine(0, 4, func(d []byte) { got = append([]byte(nil), d...) })
+	c.ReadLine(0, 4, func(d *mem.Line, _ any) {
+		got = append([]byte(nil), d.Data...)
+		d.Release()
+	}, nil)
 	k.RunUntilIdle()
 	if got[0] != 1 {
-		t.Fatal("controller aliased the caller's write buffer")
+		t.Fatal("queued write observed the caller's later mutation")
 	}
+	// Sole-owner Writable is in-place: no copy when nobody shares.
+	solo := wline(c, 4, nil)
+	if solo.Writable() != solo {
+		t.Fatal("Writable copied a sole-owner payload")
+	}
+	solo.Release()
 }
 
 func TestAtomicSerialized(t *testing.T) {
 	k, c := newCtrl()
 	seen := map[uint32]bool{}
 	for i := 0; i < 50; i++ {
-		c.Atomic(0x40, 1, func(old uint32) {
+		c.Atomic(0x40, 1, func(old uint32, nack bool, _ any) {
+			if nack {
+				t.Error("memctrl NACKed an atomic")
+			}
 			if seen[old] {
 				t.Errorf("duplicate atomic old value %d", old)
 			}
 			seen[old] = true
-		})
+		}, nil)
 	}
 	k.RunUntilIdle()
 	if len(seen) != 50 {
@@ -82,7 +120,10 @@ func TestServicePeriodSpacesCompletions(t *testing.T) {
 	k, c := newCtrl()
 	var times []sim.Tick
 	for i := 0; i < 5; i++ {
-		c.ReadLine(mem.Addr(i*64), 64, func([]byte) { times = append(times, k.Now()) })
+		c.ReadLine(mem.Addr(i*64), 64, func(d *mem.Line, _ any) {
+			times = append(times, k.Now())
+			d.Release()
+		}, nil)
 	}
 	k.RunUntilIdle()
 	for i := 1; i < len(times); i++ {
@@ -97,9 +138,9 @@ func TestServicePeriodSpacesCompletions(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	k, c := newCtrl()
-	c.ReadLine(0, 64, func([]byte) {})
-	c.WriteLine(64, make([]byte, 64), nil, func() {})
-	c.Atomic(128, 1, func(uint32) {})
+	c.ReadLine(0, 64, func(d *mem.Line, _ any) { d.Release() }, nil)
+	c.WriteLine(64, wline(c, 64, nil), func(any) {}, nil)
+	c.Atomic(128, 1, func(uint32, bool, any) {}, nil)
 	k.RunUntilIdle()
 	r, w, a, peak := c.Stats()
 	if r != 1 || w != 1 || a != 1 {
@@ -107,5 +148,27 @@ func TestStats(t *testing.T) {
 	}
 	if peak < 1 {
 		t.Fatalf("peak queue %d", peak)
+	}
+}
+
+// TestSteadyStateRecycles pins the pool behaviour the zero-copy plane
+// depends on: after warmup, reads and writes recycle lines instead of
+// allocating.
+func TestSteadyStateRecycles(t *testing.T) {
+	k, c := newCtrl()
+	for i := 0; i < 8; i++ {
+		c.WriteLine(0, wline(c, 64, nil), func(any) {}, nil)
+		c.ReadLine(0, 64, func(d *mem.Line, _ any) { d.Release() }, nil)
+		k.RunUntilIdle()
+	}
+	_, allocsWarm := c.Pool().Stats()
+	for i := 0; i < 64; i++ {
+		c.WriteLine(0, wline(c, 64, nil), func(any) {}, nil)
+		c.ReadLine(0, 64, func(d *mem.Line, _ any) { d.Release() }, nil)
+		k.RunUntilIdle()
+	}
+	_, allocsAfter := c.Pool().Stats()
+	if allocsAfter != allocsWarm {
+		t.Fatalf("steady state allocated %d new lines", allocsAfter-allocsWarm)
 	}
 }

@@ -37,7 +37,7 @@ func newRig(t *testing.T, numCPUs int) *rig {
 	k := sim.NewKernel()
 	col := coverage.NewCollector(NewCPUSpec(), directory.NewSpec())
 	store := mem.NewStore()
-	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store)
+	ctrl := memctrl.New(k, memctrl.DefaultConfig(), store, nil)
 	dir := directory.New(k, col, nil, ctrl, 64)
 	cl := &client{responses: make(map[uint64]*mem.Response)}
 	r := &rig{k: k, dir: dir, store: store, col: col, cl: cl}

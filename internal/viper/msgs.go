@@ -1,6 +1,10 @@
 package viper
 
-import "drftest/internal/mem"
+import (
+	"fmt"
+
+	"drftest/internal/mem"
+)
 
 // reqKind tags TCP→TCC traffic.
 type reqKind uint8
@@ -28,14 +32,34 @@ type tcpMsg struct {
 	kind reqKind
 	cu   int
 	line mem.Addr
-	// WrVicBlk payload: full-line buffer plus per-byte mask of the
-	// written bytes.
-	data []byte
-	mask []bool
+	// payload is the WrVicBlk write-through data: a borrowed line
+	// handle (data + per-byte mask of the written bytes). The message
+	// owns one reference, taken at send time and transferred onward
+	// (to the backend write) or released when the message dies.
+	payload *mem.Line
+	// payloadEpoch is payload's epoch at send time; consumption
+	// re-checks it so a refcount bug that recycles the line mid-flight
+	// trips immediately instead of corrupting silently.
+	payloadEpoch uint64
 	// req is the core request that triggered the message; WrVicBlk and
 	// Atomic completion acks are routed back against it. For RdBlk it
 	// is the first coalesced load (used in logs only).
 	req *mem.Request
+}
+
+// setPayload attaches a line handle (transferring the caller's
+// reference to the message) and stamps its epoch.
+func (m *tcpMsg) setPayload(l *mem.Line) {
+	m.payload = l
+	m.payloadEpoch = l.Epoch()
+}
+
+// checkPayload is the delivery-side half of the epoch handshake.
+func (m *tcpMsg) checkPayload() {
+	if m.payload.Epoch() != m.payloadEpoch {
+		panic(fmt.Sprintf("viper: %s payload for %#x recycled in flight (epoch %d, stamped %d)",
+			m.kind, uint64(m.line), m.payload.Epoch(), m.payloadEpoch))
+	}
 }
 
 // ackKind tags TCC→TCP traffic.
@@ -51,7 +75,23 @@ const (
 type tccMsg struct {
 	kind ackKind
 	line mem.Addr
-	data []byte // ackFill: line contents
-	old  uint32 // ackAtomic: pre-add value
-	req  *mem.Request
+	// payload is the ackFill line contents, shared by reference with
+	// the fill's other consumers (the message owns one reference; see
+	// tcpMsg.payload for the epoch handshake).
+	payload      *mem.Line
+	payloadEpoch uint64
+	old          uint32 // ackAtomic: pre-add value
+	req          *mem.Request
+}
+
+func (m *tccMsg) setPayload(l *mem.Line) {
+	m.payload = l
+	m.payloadEpoch = l.Epoch()
+}
+
+func (m *tccMsg) checkPayload() {
+	if m.payload.Epoch() != m.payloadEpoch {
+		panic(fmt.Sprintf("viper: fill payload for %#x recycled in flight (epoch %d, stamped %d)",
+			uint64(m.line), m.payload.Epoch(), m.payloadEpoch))
+	}
 }

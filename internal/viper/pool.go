@@ -1,89 +1,66 @@
 package viper
 
-// msgPool recycles the protocol-layer message structs and line-sized
-// buffers that flow between a system's TCPs and TCCs, so the
-// steady-state load/store/atomic paths allocate nothing. The
-// simulation is single-threaded, so plain stacks suffice.
+import "drftest/internal/mem"
+
+// msgPool recycles the protocol-layer message structs that flow
+// between a system's TCPs and TCCs, and owns the system's shared
+// mem.LinePool for the payloads they carry, so the steady-state
+// load/store/atomic paths allocate nothing and line data crosses the
+// system by reference. The simulation is single-threaded, so plain
+// stacks suffice.
 //
 // Safety model: every get falls back to allocation when the pool is
 // empty, so a message that is never released (a stalled fault path, a
 // controller variant that does not recycle) merely leaks — only a
 // release while the object is still referenced can corrupt, and each
 // release point is chosen where the object is provably dead (see
-// FromTCP / onWBAck / TCC.send).
+// FromTCP / onWBAck / TCC.send). Payload lines carry their own
+// refcounts and epoch stamps (mem.Line), so a premature recycle of a
+// line trips the delivery-side epoch check.
 type msgPool struct {
 	lineSize int
 	tcpMsgs  []*tcpMsg
 	tccMsgs  []*tccMsg
-	data     [][]byte
-	masks    [][]bool
+	// lines is the shared payload pool; handles flow through messages,
+	// write-combining buffers, TBEs, the memory controller and the
+	// directory, and release back here from any of them.
+	lines *mem.LinePool
 
-	// Mid-run checkpoint support. Pooled objects are recycled and
-	// overwritten, so a checkpoint must save the contents of every
-	// object that could be live — which, once tracking is on, is
+	// Mid-run checkpoint support. Pooled message structs are recycled
+	// and overwritten, so a checkpoint must save the contents of every
+	// struct that could be live — which, once tracking is on, is
 	// exactly the set allocated since enableTracking drained the free
 	// stacks. Registration happens only on the allocation fallback, so
 	// the steady-state get/put paths stay branch-one, and with
 	// tracking off (campaigns, plain runs) the registries never grow.
-	track    bool
-	allTCP   []*tcpMsg
-	allTCC   []*tccMsg
-	allData  [][]byte
-	allMasks [][]bool
+	// The line pool keeps its own always-on registry and is snapshotted
+	// alongside.
+	track  bool
+	allTCP []*tcpMsg
+	allTCC []*tccMsg
 }
 
-func newMsgPool(lineSize int) *msgPool { return &msgPool{lineSize: lineSize} }
+func newMsgPool(lineSize int, lines *mem.LinePool) *msgPool {
+	return &msgPool{lineSize: lineSize, lines: lines}
+}
 
-// enableTracking turns on checkpoint registration. The free stacks are
-// drained first (dropped to GC) so every object live during the
-// tracked run is allocation-registered.
+// enableTracking turns on checkpoint registration. The message free
+// stacks are drained first (dropped to GC) so every struct live during
+// the tracked run is allocation-registered; the line pool flips to
+// snapshot-capable in place (its registry is always on).
 func (p *msgPool) enableTracking() {
 	p.track = true
-	p.tcpMsgs, p.tccMsgs, p.data, p.masks = nil, nil, nil, nil
+	p.tcpMsgs, p.tccMsgs = nil, nil
+	p.lines.EnableTracking()
 }
 
-// getData returns a zeroed line-sized byte buffer (make semantics).
-func (p *msgPool) getData() []byte {
-	if n := len(p.data); n > 0 {
-		b := p.data[n-1]
-		p.data[n-1] = nil
-		p.data = p.data[:n-1]
-		clear(b)
-		return b
-	}
-	b := make([]byte, p.lineSize)
-	if p.track {
-		p.allData = append(p.allData, b)
-	}
-	return b
-}
-
-// getMask returns a zeroed line-sized mask (make semantics).
-func (p *msgPool) getMask() []bool {
-	if n := len(p.masks); n > 0 {
-		m := p.masks[n-1]
-		p.masks[n-1] = nil
-		p.masks = p.masks[:n-1]
-		clear(m)
-		return m
-	}
-	m := make([]bool, p.lineSize)
-	if p.track {
-		p.allMasks = append(p.allMasks, m)
-	}
-	return m
-}
-
-func (p *msgPool) putData(b []byte) {
-	if len(b) == p.lineSize {
-		p.data = append(p.data, b)
-	}
-}
-
-func (p *msgPool) putMask(m []bool) {
-	if len(m) == p.lineSize {
-		p.masks = append(p.masks, m)
-	}
+// reset force-reclaims the payload pool. Message structs in flight at
+// reset time (early-stopped runs) leak to the GC exactly as before —
+// their free stacks survive — but every payload line returns to
+// service, so campaign steady states stay allocation-free even across
+// faulting seeds. Only valid once the owning kernel has been reset.
+func (p *msgPool) reset() {
+	p.lines.Reset()
 }
 
 func (p *msgPool) getTCPMsg() *tcpMsg {
@@ -100,13 +77,12 @@ func (p *msgPool) getTCPMsg() *tcpMsg {
 	return m
 }
 
-// putTCPMsg releases m along with its payload buffers.
+// putTCPMsg releases m along with the payload reference it still
+// holds, if any (a WrVicBlk that handed its payload to the backend has
+// already cleared the field).
 func (p *msgPool) putTCPMsg(m *tcpMsg) {
-	if m.data != nil {
-		p.putData(m.data)
-	}
-	if m.mask != nil {
-		p.putMask(m.mask)
+	if m.payload != nil {
+		m.payload.Release()
 	}
 	*m = tcpMsg{}
 	p.tcpMsgs = append(p.tcpMsgs, m)
@@ -126,55 +102,44 @@ func (p *msgPool) getTCCMsg() *tccMsg {
 	return m
 }
 
-// putTCCMsg releases m along with its fill buffer.
+// putTCCMsg releases m along with its fill payload reference.
 func (p *msgPool) putTCCMsg(m *tccMsg) {
-	if m.data != nil {
-		p.putData(m.data)
+	if m.payload != nil {
+		m.payload.Release()
 	}
 	*m = tccMsg{}
 	p.tccMsgs = append(p.tccMsgs, m)
 }
 
-// poolSnapshot captures the contents of every tracked object plus the
-// free stacks. Message structs and buffers referenced by live protocol
-// state (link queues, TBEs, stall queues, write-through buffers) are
-// restored in place, so all the pointers those structures hold stay
-// valid after a restore.
+// poolSnapshot captures the contents of every tracked message struct,
+// the message free stacks, and the full line-pool state (contents,
+// refcounts, free order). Structs and lines referenced by live
+// protocol state (link queues, TBEs, stall queues, write-through
+// buffers, memctrl queues) are restored in place, so all the pointers
+// those structures hold stay valid after a restore.
 type poolSnapshot struct {
-	tcpContents  []tcpMsg
-	tccContents  []tccMsg
-	dataContents [][]byte
-	maskContents [][]bool
-	freeTCP      []*tcpMsg
-	freeTCC      []*tccMsg
-	freeData     [][]byte
-	freeMasks    [][]bool
+	tcpContents []tcpMsg
+	tccContents []tccMsg
+	freeTCP     []*tcpMsg
+	freeTCC     []*tccMsg
+	lines       *mem.LinePoolSnapshot
 }
 
 // snapshot captures every registered object's contents. Only valid
 // with tracking enabled — without it the live set is unknown.
 func (p *msgPool) snapshot() *poolSnapshot {
 	s := &poolSnapshot{
-		tcpContents:  make([]tcpMsg, len(p.allTCP)),
-		tccContents:  make([]tccMsg, len(p.allTCC)),
-		dataContents: make([][]byte, len(p.allData)),
-		maskContents: make([][]bool, len(p.allMasks)),
-		freeTCP:      append([]*tcpMsg(nil), p.tcpMsgs...),
-		freeTCC:      append([]*tccMsg(nil), p.tccMsgs...),
-		freeData:     append([][]byte(nil), p.data...),
-		freeMasks:    append([][]bool(nil), p.masks...),
+		tcpContents: make([]tcpMsg, len(p.allTCP)),
+		tccContents: make([]tccMsg, len(p.allTCC)),
+		freeTCP:     append([]*tcpMsg(nil), p.tcpMsgs...),
+		freeTCC:     append([]*tccMsg(nil), p.tccMsgs...),
+		lines:       p.lines.Snapshot(),
 	}
 	for i, m := range p.allTCP {
 		s.tcpContents[i] = *m
 	}
 	for i, m := range p.allTCC {
 		s.tccContents[i] = *m
-	}
-	for i, b := range p.allData {
-		s.dataContents[i] = append([]byte(nil), b...)
-	}
-	for i, m := range p.allMasks {
-		s.maskContents[i] = append([]bool(nil), m...)
 	}
 	return s
 }
@@ -200,22 +165,9 @@ func (p *msgPool) restore(s *poolSnapshot) {
 			*m = tccMsg{}
 		}
 	}
-	for i, b := range p.allData {
-		if i < len(s.dataContents) {
-			copy(b, s.dataContents[i])
-		}
-	}
-	for i, m := range p.allMasks {
-		if i < len(s.maskContents) {
-			copy(m, s.maskContents[i])
-		}
-	}
 	p.tcpMsgs = append(p.tcpMsgs[:0], s.freeTCP...)
 	p.tcpMsgs = append(p.tcpMsgs, p.allTCP[len(s.tcpContents):]...)
 	p.tccMsgs = append(p.tccMsgs[:0], s.freeTCC...)
 	p.tccMsgs = append(p.tccMsgs, p.allTCC[len(s.tccContents):]...)
-	p.data = append(p.data[:0], s.freeData...)
-	p.data = append(p.data, p.allData[len(s.dataContents):]...)
-	p.masks = append(p.masks[:0], s.freeMasks...)
-	p.masks = append(p.masks, p.allMasks[len(s.maskContents):]...)
+	p.lines.Restore(s.lines)
 }

@@ -158,6 +158,10 @@ func (s *System) Reset() {
 	if s.Mem != nil {
 		s.Mem.Reset()
 	}
+	// Last: force-reclaim every payload line. The controllers above
+	// dropped their references without releasing (their state was
+	// recycled wholesale), so the pool re-parks the whole registry.
+	s.pool.reset()
 }
 
 // SetRespJitter retunes the response-network jitter window and its
@@ -253,36 +257,47 @@ func (s *System) L2Stats() map[string]uint64 {
 }
 
 // MemBackend adapts a memory controller to the TCC's Backend interface
-// (GPU-only systems; it never NACKs atomics).
+// (GPU-only systems; it never NACKs atomics). The callback shapes
+// match exactly, so every method is a pure pass-through.
 type MemBackend struct{ Ctrl *memctrl.Controller }
 
 // FetchLine implements Backend.
-func (b MemBackend) FetchLine(line mem.Addr, size int, done func([]byte)) {
-	b.Ctrl.ReadLine(line, size, done)
+func (b MemBackend) FetchLine(line mem.Addr, size int, done func(*mem.Line, any), ctx any) {
+	b.Ctrl.ReadLine(line, size, done, ctx)
 }
 
 // WriteLine implements Backend.
-func (b MemBackend) WriteLine(line mem.Addr, data []byte, mask []bool, done func()) {
-	b.Ctrl.WriteLine(line, data, mask, done)
+func (b MemBackend) WriteLine(line mem.Addr, payload *mem.Line, done func(any), ctx any) {
+	b.Ctrl.WriteLine(line, payload, done, ctx)
 }
 
 // Atomic implements Backend.
-func (b MemBackend) Atomic(addr mem.Addr, delta uint32, done func(uint32, bool)) {
-	b.Ctrl.Atomic(addr, delta, func(old uint32) { done(old, false) })
+func (b MemBackend) Atomic(addr mem.Addr, delta uint32, done func(uint32, bool, any), ctx any) {
+	b.Ctrl.Atomic(addr, delta, done, ctx)
 }
 
 // NewSystem builds a GPU system over its own memory controller and
-// backing store.
+// backing store. The controller shares the system's line pool, so read
+// fills and write payloads cross the memory boundary without copying
+// and one pool snapshot covers every in-flight payload.
 func NewSystem(k *sim.Kernel, cfg Config, rec protocol.Recorder) *System {
-	ctrl := memctrl.New(k, cfg.Mem, mem.NewStore())
-	s := NewSystemWithBackend(k, cfg, rec, MemBackend{Ctrl: ctrl})
+	lines := mem.NewLinePool(cfg.L1.LineSize)
+	ctrl := memctrl.New(k, cfg.Mem, mem.NewStore(), lines)
+	s := newSystem(k, cfg, rec, MemBackend{Ctrl: ctrl}, lines)
 	s.Mem = ctrl
 	return s
 }
 
 // NewSystemWithBackend builds a GPU system whose TCC sits on an
-// external backend (e.g. the heterogeneous system directory).
+// external backend (e.g. the heterogeneous system directory). The
+// system still owns its line pool; payload handles handed to (or
+// received from) the backend carry their owning pool, so they cross
+// the boundary safely.
 func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, backend Backend) *System {
+	return newSystem(k, cfg, rec, backend, mem.NewLinePool(cfg.L1.LineSize))
+}
+
+func newSystem(k *sim.Kernel, cfg Config, rec protocol.Recorder, backend Backend, lines *mem.LinePool) *System {
 	if cfg.NumCUs <= 0 {
 		panic("viper: NumCUs must be positive")
 	}
@@ -305,7 +320,7 @@ func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, back
 
 	jrnd := rng.New(cfg.JitterSeed, jitterStream)
 	s.jrnd = jrnd
-	pool := newMsgPool(cfg.L1.LineSize)
+	pool := newMsgPool(cfg.L1.LineSize, lines)
 	s.pool = pool
 	tccSpec := NewTCCSpec()
 	wbSpec := NewTCCWBSpec()
@@ -318,7 +333,7 @@ func NewSystemWithBackend(k *sim.Kernel, cfg Config, rec protocol.Recorder, back
 		respXBar := network.NewJitterCrossbar(k, fmt.Sprintf("tcc%d->tcp", sl), cfg.NumCUs, cfg.RespLatency, cfg.RespJitter, jrnd)
 		s.respXBars = append(s.respXBars, respXBar)
 		if cfg.WriteBackL2 {
-			wb := newTCCWB(k, wbSpec, rec, onFault, cfg.L2, backend, respXBar, cfg.Bugs)
+			wb := newTCCWB(k, wbSpec, rec, onFault, cfg.L2, backend, respXBar, cfg.Bugs, pool)
 			wb.sliceIndex = sl
 			s.l2s = append(s.l2s, wb)
 		} else {
@@ -435,6 +450,12 @@ func (s *System) Restore(snap *SystemSnapshot) {
 	s.faults = append(s.faults[:0], snap.faults...)
 	if snap.pool != nil {
 		s.pool.restore(snap.pool)
+	} else {
+		// Quiescent snapshot: nothing referenced a payload line at the
+		// cut, so whatever the abandoned run left live is force-
+		// reclaimed wholesale (the message free stacks already hold
+		// every recycled struct).
+		s.pool.reset()
 	}
 	for i, seq := range s.Seqs {
 		seq.restore(snap.seqs[i])

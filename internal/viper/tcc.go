@@ -14,16 +14,24 @@ import (
 // Backend is what the TCC sits on: either the memory controller
 // directly (GPU-only systems) or the shared CPU–GPU system directory
 // (heterogeneous systems). It is the global ordering point for data.
+//
+// The callback shapes mirror memctrl's exactly — done functions are
+// pre-bound and carry an opaque ctx instead of closing over call-site
+// state, and payloads travel as refcounted line handles — so the
+// GPU-only adapter is a pure pass-through and the steady-state miss,
+// write-through and atomic paths schedule no closures.
 type Backend interface {
-	// FetchLine reads size bytes at line and calls done with the data.
-	FetchLine(line mem.Addr, size int, done func(data []byte))
-	// WriteLine performs a masked line write and calls done when the
-	// write is globally performed.
-	WriteLine(line mem.Addr, data []byte, mask []bool, done func())
+	// FetchLine reads size bytes at line and calls done with a line
+	// handle the callee then owns (release or retain it).
+	FetchLine(line mem.Addr, size int, done func(data *mem.Line, ctx any), ctx any)
+	// WriteLine performs a masked line write (payload's bytes under its
+	// mask) and calls done when the write is globally performed. The
+	// backend takes ownership of one reference to payload.
+	WriteLine(line mem.Addr, payload *mem.Line, done func(ctx any), ctx any)
 	// Atomic performs a fetch-add on the word at addr. done receives
 	// the old value, or nack=true when the ordering point refuses the
 	// operation (e.g. a directory mid-probe) and the caller must retry.
-	Atomic(addr mem.Addr, delta uint32, done func(old uint32, nack bool))
+	Atomic(addr mem.Addr, delta uint32, done func(old uint32, nack bool, ctx any), ctx any)
 }
 
 type tbeKind uint8
@@ -34,9 +42,10 @@ const (
 )
 
 // tccTBE tracks one line's in-flight transaction at the L2. TBEs are
-// recycled through the TCC's free list; the backend continuations are
-// bound once per TBE (getTBE), so a miss or atomic schedules no new
-// closures.
+// recycled through the TCC's free list; backend completions arrive on
+// the TCC's shared ctx-style callbacks with the TBE as ctx, so only
+// the kernel-facing retry continuation is bound per TBE (once, for the
+// TBE's life).
 type tccTBE struct {
 	kind tbeKind
 	line mem.Addr
@@ -48,9 +57,7 @@ type tccTBE struct {
 	// not be installed.
 	probed bool
 
-	fetchFn  func(data []byte)
-	atomicFn func(old uint32, nack bool)
-	retryFn  func()
+	retryFn func()
 }
 
 // TCC is the GPU's shared L2 cache controller (VIPER's "TCC"). It
@@ -88,6 +95,14 @@ type TCC struct {
 	sendFns []func(any)
 	wbs     map[mem.Addr]int // in-flight memory writes per line
 
+	// Shared backend continuations, bound once at construction; the
+	// per-operation state rides in ctx (the TBE, or the WrVicBlk
+	// message), so backend calls allocate nothing.
+	fetchDoneFn  func(data *mem.Line, ctx any)
+	atomicDoneFn func(old uint32, nack bool, ctx any)
+	wbAckFn      func(ctx any)
+	noopWBFn     func(ctx any)
+
 	// stats
 	rdBlks, wrVicBlks, atomicsSeen, fills, stalls uint64
 	wbAcks, droppedMerges, droppedAcks            uint64
@@ -96,7 +111,7 @@ type TCC struct {
 func newTCC(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l2 cache.Config, backend Backend, toTCP *network.Crossbar, bugs BugSet, pool *msgPool) *TCC {
 	m := protocol.NewMachine(spec, rec)
 	m.OnFault = onFault
-	return &TCC{
+	c := &TCC{
 		k:             k,
 		machine:       m,
 		array:         cache.NewArray(l2),
@@ -110,11 +125,23 @@ func newTCC(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault f
 		stalledProbes: make(map[mem.Addr][]func()),
 		wbs:           make(map[mem.Addr]int),
 	}
+	c.fetchDoneFn = func(data *mem.Line, ctx any) { c.onData(ctx.(*tccTBE), data) }
+	c.atomicDoneFn = func(old uint32, nack bool, ctx any) {
+		tbe := ctx.(*tccTBE)
+		if nack {
+			c.onAtomicND(tbe)
+			return
+		}
+		c.onAtomicD(tbe, old)
+	}
+	c.wbAckFn = func(ctx any) { c.onWBAck(ctx.(*tcpMsg)) }
+	c.noopWBFn = func(any) {}
+	return c
 }
 
 // getTBE takes a TBE from the free list (or builds one, binding its
-// backend continuations to it for life). The caller fills the
-// identity fields.
+// retry continuation to it for life). The caller fills the identity
+// fields.
 func (c *TCC) getTBE() *tccTBE {
 	if n := len(c.tbeFree); n > 0 {
 		t := c.tbeFree[n-1]
@@ -123,14 +150,6 @@ func (c *TCC) getTBE() *tccTBE {
 		return t
 	}
 	t := &tccTBE{}
-	t.fetchFn = func(data []byte) { c.onData(t.line, data) }
-	t.atomicFn = func(old uint32, nack bool) {
-		if nack {
-			c.onAtomicND(t)
-			return
-		}
-		c.onAtomicD(t, old)
-	}
 	t.retryFn = func() { c.issueAtomic(t) }
 	c.allTBEs = append(c.allTBEs, t)
 	return t
@@ -244,37 +263,42 @@ func (c *TCC) FromTCP(msg *tcpMsg) {
 	// Release points: RdBlk and Atomic messages are dead once this
 	// dispatch returns (the TBE holds the core request, not the
 	// message); a WrVicBlk stays live until its write-through ack
-	// (onWBAck) because it carries the data/mask payload.
+	// (onWBAck) because it is the backend write's ctx, though its
+	// payload reference is handed to the backend at issue.
 	switch msg.kind {
 	case msgRdBlk:
 		c.rdBlks++
 		if st == TCCStateV {
 			e := c.array.Lookup(line)
-			c.sendFill(msg.cu, line, e.Data)
+			c.sendFillBytes(msg.cu, line, e.Data)
 			c.pool.putTCPMsg(msg)
 			return
 		}
 		tbe := c.getTBE()
 		tbe.kind, tbe.line, tbe.cu, tbe.req = tbeFill, line, msg.cu, msg.req
 		c.tbes[line] = tbe
-		c.backend.FetchLine(line, c.lineSize(), tbe.fetchFn)
+		c.backend.FetchLine(line, c.lineSize(), c.fetchDoneFn, tbe)
 		c.pool.putTCPMsg(msg)
 
 	case msgWrVicBlk:
 		c.wrVicBlks++
+		msg.checkPayload()
 		if st == TCCStateV {
 			if c.bugs.LostWriteRace && c.wbs[line] > 0 {
 				// BUG: the racing write-through skips the merge into
 				// the cached copy, leaving the L2 line stale.
 				c.droppedMerges++
 			} else {
-				c.array.Lookup(line).WriteMasked(msg.data, msg.mask)
+				c.array.Lookup(line).WriteMasked(msg.payload.Data, msg.payload.Mask())
 			}
 		}
 		c.wbs[line]++
-		c.backend.WriteLine(line, msg.data, msg.mask, func() {
-			c.onWBAck(line, msg)
-		})
+		// The message's payload reference transfers to the backend
+		// write; the message itself rides along as ctx so onWBAck can
+		// route the completion.
+		payload := msg.payload
+		msg.payload = nil
+		c.backend.WriteLine(line, payload, c.wbAckFn, msg)
 
 	case msgAtomic:
 		c.atomicsSeen++
@@ -291,7 +315,7 @@ func (c *TCC) FromTCP(msg *tcpMsg) {
 }
 
 func (c *TCC) issueAtomic(tbe *tccTBE) {
-	c.backend.Atomic(tbe.req.Addr, tbe.req.Operand, tbe.atomicFn)
+	c.backend.Atomic(tbe.req.Addr, tbe.req.Operand, c.atomicDoneFn, tbe)
 }
 
 func (c *TCC) onAtomicD(tbe *tccTBE, old uint32) {
@@ -313,38 +337,40 @@ func (c *TCC) onAtomicND(tbe *tccTBE) {
 	c.k.Schedule(c.retryDelay, tbe.retryFn)
 }
 
-func (c *TCC) onData(line mem.Addr, data []byte) {
+// onData receives a fill from the backend; the TCC owns the data
+// handle and transfers it onward to the fill response (installing a
+// copy in the array first — cache storage mutates under later merges,
+// so the array cannot alias an in-flight payload).
+func (c *TCC) onData(tbe *tccTBE, data *mem.Line) {
+	line := tbe.line
 	st := c.state(line)
 	if cell := c.machine.Fire(st, TCCData); cell.Kind != protocol.Defined {
+		data.Release()
 		return
 	}
-	tbe := c.tbes[line]
-	if tbe == nil || tbe.kind != tbeFill {
+	if c.tbes[line] != tbe || tbe.kind != tbeFill {
 		panic(fmt.Sprintf("viper: TCC data for %#x without fill TBE", uint64(line)))
 	}
 	delete(c.tbes, line)
 	c.fills++
-	if tbe.probed {
-		// The line was probed away mid-fill: serve the data, cache
-		// nothing.
-		c.sendFill(tbe.cu, line, data)
-		c.wake(line)
-		c.putTBE(tbe)
-		return
+	if !tbe.probed {
+		// tbe.probed: the line was probed away mid-fill — serve the
+		// data, cache nothing.
+		victim := c.array.Victim(line, nil)
+		if victim != nil && victim.Valid {
+			c.machine.Fire(TCCStateV, TCCL2Repl)
+			victim.Valid = false
+		}
+		e := c.array.Install(victim, line, TCCStateV)
+		copy(e.Data, data.Data)
 	}
-	victim := c.array.Victim(line, nil)
-	if victim != nil && victim.Valid {
-		c.machine.Fire(TCCStateV, TCCL2Repl)
-		victim.Valid = false
-	}
-	e := c.array.Install(victim, line, TCCStateV)
-	copy(e.Data, data)
-	c.sendFill(tbe.cu, line, e.Data)
+	c.sendFillLine(tbe.cu, line, data)
 	c.wake(line)
 	c.putTBE(tbe)
 }
 
-func (c *TCC) onWBAck(line mem.Addr, msg *tcpMsg) {
+func (c *TCC) onWBAck(msg *tcpMsg) {
+	line := msg.line
 	st := c.state(line)
 	c.machine.Fire(st, TCCWBAck)
 	if c.wbs[line] <= 0 {
@@ -363,7 +389,7 @@ func (c *TCC) onWBAck(line mem.Addr, msg *tcpMsg) {
 		return
 	}
 	cu, req := msg.cu, msg.req
-	c.pool.putTCPMsg(msg) // write performed; payload buffers are dead
+	c.pool.putTCPMsg(msg) // write performed; the backend released the payload
 	ack := c.pool.getTCCMsg()
 	ack.kind, ack.line, ack.req = ackWB, line, req
 	c.send(cu, ack)
@@ -404,13 +430,13 @@ func (c *TCC) buggyLocalAtomic(msg *tcpMsg) {
 		if e2 := c.array.Peek(line); e2 != nil {
 			binary.LittleEndian.PutUint32(e2.Data[off:off+mem.WordSize], newVal)
 		}
-		data := make([]byte, c.lineSize())
-		mask := make([]bool, c.lineSize())
-		binary.LittleEndian.PutUint32(data[off:off+mem.WordSize], newVal)
+		wl := c.pool.lines.GetMasked(c.lineSize())
+		binary.LittleEndian.PutUint32(wl.Data[off:off+mem.WordSize], newVal)
+		mask := wl.Mask()
 		for i := 0; i < mem.WordSize; i++ {
 			mask[off+i] = true
 		}
-		c.backend.WriteLine(line, data, mask, func() {})
+		c.backend.WriteLine(line, wl, c.noopWBFn, nil)
 	})
 }
 
@@ -438,12 +464,22 @@ func (c *TCC) wake(line mem.Addr) {
 	}
 }
 
-func (c *TCC) sendFill(cu int, line mem.Addr, data []byte) {
-	buf := c.pool.getData()
-	copy(buf, data)
+// sendFillLine sends an ackFill carrying l: the caller's reference
+// transfers to the message (released by putTCCMsg after delivery).
+func (c *TCC) sendFillLine(cu int, line mem.Addr, l *mem.Line) {
 	m := c.pool.getTCCMsg()
-	m.kind, m.line, m.data = ackFill, line, buf
+	m.kind, m.line = ackFill, line
+	m.setPayload(l)
 	c.send(cu, m)
+}
+
+// sendFillBytes sends an ackFill for bytes the TCC does not own (the
+// cache array's storage, which mutates under later write-through
+// merges) — the one remaining copy on the V-hit fill path.
+func (c *TCC) sendFillBytes(cu int, line mem.Addr, data []byte) {
+	l := c.pool.lines.Get(len(data))
+	copy(l.Data, data)
+	c.sendFillLine(cu, line, l)
 }
 
 func (c *TCC) sendAtomicAck(cu int, line mem.Addr, req *mem.Request, old uint32) {
@@ -453,8 +489,8 @@ func (c *TCC) sendAtomicAck(cu int, line mem.Addr, req *mem.Request, old uint32)
 }
 
 // send delivers msg to a TCP and recycles it afterwards: FromTCC never
-// retains the message or its fill buffer (fills are copied into the
-// cache array at delivery).
+// retains the message, and putTCCMsg releases the fill payload
+// reference (fills are copied into the L1 array at delivery).
 func (c *TCC) send(cu int, msg *tccMsg) {
 	if c.sendFns == nil {
 		c.sendFns = make([]func(any), len(c.tcps))

@@ -22,8 +22,8 @@ type wbTBE struct {
 	atomicCU int
 	// pending buffers write-through bytes accepted while the fill was
 	// in flight (write-allocate); they merge over the arriving data.
-	pending     []byte
-	pendingMask []bool
+	// The TBE owns one reference to the masked line.
+	pending *mem.Line
 }
 
 // TCCWB is the write-back L2 controller of the VIPER-WB variant. It
@@ -39,6 +39,7 @@ type TCCWB struct {
 	tcps       []*TCP
 	toTCP      *network.Crossbar
 	bugs       BugSet
+	pool       *msgPool
 
 	tbes    map[mem.Addr]*wbTBE
 	stalled map[mem.Addr][]*tcpMsg
@@ -50,33 +51,56 @@ type TCCWB struct {
 	// allocation-free Link.SendMsg path, built on first use.
 	sendFns []func(any)
 
+	// Shared backend continuations; ctx is the boxed line address (not
+	// the TBE), so completions re-look-up state by line and snapshots
+	// stay free to rebuild TBE structs.
+	fetchDoneFn func(data *mem.Line, ctx any)
+	vicWBAckFn  func(ctx any)
+
 	rdBlks, wrVicBlks, atomicsSeen, fills, stalls, evictWBs uint64
 }
 
-func newTCCWB(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l2 cache.Config, backend Backend, toTCP *network.Crossbar, bugs BugSet) *TCCWB {
+func newTCCWB(k *sim.Kernel, spec *protocol.Spec, rec protocol.Recorder, onFault func(*protocol.FaultError), l2 cache.Config, backend Backend, toTCP *network.Crossbar, bugs BugSet, pool *msgPool) *TCCWB {
 	m := protocol.NewMachine(spec, rec)
 	m.OnFault = onFault
-	return &TCCWB{
+	c := &TCCWB{
 		k:       k,
 		machine: m,
 		array:   cache.NewArray(l2),
 		backend: backend,
 		toTCP:   toTCP,
 		bugs:    bugs,
+		pool:    pool,
 		tbes:    make(map[mem.Addr]*wbTBE),
 		stalled: make(map[mem.Addr][]*tcpMsg),
 		vicWBs:  make(map[mem.Addr]int),
 	}
+	c.fetchDoneFn = func(data *mem.Line, ctx any) { c.onData(ctx.(mem.Addr), data) }
+	c.vicWBAckFn = func(ctx any) {
+		vic := ctx.(mem.Addr)
+		c.machine.Fire(c.state(vic), TCCWBAck)
+		c.vicWBs[vic]--
+		if c.vicWBs[vic] == 0 {
+			delete(c.vicWBs, vic)
+		}
+	}
+	return c
 }
 
 // reset returns the controller to its just-built state. The WB variant
-// allocates TBEs and pending buffers per transaction (no pooling), so
-// dropping the maps releases them to GC; the kernel reset has already
-// dropped the events that referenced them.
+// allocates TBEs per transaction (no pooling), so dropping the map
+// releases them to GC; their pending lines are force-reclaimed by the
+// system's pool reset. The kernel reset has already dropped the events
+// that referenced them.
 func (c *TCCWB) reset() {
 	c.array.Reset()
 	clear(c.tbes)
-	clear(c.stalled)
+	for line, msgs := range c.stalled {
+		for _, m := range msgs {
+			c.pool.putTCPMsg(m)
+		}
+		delete(c.stalled, line)
+	}
 	clear(c.vicWBs)
 	c.rdBlks, c.wrVicBlks, c.atomicsSeen, c.fills, c.stalls, c.evictWBs = 0, 0, 0, 0, 0, 0
 	c.toTCP.Reset()
@@ -123,6 +147,7 @@ func (c *TCCWB) FromTCP(msg *tcpMsg) {
 		c.stalled[line] = append(c.stalled[line], msg)
 		return
 	case protocol.Undefined:
+		c.pool.putTCPMsg(msg)
 		return
 	}
 
@@ -131,45 +156,51 @@ func (c *TCCWB) FromTCP(msg *tcpMsg) {
 		c.rdBlks++
 		if st == TCCWBStateV || st == TCCWBStateD {
 			c.sendFill(msg.cu, line, c.array.Lookup(line).Data)
+			c.pool.putTCPMsg(msg)
 			return
 		}
 		c.tbes[line] = &wbTBE{line: line, reader: msg.cu}
 		c.fetch(line)
+		c.pool.putTCPMsg(msg)
 
 	case msgWrVicBlk:
 		c.wrVicBlks++
+		msg.checkPayload()
 		switch st {
 		case TCCWBStateV, TCCWBStateD:
 			e := c.array.Lookup(line)
-			e.WriteMasked(msg.data, msg.mask)
+			e.WriteMasked(msg.payload.Data, msg.payload.Mask())
 			e.State = TCCWBStateD
 		default: // I: write-allocate — buffer bytes, fetch the line
 			tbe := &wbTBE{line: line, reader: -1,
-				pending:     make([]byte, c.lineSize()),
-				pendingMask: make([]bool, c.lineSize())}
-			mergeMasked(tbe.pending, tbe.pendingMask, msg.data, msg.mask)
+				pending: c.pool.lines.GetMasked(c.lineSize())}
+			mergeMasked(tbe.pending.Data, tbe.pending.Mask(), msg.payload.Data, msg.payload.Mask())
 			c.tbes[line] = tbe
 			c.fetch(line)
 		}
 		// The L2 is the visibility point: the write is globally
 		// performed on acceptance.
-		c.send(msg.cu, &tccMsg{kind: ackWB, line: line, req: msg.req})
+		cu, req := msg.cu, msg.req
+		c.pool.putTCPMsg(msg) // releases the payload reference
+		ack := c.pool.getTCCMsg()
+		ack.kind, ack.line, ack.req = ackWB, line, req
+		c.send(cu, ack)
 
 	case msgAtomic:
 		c.atomicsSeen++
 		if st == TCCWBStateV || st == TCCWBStateD {
 			c.performAtomic(line, c.array.Lookup(line), msg.req, msg.cu)
+			c.pool.putTCPMsg(msg)
 			return
 		}
 		c.tbes[line] = &wbTBE{line: line, reader: -1, atomic: msg.req, atomicCU: msg.cu}
 		c.fetch(line)
+		c.pool.putTCPMsg(msg)
 	}
 }
 
 func (c *TCCWB) fetch(line mem.Addr) {
-	c.backend.FetchLine(line, c.lineSize(), func(data []byte) {
-		c.onData(line, data)
-	})
+	c.backend.FetchLine(line, c.lineSize(), c.fetchDoneFn, line)
 }
 
 // performAtomic executes a fetch-add on a cached line, leaving it
@@ -197,9 +228,10 @@ func (c *TCCWB) performAtomic(line mem.Addr, e *cache.Line, req *mem.Request, cu
 	write()
 }
 
-func (c *TCCWB) onData(line mem.Addr, data []byte) {
+func (c *TCCWB) onData(line mem.Addr, data *mem.Line) {
 	st := c.state(line)
 	if cell := c.machine.Fire(st, TCCData); cell.Kind != protocol.Defined {
+		data.Release()
 		return
 	}
 	tbe := c.tbes[line]
@@ -207,10 +239,13 @@ func (c *TCCWB) onData(line mem.Addr, data []byte) {
 		panic(fmt.Sprintf("viper: TCCWB data for %#x without TBE", uint64(line)))
 	}
 	e := c.install(line)
-	copy(e.Data, data)
+	copy(e.Data, data.Data)
+	data.Release()
 	e.State = TCCWBStateV
 	if tbe.pending != nil {
-		e.WriteMasked(tbe.pending, tbe.pendingMask)
+		e.WriteMasked(tbe.pending.Data, tbe.pending.Mask())
+		tbe.pending.Release()
+		tbe.pending = nil
 		e.State = TCCWBStateD
 	}
 	delete(c.tbes, line)
@@ -231,16 +266,10 @@ func (c *TCCWB) install(line mem.Addr) *cache.Line {
 		if victim.State == TCCWBStateD {
 			c.evictWBs++
 			vicLine := victim.Tag
-			buf := make([]byte, len(victim.Data))
-			copy(buf, victim.Data)
+			wl := c.pool.lines.Get(len(victim.Data))
+			copy(wl.Data, victim.Data)
 			c.vicWBs[vicLine]++
-			c.backend.WriteLine(vicLine, buf, nil, func() {
-				c.machine.Fire(c.state(vicLine), TCCWBAck)
-				c.vicWBs[vicLine]--
-				if c.vicWBs[vicLine] == 0 {
-					delete(c.vicWBs, vicLine)
-				}
-			})
+			c.backend.WriteLine(vicLine, wl, c.vicWBAckFn, vicLine)
 		}
 		victim.Valid = false
 	}
@@ -296,23 +325,36 @@ func (c *TCCWB) wake(line mem.Addr) {
 	}
 }
 
+// sendFill copies the cache array's bytes into a pooled line (array
+// storage mutates under later writes) and ships it by reference.
 func (c *TCCWB) sendFill(cu int, line mem.Addr, data []byte) {
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	c.send(cu, &tccMsg{kind: ackFill, line: line, data: buf})
+	l := c.pool.lines.Get(len(data))
+	copy(l.Data, data)
+	m := c.pool.getTCCMsg()
+	m.kind, m.line = ackFill, line
+	m.setPayload(l)
+	c.send(cu, m)
 }
 
 func (c *TCCWB) sendAtomicAck(cu int, line mem.Addr, req *mem.Request, old uint32) {
-	c.send(cu, &tccMsg{kind: ackAtomic, line: line, req: req, old: old})
+	m := c.pool.getTCCMsg()
+	m.kind, m.line, m.req, m.old = ackAtomic, line, req, old
+	c.send(cu, m)
 }
 
+// send delivers msg to a TCP and recycles it (releasing any fill
+// payload reference) afterwards: FromTCC never retains the message.
 func (c *TCCWB) send(cu int, msg *tccMsg) {
 	if c.sendFns == nil {
 		c.sendFns = make([]func(any), len(c.tcps))
 	}
 	fn := c.sendFns[cu]
 	if fn == nil {
-		fn = func(a any) { c.tcps[cu].FromTCC(a.(*tccMsg)) }
+		fn = func(a any) {
+			m := a.(*tccMsg)
+			c.tcps[cu].FromTCC(m)
+			c.pool.putTCCMsg(m)
+		}
 		c.sendFns[cu] = fn
 	}
 	c.toTCP.To(cu).SendMsg(fn, msg)
@@ -320,7 +362,9 @@ func (c *TCCWB) send(cu int, msg *tccMsg) {
 
 // wbSnapshot captures one write-back L2 slice. wbTBEs are never
 // captured by reference across events (completions look them up by
-// line), so they are deep-copied and rebuilt as fresh structs.
+// line — backend ctx is the boxed address), so they are saved by value
+// and rebuilt as fresh structs; pending lines keep their handle
+// identity, contents restored by the line-pool snapshot.
 type wbSnapshot struct {
 	array   *cache.ArraySnapshot
 	tbes    map[mem.Addr]wbTBE
@@ -343,12 +387,7 @@ func (c *TCCWB) snapshot() any {
 		xbar: c.toTCP.Snapshot(),
 	}
 	for line, tbe := range c.tbes {
-		save := *tbe
-		if tbe.pending != nil {
-			save.pending = append([]byte(nil), tbe.pending...)
-			save.pendingMask = append([]bool(nil), tbe.pendingMask...)
-		}
-		s.tbes[line] = save
+		s.tbes[line] = *tbe
 	}
 	for line, q := range c.stalled {
 		s.stalled[line] = append([]*tcpMsg(nil), q...)
@@ -365,10 +404,6 @@ func (c *TCCWB) restore(snap any) {
 	clear(c.tbes)
 	for line, save := range s.tbes {
 		tbe := save
-		if save.pending != nil {
-			tbe.pending = append([]byte(nil), save.pending...)
-			tbe.pendingMask = append([]bool(nil), save.pendingMask...)
-		}
 		c.tbes[line] = &tbe
 	}
 	clear(c.stalled)

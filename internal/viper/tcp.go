@@ -50,6 +50,9 @@ type TCP struct {
 	// stores even when the fill was read from memory before the
 	// write-through landed — the per-byte-mask behaviour of real VIPER.
 	wt map[mem.Addr]*wtBuf
+	// wtFree recycles wtBuf headers (the line payloads they reference
+	// recycle through the line pool independently).
+	wtFree []*wtBuf
 
 	// stats
 	loads, loadHits, stores, atomics, stalls uint64
@@ -87,8 +90,11 @@ func (t *TCP) reset() {
 	}
 	clear(t.stalled)
 	for line, buf := range t.wt {
-		t.pool.putData(buf.data)
-		t.pool.putMask(buf.mask)
+		// Drop the line reference without releasing: the owning pool's
+		// Reset force-reclaims every line, so a release here would
+		// double-park lines the in-flight messages also referenced.
+		buf.line = nil
+		t.wtFree = append(t.wtFree, buf)
 		delete(t.wt, line)
 	}
 	t.loads, t.loadHits, t.stores, t.atomics, t.stalls = 0, 0, 0, 0, 0
@@ -97,11 +103,24 @@ func (t *TCP) reset() {
 	}
 }
 
-// wtBuf holds the merged bytes of a line's in-flight write-throughs.
+// wtBuf holds the merged bytes of a line's in-flight write-throughs as
+// a borrowed line handle. The first store shares its payload line with
+// the WrVicBlk message it sends (one line, two references); later
+// stores merge through Writable, which copies only if that first
+// message is still in flight.
 type wtBuf struct {
-	data  []byte
-	mask  []bool
+	line  *mem.Line
 	count int
+}
+
+func (t *TCP) getWTBuf() *wtBuf {
+	if n := len(t.wtFree); n > 0 {
+		b := t.wtFree[n-1]
+		t.wtFree[n-1] = nil
+		t.wtFree = t.wtFree[:n-1]
+		return b
+	}
+	return &wtBuf{}
 }
 
 func (t *TCP) lineSize() int { return t.array.Config().LineSize }
@@ -192,24 +211,34 @@ func (t *TCP) CoreRequest(req *mem.Request) {
 
 	case mem.OpStore:
 		t.stores++
-		data, mask := t.wordWrite(req)
+		wl := t.wordWrite(req)
 		if st == TCPStateV {
-			t.array.Lookup(req.Addr).WriteMasked(data, mask)
+			t.array.Lookup(req.Addr).WriteMasked(wl.Data, wl.Mask())
 		}
-		buf, ok := t.wt[line]
-		if !ok {
-			buf = &wtBuf{data: t.pool.getData(), mask: t.pool.getMask()}
+		if buf, ok := t.wt[line]; !ok {
+			// First in-flight store to this line: the accumulation
+			// buffer IS the message payload (shared, two references).
+			buf = t.getWTBuf()
+			buf.line, buf.count = wl.Retain(), 1
 			t.wt[line] = buf
-		}
-		for i := range data {
-			if mask[i] {
-				buf.data[i] = data[i]
-				buf.mask[i] = true
+		} else {
+			// Merge the store into the accumulated bytes. Writable
+			// copies only if an earlier message still shares the line —
+			// in-flight payloads must not see later stores.
+			bl := buf.line.Writable()
+			buf.line = bl
+			bm, wm := bl.Mask(), wl.Mask()
+			for i, d := range wl.Data {
+				if wm[i] {
+					bl.Data[i] = d
+					bm[i] = true
+				}
 			}
+			buf.count++
 		}
-		buf.count++
 		m := t.pool.getTCPMsg()
-		m.kind, m.cu, m.line, m.data, m.mask, m.req = msgWrVicBlk, t.id, line, data, mask, req
+		m.kind, m.cu, m.line, m.req = msgWrVicBlk, t.id, line, req
+		m.setPayload(wl)
 		t.send(m)
 		t.seq.noteWriteThrough(req)
 		// Plain stores complete at L1 acceptance; global visibility is
@@ -274,10 +303,11 @@ func (t *TCP) FromTCC(msg *tccMsg) {
 		}
 		victim := t.array.Victim(line, nil)
 		t.evictVictim(victim)
+		msg.checkPayload()
 		e := t.array.Install(victim, line, TCPStateV)
-		copy(e.Data, msg.data)
+		copy(e.Data, msg.payload.Data)
 		if buf, ok := t.wt[line]; ok {
-			e.WriteMasked(buf.data, buf.mask)
+			e.WriteMasked(buf.line.Data, buf.line.Mask())
 		}
 		// Keep the backing array with the TBE (responses are queued, not
 		// delivered inline, so nothing appends to it before the loop ends).
@@ -313,9 +343,10 @@ func (t *TCP) FromTCC(msg *tccMsg) {
 		if buf, ok := t.wt[line]; ok {
 			buf.count--
 			if buf.count == 0 {
-				t.pool.putData(buf.data)
-				t.pool.putMask(buf.mask)
+				buf.line.Release()
+				buf.line = nil
 				delete(t.wt, line)
+				t.wtFree = append(t.wtFree, buf)
 			}
 		}
 		t.seq.writeCompleted(msg.req)
@@ -382,19 +413,21 @@ func (t *TCP) readWord(e *cache.Line, a mem.Addr) uint32 {
 	return binary.LittleEndian.Uint32(e.Data[off : off+mem.WordSize])
 }
 
-// wordWrite builds the full-line data/mask pair for a word store. The
-// buffers come from the system pool; they travel with the WrVicBlk
-// message and are recycled when its write-through completes (see
-// TCC.onWBAck).
-func (t *TCP) wordWrite(req *mem.Request) (data []byte, mask []bool) {
-	data = t.pool.getData()
-	mask = t.pool.getMask()
+// wordWrite builds the masked line payload for a word store: a pooled
+// line whose mask covers exactly the stored word. Unmasked bytes are
+// recycled garbage by design — every consumer merges under the mask.
+// The caller owns the returned reference and hands it to the WrVicBlk
+// message (sharing it with the write-through buffer when it is the
+// line's first in-flight store).
+func (t *TCP) wordWrite(req *mem.Request) *mem.Line {
+	l := t.pool.lines.GetMasked(t.lineSize())
 	off := mem.LineOffset(req.Addr, t.lineSize())
-	binary.LittleEndian.PutUint32(data[off:off+mem.WordSize], req.Data)
+	binary.LittleEndian.PutUint32(l.Data[off:off+mem.WordSize], req.Data)
+	mask := l.Mask()
 	for i := 0; i < mem.WordSize; i++ {
 		mask[off+i] = true
 	}
-	return data, mask
+	return l
 }
 
 // Stats returns the controller's activity counters.
@@ -405,8 +438,9 @@ func (t *TCP) Stats() (loads, loadHits, stores, atomics, stalls uint64) {
 // tcpSnapshot captures one L1 controller. TBEs are saved by value and
 // rebuilt as fresh structs on restore — nothing captures a tcpTBE
 // pointer across events, so identity is free to change. Write-through
-// buffers keep their pooled data/mask identities (contents restored by
-// the pool snapshot); stalled requests reference the tester's slab.
+// buffers keep their line-handle identities (contents and refcounts
+// restored by the line-pool snapshot); stalled requests reference the
+// tester's slab.
 type tcpSnapshot struct {
 	array   *cache.ArraySnapshot
 	tbes    map[mem.Addr]tcpTBE
@@ -462,10 +496,15 @@ func (t *TCP) restore(s *tcpSnapshot) {
 	for line, q := range s.stalled {
 		t.stalled[line] = append([]*mem.Request(nil), q...)
 	}
-	clear(t.wt)
+	for line, buf := range t.wt {
+		buf.line = nil
+		t.wtFree = append(t.wtFree, buf)
+		delete(t.wt, line)
+	}
 	for line, save := range s.wt {
-		buf := save
-		t.wt[line] = &buf
+		buf := t.getWTBuf()
+		*buf = save
+		t.wt[line] = buf
 	}
 	t.loads, t.loadHits, t.stores, t.atomics, t.stalls = s.loads, s.loadHits, s.stores, s.atomics, s.stalls
 	for i, l := range t.toTCC {
