@@ -17,6 +17,8 @@
 //	          [-report-dir DIR] [-lease-timeout 60s] [-drain-timeout 30s]
 //	gputester -worker URL [-worker-slots N]
 //	gputester -daemon URL [campaign flags] [-lease-seeds N]
+//	gputester -explore [-explore-depth D] [-explore-budget N]
+//	          [-explore-naive] [workload flags] [-artifact-dir DIR]
 //
 // With -artifact-dir set the run records a bounded execution trace
 // and, on any checker failure, serializes a replay artifact (JSON)
@@ -36,6 +38,18 @@
 // -campaign-fork runs each seed by restoring the system from a warm
 // snapshot (copy-on-write journals) instead of Reset-scanning it —
 // same outcomes, higher seeds/sec on large cache configurations.
+//
+// With -explore the tester runs bounded exhaustive schedule
+// exploration (internal/explore) instead of a single random schedule:
+// every interleaving of co-enabled coherence events is enumerated up to
+// -explore-depth branching choice points per schedule (DPOR-style
+// sleep-set pruning on by default; -explore-naive disables it), and the
+// streaming axiomatic checker asserts every schedule. Exploration is
+// only tractable for small configs — think 2-4 wavefronts and a handful
+// of variables. A violating schedule is serialized into the replay
+// artifact's `schedule` field, which `replay` re-executes
+// bit-identically. -explore is mutually exclusive with the campaign and
+// daemon modes.
 //
 // The three daemon modes distribute campaigns across processes
 // (internal/campaignd): -serve runs the control-plane daemon (HTTP
@@ -61,6 +75,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,10 +84,42 @@ import (
 	"drftest/internal/campaignd"
 	"drftest/internal/core"
 	"drftest/internal/coverage"
+	"drftest/internal/explore"
 	"drftest/internal/harness"
 	"drftest/internal/trace"
 	"drftest/internal/viper"
 )
+
+// validateFlags rejects contradictory flag combinations up front with
+// a one-line error, before any configuration or run state is built.
+// The run modes (-explore, -campaign, -serve, -worker, -daemon) are
+// pairwise mutually exclusive, as are the campaign context strategies
+// -campaign-fork and -campaign-rebuild.
+func validateFlags(exploreMode, campaign bool, serve, workerURL, daemonURL string, campaignFork, campaignRebuild bool) error {
+	var modes []string
+	if exploreMode {
+		modes = append(modes, "-explore")
+	}
+	if campaign {
+		modes = append(modes, "-campaign")
+	}
+	if serve != "" {
+		modes = append(modes, "-serve")
+	}
+	if workerURL != "" {
+		modes = append(modes, "-worker")
+	}
+	if daemonURL != "" {
+		modes = append(modes, "-daemon")
+	}
+	if len(modes) > 1 {
+		return fmt.Errorf("%s are mutually exclusive run modes; pick one", strings.Join(modes, " and "))
+	}
+	if campaignFork && campaignRebuild {
+		return fmt.Errorf("-campaign-fork and -campaign-rebuild are mutually exclusive")
+	}
+	return nil
+}
 
 func main() {
 	caches := flag.String("caches", "small", "cache sizing: small|large|mixed|default")
@@ -114,7 +161,16 @@ func main() {
 	workerSlots := flag.Int("worker-slots", 1, "worker: concurrent lease executors")
 	daemonURL := flag.String("daemon", "", "submit the campaign to the daemon at this URL instead of running locally")
 	leaseSeeds := flag.Int("lease-seeds", 0, "daemon submit: seeds per lease (0 = batch/4); never affects the outcome")
+	exploreMode := flag.Bool("explore", false, "bounded exhaustive schedule exploration of one seed (small configs only)")
+	exploreDepth := flag.Int("explore-depth", explore.DefaultDepth, "explore: max branching choice points per schedule")
+	exploreBudget := flag.Uint64("explore-budget", explore.DefaultBudget, "explore: max schedules (completed + pruned) before stopping")
+	exploreNaive := flag.Bool("explore-naive", false, "explore: disable DPOR sleep-set pruning (naive enumeration baseline)")
 	flag.Parse()
+
+	if err := validateFlags(*exploreMode, *campaign, *serve, *workerURL, *daemonURL, *campaignFork, *campaignRebuild); err != nil {
+		fmt.Fprintf(os.Stderr, "gputester: %v\n", err)
+		os.Exit(2)
+	}
 
 	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -201,14 +257,23 @@ func main() {
 		}, *jsonOut))
 	}
 
+	if *exploreMode {
+		runExplore(explore.Config{
+			SysCfg:      sysCfg,
+			TestCfg:     cfg,
+			Depth:       *exploreDepth,
+			Budget:      *exploreBudget,
+			Prune:       !*exploreNaive,
+			TraceDepth:  *traceDepth,
+			ArtifactDir: *artifactDir,
+		}, *jsonOut, exit)
+		return
+	}
+
 	if *campaign {
 		mode, err := harness.ParseCampaignMode(*campaignMode)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			exit(2)
-		}
-		if *campaignFork && *campaignRebuild {
-			fmt.Fprintln(os.Stderr, "gputester: -campaign-fork and -campaign-rebuild are mutually exclusive")
 			exit(2)
 		}
 		runCampaign(harness.CampaignConfig{
@@ -322,6 +387,66 @@ func main() {
 		exit(1)
 	}
 	fmt.Println("PASS: no coherence violations detected")
+}
+
+// runExplore runs bounded exhaustive schedule exploration of one seed
+// and reports the result. Exit status 1 means a violating schedule was
+// found.
+func runExplore(cfg explore.Config, jsonOut bool, exit func(int)) {
+	res, err := explore.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gputester: explore: %v\n", err)
+		exit(2)
+	}
+
+	if jsonOut {
+		out := map[string]any{
+			"seed":    cfg.TestCfg.Seed,
+			"prune":   cfg.Prune,
+			"explore": res,
+			"passed":  res.Violation == nil,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(2)
+		}
+		if res.Violation != nil {
+			exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("gputester explore: seed=%d wfs=%d lanes=%d episodes=%d actions=%d syncvars=%d datavars=%d\n",
+		cfg.TestCfg.Seed, cfg.TestCfg.NumWavefronts, cfg.TestCfg.ThreadsPerWF,
+		cfg.TestCfg.EpisodesPerThread, cfg.TestCfg.ActionsPerEpisode,
+		cfg.TestCfg.NumSyncVars, cfg.TestCfg.NumDataVars)
+	fmt.Printf("  depth bound    %d choice points per schedule (budget %d, pruning %v)\n",
+		res.Depth, res.Budget, cfg.Prune)
+	fmt.Printf("  schedules      %d completed, %d abandoned as redundant, %d branches pruned\n",
+		res.Schedules, res.PrunedPaths, res.PrunedBranches)
+	fmt.Printf("  choice points  %d branching (depth-limited=%v, budget-exhausted=%v)\n",
+		res.ChoicePoints, res.DepthLimited, res.BudgetExhausted)
+
+	if v := res.Violation; v != nil {
+		fmt.Printf("\nFAIL: violating schedule found after %d schedule(s) (schedule length %d, %d stream violation(s))\n",
+			res.Schedules, len(v.Schedule), v.StreamViolations)
+		if v.Failure.Kind != "" {
+			fmt.Printf("  first failure: %s at tick %d: %s\n", v.Failure.Kind, v.Failure.Tick, v.Failure.Message)
+		}
+		if v.ArtifactPath != "" {
+			fmt.Printf("replay artifact written to %s (re-run with: replay %s)\n", v.ArtifactPath, v.ArtifactPath)
+		}
+		exit(1)
+	}
+	if res.BudgetExhausted {
+		fmt.Printf("\nPASS (partial): no violation in the %d schedules explored before the budget ran out\n",
+			res.Schedules)
+		return
+	}
+	fmt.Printf("\nPASS: no violation in any schedule up to depth %d (%d schedules explored)\n",
+		res.Depth, res.Schedules)
 }
 
 // runCampaign executes a coverage-saturation campaign and reports the

@@ -63,7 +63,10 @@ type result struct {
 	Seed       uint64                  `json:"seed"`
 	Failure    harness.ArtifactFailure `json:"failure"`
 	Reproduced bool                    `json:"reproduced"`
-	Error      string                  `json:"error,omitempty"`
+	// ScheduleLen is the number of recorded schedule choices pinned by
+	// the artifact (0 for default-order artifacts).
+	ScheduleLen int    `json:"scheduleLen,omitempty"`
+	Error       string `json:"error,omitempty"`
 
 	Bisect              *harness.BisectResult `json:"bisect,omitempty"`
 	MinimizedPath       string                `json:"minimizedPath,omitempty"`
@@ -158,7 +161,7 @@ func replayOne(path, hash string, store *campaignd.Store, showTrace, bisect bool
 		return nil, err
 	}
 	f := art.FirstFailure()
-	res := &result{Path: path, Hash: hash, Kind: art.Kind, Seed: art.Seed, Failure: f}
+	res := &result{Path: path, Hash: hash, Kind: art.Kind, Seed: art.Seed, Failure: f, ScheduleLen: len(art.Schedule)}
 	logf := func(format string, args ...any) {
 		if !quiet {
 			fmt.Printf(format, args...)
@@ -166,6 +169,10 @@ func replayOne(path, hash string, store *campaignd.Store, showTrace, bisect bool
 	}
 	logf("%s: %s artifact, seed %d, %s at tick %d (addr %#x)\n",
 		path, art.Kind, art.Seed, f.Kind, f.Tick, f.Addr)
+	if len(art.Schedule) > 0 {
+		logf("  pinned schedule: %d recorded choice(s) (explored interleaving, replayed via script chooser)\n",
+			len(art.Schedule))
+	}
 	if showTrace {
 		logf("  trace tail (%d entries, ring capacity %d):\n", len(art.Trace), art.TraceCapacity)
 		for _, e := range art.Trace {

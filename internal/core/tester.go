@@ -87,6 +87,11 @@ type wavefront struct {
 	// issueFn is the wavefront's pre-bound next-round closure, built
 	// once at construction so per-round scheduling never allocates.
 	issueFn func()
+	// issueTag marks issue-round events with a per-wavefront ordering
+	// unit for schedule exploration: a chooser may interleave different
+	// wavefronts' rounds. Rounds draw from the tester's shared RNG, so
+	// they carry no line footprint (dependent with everything).
+	issueTag uint64
 }
 
 // Tester is the autonomous DRF GPU tester: it generates wavefronts of
@@ -168,6 +173,7 @@ func NewMulti(k *sim.Kernel, systems []*viper.System, cfg Config) *Tester {
 	for w := 0; w < cfg.NumWavefronts; w++ {
 		wf := &wavefront{id: w, cu: w % numCUs}
 		wf.issueFn = func() { t.issueRound(wf) }
+		wf.issueTag = sim.MakeUnitTag(sim.CompTester, t.k.NewUnit())
 		for l := 0; l < cfg.ThreadsPerWF; l++ {
 			thr := &thread{id: len(t.threads), wf: w, lane: l}
 			t.threads = append(t.threads, thr)
@@ -255,6 +261,7 @@ func (t *Tester) ResetWithConfig(seed uint64, cfg Config) {
 		for w := 0; w < cfg.NumWavefronts; w++ {
 			wf := &wavefront{id: w, cu: w % numCUs}
 			wf.issueFn = func() { t.issueRound(wf) }
+			wf.issueTag = sim.MakeUnitTag(sim.CompTester, t.k.NewUnit())
 			for l := 0; l < cfg.ThreadsPerWF; l++ {
 				thr := &thread{id: len(t.threads), wf: w, lane: l}
 				t.threads = append(t.threads, thr)
@@ -308,7 +315,7 @@ func (t *Tester) Trace() *checker.Trace {
 // forward-progress heartbeat.
 func (t *Tester) Start() {
 	for _, wf := range t.wfs {
-		t.k.Schedule(0, wf.issueFn)
+		t.k.ScheduleTagged(0, wf.issueTag, wf.issueFn)
 	}
 	t.k.Schedule(t.cfg.CheckPeriod, t.heartbeatFn)
 }
@@ -552,7 +559,7 @@ func (t *Tester) HandleResponse(resp *mem.Response) {
 
 	wf.outstanding--
 	if wf.outstanding == 0 && !t.k.Stopped() {
-		t.k.Schedule(1, wf.issueFn)
+		t.k.ScheduleTagged(1, wf.issueTag, wf.issueFn)
 	}
 }
 

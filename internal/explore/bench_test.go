@@ -1,0 +1,67 @@
+package explore
+
+import (
+	"testing"
+)
+
+// benchConfig is the prune-ratio reference exploration the CI gate
+// measures: the wide 2-WF workload on big-set caches at depth 8.
+func benchConfig(prune bool) Config {
+	return Config{
+		SysCfg:  exploreBigSetsSys(),
+		TestCfg: exploreWideCfg(1),
+		Depth:   8,
+		Budget:  100_000,
+		Prune:   prune,
+	}
+}
+
+// BenchmarkExploreDPOR explores the reference config with sleep-set
+// pruning and reports schedules/sec (completed schedules checked per
+// wall second), the prune ratio against naive enumeration of the same
+// config (explored paths / naive schedules — the CI gate requires
+// ≤ 0.5), and the violation count (the CI gate requires 0 on the clean
+// protocol).
+func BenchmarkExploreDPOR(b *testing.B) {
+	naive, err := Run(benchConfig(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var schedules, explored, violations uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(benchConfig(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		schedules += res.Schedules
+		explored += res.Schedules + res.PrunedPaths
+		if res.Violation != nil {
+			violations++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(schedules)/b.Elapsed().Seconds(), "schedules/sec")
+	b.ReportMetric(float64(explored)/float64(uint64(b.N)*naive.Schedules), "prune-ratio")
+	b.ReportMetric(float64(violations), "violations")
+}
+
+// BenchmarkExploreNaive is the unpruned baseline: full enumeration of
+// the same reference config, for throughput trending.
+func BenchmarkExploreNaive(b *testing.B) {
+	var schedules, violations uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(benchConfig(false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		schedules += res.Schedules
+		if res.Violation != nil {
+			violations++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(schedules)/b.Elapsed().Seconds(), "schedules/sec")
+	b.ReportMetric(float64(violations), "violations")
+}

@@ -9,6 +9,7 @@ import (
 	"drftest/internal/cache"
 	"drftest/internal/core"
 	"drftest/internal/cputester"
+	"drftest/internal/sim"
 	"drftest/internal/trace"
 	"drftest/internal/viper"
 )
@@ -97,6 +98,16 @@ type Artifact struct {
 	// without them see a plain (if short-traced) artifact.
 	MinimizedFrom    string `json:"minimizedFrom,omitempty"`
 	FirstFailingTick uint64 `json:"firstFailingTick,omitempty"`
+
+	// Schedule pins a non-default event interleaving: one chosen event
+	// sequence number per multi-candidate schedule choice point, in
+	// execution order, as recorded by the bounded exhaustive explorer
+	// (internal/explore). Replay attaches a sim.ScriptChooser built
+	// from it, so the violating schedule re-executes bit-identically.
+	// Additive like MinimizedFrom, so the schema stays at 1: readers
+	// without it see a plain artifact (whose default-order replay would
+	// simply not reproduce).
+	Schedule []uint64 `json:"schedule,omitempty"`
 }
 
 // FirstFailure returns the artifact's first failure, the one a replay
@@ -271,8 +282,23 @@ func Replay(a *Artifact) (*Artifact, error) {
 		b := BuildGPU(a.GPU.SysCfg)
 		ring := EnableTrace(b.K, depth)
 		tester := core.New(b.K, b.Sys, a.GPU.TestCfg)
+		var sc *sim.ScriptChooser
+		if len(a.Schedule) > 0 {
+			sc = sim.NewScriptChooser(a.Schedule)
+			b.K.SetChooser(sc)
+		}
 		rep := tester.Run()
-		return NewGPUArtifact(a.GPU.SysCfg, a.GPU.TestCfg, tester, rep, ring), nil
+		replayed := NewGPUArtifact(a.GPU.SysCfg, a.GPU.TestCfg, tester, rep, ring)
+		if sc != nil {
+			replayed.Schedule = a.Schedule
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("replay: %w", err)
+			}
+			if sc.Consumed() != len(a.Schedule) {
+				return nil, fmt.Errorf("replay: schedule diverged: consumed %d of %d recorded choices", sc.Consumed(), len(a.Schedule))
+			}
+		}
+		return replayed, nil
 	case ArtifactCPU:
 		b := BuildCPU(a.CPU.NumCPUs, a.CPU.CacheCfg)
 		ring := EnableTrace(b.K, depth)

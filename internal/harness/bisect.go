@@ -94,6 +94,14 @@ func newBisectRun(a *Artifact) (*bisectRun, error) {
 	if a.Kind != ArtifactGPU {
 		return nil, fmt.Errorf("bisect: %s artifacts are not supported (checkpointed replay is GPU-only)", a.Kind)
 	}
+	if len(a.Schedule) > 0 {
+		// A scheduled artifact replays through a ScriptChooser whose
+		// consumption position is itself execution state; the bisect
+		// checkpoints do not capture it, so restoring a mid-run cut
+		// would desynchronize the script. Bisect the underlying config
+		// under default order instead, or extend the cut first.
+		return nil, fmt.Errorf("bisect: artifacts with a pinned schedule are not supported")
+	}
 	depth := a.TraceCapacity
 	if depth <= 0 {
 		depth = DefaultTraceCapacity

@@ -19,6 +19,7 @@ func TestSnapshotFieldAudit(t *testing.T) {
 		"inflight":   "state: ring; Reset clears (dropping payload refs; owning system reclaims via pool Reset); Snapshot linearizes, retaining payload handles by identity",
 		"serviceFn":  "config: pre-bound closure, survives Reset/Restore",
 		"completeFn": "config: pre-bound closure, survives Reset/Restore",
+		"unit":       "config: schedule-exploration ordering domain, fixed at construction",
 		"pool":       "pool: shared line pool; the owning system snapshots/resets it at the same cut (private pools are quiescent between runs)",
 		"reads":      "stats: ResetStats zeroes, Snapshot/Restore copy",
 		"writes":     "stats: ResetStats zeroes, Snapshot/Restore copy",

@@ -81,6 +81,12 @@ func (q *ring) push(r request) {
 	q.tail++
 }
 
+// peek returns the head request without dequeuing it (the next pop's
+// result; caller must ensure the ring is non-empty).
+func (q *ring) peek() request {
+	return q.slots[q.head&uint64(len(q.slots)-1)]
+}
+
 func (q *ring) pop() request {
 	i := q.head & uint64(len(q.slots)-1)
 	r := q.slots[i]
@@ -154,6 +160,15 @@ type Controller struct {
 	serviceFn  func()
 	completeFn func()
 
+	// unit is the controller's schedule-exploration ordering domain:
+	// service events pop the request queue's head and completion events
+	// pop the inflight queue's head, so both must fire in schedule
+	// order for the event→request pairing to hold. Sharing one unit
+	// FIFO-locks them (see sim/chooser.go), which is what makes the
+	// line tags below sound: the request an event will process is
+	// already determined when the event is scheduled.
+	unit uint32
+
 	// stats
 	reads, writes, atomics uint64
 	peakQueue              int
@@ -168,7 +183,7 @@ func New(k *sim.Kernel, cfg Config, st *mem.Store, pool *mem.LinePool) *Controll
 	if pool == nil {
 		pool = mem.NewLinePool(64)
 	}
-	c := &Controller{k: k, cfg: cfg, store: st, pool: pool}
+	c := &Controller{k: k, cfg: cfg, store: st, pool: pool, unit: k.NewUnit()}
 	c.serviceFn = c.service
 	c.completeFn = c.complete
 	return c
@@ -230,7 +245,9 @@ func (c *Controller) enqueue(r request) {
 	}
 	if !c.busy {
 		c.busy = true
-		c.k.Schedule(0, c.serviceFn)
+		// The queue was empty, so the service event will pop r itself:
+		// its footprint is r's line.
+		c.k.ScheduleTagged(0, sim.MakeLineTag(sim.CompMemCtrl, c.unit, uint64(r.line)), c.serviceFn)
 	}
 }
 
@@ -241,12 +258,24 @@ func (c *Controller) service() {
 	}
 	r := c.queue.pop()
 	c.inflight.push(r)
-	c.k.Schedule(c.cfg.AccessLatency, c.completeFn)
+	// Completions drain inflight FIFO and the unit keeps them in
+	// schedule order, so this completion pops exactly r.
+	c.k.ScheduleTagged(c.cfg.AccessLatency, sim.MakeLineTag(sim.CompMemCtrl, c.unit, uint64(r.line)), c.completeFn)
 	period := c.cfg.ServicePeriod
 	if period == 0 {
 		period = 1
 	}
-	c.k.Schedule(period, c.serviceFn)
+	// The next service event pops whatever heads the queue when it
+	// fires. Pushes only append and no other service event is pending
+	// for this unit, so a non-empty queue pins that request now; an
+	// empty queue means the footprint is unknown (the event may idle or
+	// pop a not-yet-enqueued request), so stay conservatively untagged
+	// on the line while keeping the unit's FIFO lock.
+	tag := sim.MakeUnitTag(sim.CompMemCtrl, c.unit)
+	if c.queue.len() > 0 {
+		tag = sim.MakeLineTag(sim.CompMemCtrl, c.unit, uint64(c.queue.peek().line))
+	}
+	c.k.ScheduleTagged(period, tag, c.serviceFn)
 }
 
 func (c *Controller) complete() {

@@ -21,6 +21,7 @@ func TestSnapshotFieldAudit(t *testing.T) {
 		"msgQ":      "state: queued typed messages — Reset clears, Snapshot/Restore copy (normalized to head 0)",
 		"msgHead":   "state: Reset/Restore zero it (queue normalized)",
 		"deliverFn": "config: pre-bound drain closure, survives Reset/Restore",
+		"unit":      "config: schedule-exploration ordering domain, fixed at construction",
 		"sent":      "stats: ResetStats/Reset zero, Snapshot/Restore copy",
 	})
 	audit.Fields(t, pendingMsg{}, map[string]string{

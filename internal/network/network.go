@@ -37,12 +37,18 @@ type Link struct {
 	msgHead   int
 	deliverFn func()
 
+	// unit is the link's schedule-exploration ordering domain: every
+	// delivery event carries it, so a schedule chooser can interleave
+	// different links' traffic but never reorder one link against
+	// itself — the FIFO queue/event pairing above depends on that.
+	unit uint32
+
 	sent uint64
 }
 
 // NewLink creates an ordered link with fixed latency.
 func NewLink(k *sim.Kernel, name string, latency sim.Tick) *Link {
-	l := &Link{k: k, name: name, latency: latency}
+	l := &Link{k: k, name: name, latency: latency, unit: k.NewUnit()}
 	l.deliverFn = l.deliverNext
 	return l
 }
@@ -50,7 +56,7 @@ func NewLink(k *sim.Kernel, name string, latency sim.Tick) *Link {
 // NewJitterLink creates a link whose per-message latency is uniform in
 // [latency, latency+jitter]; messages may therefore be reordered.
 func NewJitterLink(k *sim.Kernel, name string, latency, jitter sim.Tick, rnd *rng.PCG) *Link {
-	l := &Link{k: k, name: name, latency: latency, jitter: jitter, rnd: rnd}
+	l := &Link{k: k, name: name, latency: latency, jitter: jitter, rnd: rnd, unit: k.NewUnit()}
 	l.deliverFn = l.deliverNext
 	return l
 }
@@ -85,7 +91,7 @@ func (l *Link) Send(deliver func()) {
 	if l.jitter > 0 {
 		d += sim.Tick(l.rnd.Intn(int(l.jitter) + 1))
 	}
-	l.k.Schedule(d, deliver)
+	l.k.ScheduleTagged(d, sim.MakeUnitTag(sim.CompLink, l.unit), deliver)
 }
 
 // SendMsg delivers fn(arg) at the far end after the link's latency.
@@ -94,14 +100,27 @@ func (l *Link) Send(deliver func()) {
 // per send. A jittered link may reorder deliveries, which a FIFO
 // cannot express, so it falls back to a per-message closure.
 func (l *Link) SendMsg(fn func(any), arg any) {
+	l.sendMsgTagged(sim.MakeUnitTag(sim.CompLink, l.unit), fn, arg)
+}
+
+// SendMsgLine is SendMsg for a message whose effect is confined to one
+// cache line: the delivery event advertises the line to an attached
+// schedule chooser so the explorer's independence relation can commute
+// it with deliveries touching disjoint lines. Delivery semantics are
+// identical to SendMsg.
+func (l *Link) SendMsgLine(fn func(any), arg any, lineAddr uint64) {
+	l.sendMsgTagged(sim.MakeLineTag(sim.CompLink, l.unit, lineAddr), fn, arg)
+}
+
+func (l *Link) sendMsgTagged(tag uint64, fn func(any), arg any) {
 	l.sent++
 	if l.jitter > 0 {
 		d := l.latency + sim.Tick(l.rnd.Intn(int(l.jitter)+1))
-		l.k.Schedule(d, func() { fn(arg) })
+		l.k.ScheduleTagged(d, tag, func() { fn(arg) })
 		return
 	}
 	l.msgQ = append(l.msgQ, pendingMsg{fn: fn, arg: arg})
-	l.k.Schedule(l.latency, l.deliverFn)
+	l.k.ScheduleTagged(l.latency, tag, l.deliverFn)
 }
 
 // deliverNext completes the oldest queued typed message. FIFO matching

@@ -20,5 +20,23 @@ func TestSnapshotFieldAudit(t *testing.T) {
 		"pollers":  "config: registered poller closures survive Reset/Restore; due ticks are state",
 		"pollNext": "state: recomputed/copied with the pollers' due ticks",
 		"tracer":   "config: attached ring, snapshotted separately by its owner",
+		"chooser":  "config: attached schedule chooser, survives Reset like the tracer",
+		"enabled":  "state: drained choice-point event set, captured/cleared with the event queues",
+		"unitSeq":  "config: unit-ID counter; stale-but-unique across Reset is sound (see NewUnit)",
+		"candBuf":  "scratch: rebuilt by buildCandidates before every Choose",
+		"candPos":  "scratch: rebuilt by buildCandidates before every Choose",
+		"unitSeen": "scratch: rebuilt by buildCandidates before every Choose",
+	})
+	audit.Fields(t, KernelSnapshot{}, map[string]string{
+		"curr":     "state: restored into the curr FIFO",
+		"next":     "state: restored into the next FIFO",
+		"far":      "state: restored heap-ordered verbatim",
+		"enabled":  "state: restored into the drained choice-point set",
+		"now":      "state: copied",
+		"seq":      "state: copied",
+		"executed": "state: copied",
+		"stopped":  "state: copied",
+		"pollers":  "state: copied (closures by reference)",
+		"pollNext": "state: copied",
 	})
 }

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// chooserWorkload schedules a self-expanding web of events — mixed
+// tags, units, delays, same-tick bursts — and records firing order.
+// The tiny LCG keeps it deterministic without touching global RNG.
+func chooserWorkload(k *Kernel) *[]int {
+	order := &[]int{}
+	lcg := uint64(0x9e3779b97f4a7c15)
+	next := func(n uint64) uint64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return (lcg >> 33) % n
+	}
+	units := []uint32{k.NewUnit(), k.NewUnit(), k.NewUnit()}
+	id := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		n := int(next(3)) + 1
+		for i := 0; i < n; i++ {
+			id++
+			ev := id
+			delay := Tick(next(4))
+			var tag uint64
+			switch next(3) {
+			case 0:
+				tag = 0
+			case 1:
+				tag = MakeUnitTag(CompLink, units[next(uint64(len(units)))])
+			default:
+				tag = MakeLineTag(CompLink, units[next(uint64(len(units)))], next(16)*64)
+			}
+			k.ScheduleTagged(delay, tag, func() {
+				*order = append(*order, ev)
+				if depth < 4 {
+					spawn(depth + 1)
+				}
+			})
+		}
+	}
+	spawn(0)
+	return order
+}
+
+// TestChooserFIFOBitIdentical pins the chooser seam's zero-cost
+// default: a run under FIFOChooser fires the identical event sequence,
+// tick for tick, as a run with no chooser at all.
+func TestChooserFIFOBitIdentical(t *testing.T) {
+	plain := NewKernel()
+	plainOrder := chooserWorkload(plain)
+	plain.RunUntilIdle()
+
+	fifo := NewKernel()
+	fifoOrder := chooserWorkload(fifo)
+	fifo.SetChooser(FIFOChooser{})
+	fifo.RunUntilIdle()
+
+	if !reflect.DeepEqual(*plainOrder, *fifoOrder) {
+		t.Fatalf("FIFO chooser diverged from default order:\n  plain: %v\n  fifo:  %v", *plainOrder, *fifoOrder)
+	}
+	if plain.Executed() != fifo.Executed() || plain.Now() != fifo.Now() {
+		t.Fatalf("kernel counters diverged: executed %d/%d, now %d/%d",
+			plain.Executed(), fifo.Executed(), plain.Now(), fifo.Now())
+	}
+}
+
+// pickFn adapts a func to Chooser.
+type pickFn func(now Tick, cands []Enabled) int
+
+func (f pickFn) Choose(now Tick, cands []Enabled) int { return f(now, cands) }
+
+// TestChooserReordersAcrossUnits proves the choice point is real: a
+// chooser that always picks the last candidate flips the firing order
+// of same-tick events on different units.
+func TestChooserReordersAcrossUnits(t *testing.T) {
+	k := NewKernel()
+	ua, ub := k.NewUnit(), k.NewUnit()
+	var order []string
+	k.ScheduleTagged(1, MakeUnitTag(CompLink, ua), func() { order = append(order, "a") })
+	k.ScheduleTagged(1, MakeUnitTag(CompLink, ub), func() { order = append(order, "b") })
+	k.SetChooser(pickFn(func(_ Tick, cands []Enabled) int { return len(cands) - 1 }))
+	k.RunUntilIdle()
+	if got := order[0] + order[1]; got != "ba" {
+		t.Fatalf("last-candidate chooser did not reorder: %v", order)
+	}
+}
+
+// TestChooserPerUnitFIFO pins the soundness invariant the component
+// FIFOs rely on: the candidate set never offers two events of one unit,
+// and a unit's events fire in scheduling order no matter what the
+// chooser picks.
+func TestChooserPerUnitFIFO(t *testing.T) {
+	k := NewKernel()
+	ua, ub := k.NewUnit(), k.NewUnit()
+	var order []int
+	sched := func(id int, unit uint32) {
+		k.ScheduleTagged(1, MakeUnitTag(CompLink, unit), func() { order = append(order, id) })
+	}
+	sched(1, ua)
+	sched(2, ua)
+	sched(3, ub)
+	sched(4, ub)
+	k.Schedule(1, func() { order = append(order, 5) }) // untagged: pseudo-unit 0
+	k.Schedule(1, func() { order = append(order, 6) })
+
+	k.SetChooser(pickFn(func(_ Tick, cands []Enabled) int {
+		seen := map[uint64]bool{}
+		for _, c := range cands {
+			u := TagUnit(c.Tag)
+			if seen[u] {
+				t.Fatalf("candidate set offers unit %d twice: %v", u, cands)
+			}
+			seen[u] = true
+		}
+		return len(cands) - 1
+	}))
+	k.RunUntilIdle()
+
+	pos := map[int]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, pair := range [][2]int{{1, 2}, {3, 4}, {5, 6}} {
+		if pos[pair[0]] > pos[pair[1]] {
+			t.Fatalf("unit-internal order violated: %d fired after %d in %v", pair[0], pair[1], order)
+		}
+	}
+}
+
+// recordChooser picks the last candidate at every multi-candidate
+// point and records the chosen sequence numbers — the script a replay
+// artifact would carry.
+type recordChooser struct {
+	script []uint64
+}
+
+func (r *recordChooser) Choose(_ Tick, cands []Enabled) int {
+	i := len(cands) - 1
+	if len(cands) > 1 {
+		r.script = append(r.script, cands[i].Seq)
+	}
+	return i
+}
+
+// TestScriptChooserReplay pins schedule replay: re-running the same
+// workload under a ScriptChooser built from a recorded script
+// reproduces the recorded firing order exactly and consumes the whole
+// script.
+func TestScriptChooserReplay(t *testing.T) {
+	rec := NewKernel()
+	recOrder := chooserWorkload(rec)
+	rc := &recordChooser{}
+	rec.SetChooser(rc)
+	rec.RunUntilIdle()
+	if len(rc.script) == 0 {
+		t.Fatal("workload produced no multi-candidate choice points")
+	}
+
+	rep := NewKernel()
+	repOrder := chooserWorkload(rep)
+	sc := NewScriptChooser(rc.script)
+	rep.SetChooser(sc)
+	rep.RunUntilIdle()
+
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Consumed() != len(rc.script) {
+		t.Fatalf("replay consumed %d of %d recorded choices", sc.Consumed(), len(rc.script))
+	}
+	if !reflect.DeepEqual(*recOrder, *repOrder) {
+		t.Fatalf("script replay diverged:\n  recorded: %v\n  replay:   %v", *recOrder, *repOrder)
+	}
+}
+
+// TestScriptChooserDivergence pins the failure mode: a script entry
+// matching no candidate reports through Err (falling back to FIFO)
+// instead of panicking mid-run.
+func TestScriptChooserDivergence(t *testing.T) {
+	k := NewKernel()
+	ua, ub := k.NewUnit(), k.NewUnit()
+	k.ScheduleTagged(1, MakeUnitTag(CompLink, ua), func() {})
+	k.ScheduleTagged(1, MakeUnitTag(CompLink, ub), func() {})
+	sc := NewScriptChooser([]uint64{1 << 40})
+	k.SetChooser(sc)
+	k.RunUntilIdle()
+	if sc.Err() == nil {
+		t.Fatal("bogus script entry did not surface through Err")
+	}
+	if k.Pending() != 0 {
+		t.Fatal("divergent replay did not finish the run")
+	}
+}
+
+// TestChooserSnapshotInChoose pins the explorer's core access pattern:
+// a kernel snapshot taken from inside Choose (before the chosen event
+// fires) restores to re-present the identical candidate set, and the
+// rewound run can take the other branch.
+func TestChooserSnapshotInChoose(t *testing.T) {
+	k := NewKernel()
+	ua, ub := k.NewUnit(), k.NewUnit()
+	var order []string
+	mk := func(name string, unit uint32) {
+		k.ScheduleTagged(1, MakeUnitTag(CompLink, unit), func() { order = append(order, name) })
+	}
+	mk("a", ua)
+	mk("b", ub)
+
+	var snap *KernelSnapshot
+	var firstCands []Enabled
+	k.SetChooser(pickFn(func(_ Tick, cands []Enabled) int {
+		if snap == nil && len(cands) > 1 {
+			snap = k.Snapshot()
+			firstCands = append([]Enabled(nil), cands...)
+		}
+		return 0
+	}))
+	k.RunUntilIdle()
+	if snap == nil {
+		t.Fatal("no multi-candidate choice point")
+	}
+	if got := order[0] + order[1]; got != "ab" {
+		t.Fatalf("FIFO branch fired %q, want \"ab\"", got)
+	}
+
+	order = order[:0]
+	k.Restore(snap)
+	var resumed []Enabled
+	k.SetChooser(pickFn(func(_ Tick, cands []Enabled) int {
+		if resumed == nil {
+			resumed = append([]Enabled(nil), cands...)
+			for i := range cands {
+				if cands[i].Seq == firstCands[len(firstCands)-1].Seq {
+					return i
+				}
+			}
+		}
+		return 0
+	}))
+	k.RunUntilIdle()
+	if !reflect.DeepEqual(firstCands, resumed) {
+		t.Fatalf("restored choice point differs:\n  first:   %v\n  resumed: %v", firstCands, resumed)
+	}
+	if got := order[0] + order[1]; got != "ba" {
+		t.Fatalf("sibling branch fired %q, want \"ba\"", got)
+	}
+}
+
+// TestChooserStopInChoose pins the abandon path: Stop called from
+// inside Choose halts the run without firing the chosen event.
+func TestChooserStopInChoose(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(1, func() { fired++ })
+	k.SetChooser(pickFn(func(_ Tick, cands []Enabled) int {
+		k.Stop()
+		return 0
+	}))
+	k.RunUntilIdle()
+	if fired != 0 {
+		t.Fatalf("event fired despite Stop from Choose (fired=%d)", fired)
+	}
+}

@@ -33,10 +33,14 @@ type Tick uint64
 const MaxTick = Tick(^uint64(0))
 
 // event is one scheduled closure. Events are held by value everywhere
-// in the kernel: moving them costs a 3-word copy, never an allocation.
+// in the kernel: moving them costs a 4-word copy, never an allocation.
+// tag is the event's schedule-exploration identity (unit + line
+// footprint, see chooser.go); it is zero for events scheduled through
+// plain Schedule and never affects the default event loop.
 type event struct {
 	when Tick
 	seq  uint64 // stable tie-break for same-tick events
+	tag  uint64
 	fn   func()
 }
 
@@ -196,6 +200,17 @@ type Kernel struct {
 	pollers  []poller
 	pollNext Tick // min over pollers' next-due ticks
 	tracer   *trace.Ring
+
+	// Schedule choice-point state (chooser.go). enabled holds the
+	// current tick's drained, seq-sorted event set while a chooser is
+	// attached; it is always empty in the default loop. candBuf,
+	// candPos, and unitSeen are its per-call scratch.
+	chooser  Chooser
+	enabled  []event
+	unitSeq  uint32
+	candBuf  []Enabled
+	candPos  []int
+	unitSeen []uint64
 }
 
 // NewKernel returns a fresh kernel at tick zero.
@@ -218,6 +233,10 @@ func (k *Kernel) Reset() {
 		k.far[i].fn = nil
 	}
 	k.far = k.far[:0]
+	for i := range k.enabled {
+		k.enabled[i].fn = nil
+	}
+	k.enabled = k.enabled[:0]
 	k.now, k.seq, k.executed = 0, 0, 0
 	k.stopped = false
 	k.pollers = k.pollers[:0]
@@ -230,16 +249,24 @@ func (k *Kernel) Reset() {
 func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Pending returns the number of scheduled, not-yet-fired events.
-func (k *Kernel) Pending() int { return k.curr.n + k.next.n + len(k.far) }
+func (k *Kernel) Pending() int { return k.curr.n + k.next.n + len(k.far) + len(k.enabled) }
 
 // Schedule runs fn delay ticks from now. A zero delay runs fn later in
 // the current tick, after all previously scheduled same-tick events.
 func (k *Kernel) Schedule(delay Tick, fn func()) {
+	k.ScheduleTagged(delay, 0, fn)
+}
+
+// ScheduleTagged is Schedule with a schedule-exploration tag (see
+// chooser.go): the tag declares the event's ordering unit and line
+// footprint to an attached Chooser. It has no effect on the default
+// event loop.
+func (k *Kernel) ScheduleTagged(delay Tick, tag uint64, fn func()) {
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
 	}
 	k.seq++
-	e := event{when: k.now + delay, seq: k.seq, fn: fn}
+	e := event{when: k.now + delay, seq: k.seq, tag: tag, fn: fn}
 	switch delay {
 	case 0:
 		k.curr.push(e)
@@ -336,6 +363,12 @@ func (k *Kernel) advanceTo(t Tick) {
 // A pre-set stop flag (a Stop issued outside any Run, e.g. by a
 // checker during drain or setup) makes Run return immediately.
 func (k *Kernel) Run(until Tick) Tick {
+	if k.chooser != nil {
+		return k.runChoose(until)
+	}
+	if len(k.enabled) > 0 {
+		panic("sim: Run with a drained enabled set but no chooser (choose-mode snapshot restored into a chooser-less kernel)")
+	}
 	for !k.stopped {
 		src, head := k.peekNext()
 		if src == srcNone || head.when > until {
@@ -386,6 +419,7 @@ func (k *Kernel) firePollers() {
 type KernelSnapshot struct {
 	curr, next []event // normalized oldest-first
 	far        []event // heap-ordered, as stored
+	enabled    []event // drained choice-point set, seq order (chooser.go)
 	now        Tick
 	seq        uint64
 	executed   uint64
@@ -423,6 +457,7 @@ func (k *Kernel) Snapshot() *KernelSnapshot {
 		curr:     snapshotFIFO(&k.curr),
 		next:     snapshotFIFO(&k.next),
 		far:      append([]event(nil), k.far...),
+		enabled:  append([]event(nil), k.enabled...),
 		now:      k.now,
 		seq:      k.seq,
 		executed: k.executed,
@@ -444,6 +479,10 @@ func (k *Kernel) Restore(s *KernelSnapshot) {
 	// The saved slice is already heap-ordered, so copying it back
 	// verbatim re-establishes the heap invariant.
 	k.far = append(k.far[:0], s.far...)
+	for i := range k.enabled {
+		k.enabled[i].fn = nil
+	}
+	k.enabled = append(k.enabled[:0], s.enabled...)
 	k.now, k.seq, k.executed = s.now, s.seq, s.executed
 	k.stopped = s.stopped
 	k.pollers = append(k.pollers[:0], s.pollers...)

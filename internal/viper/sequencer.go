@@ -40,6 +40,11 @@ type Sequencer struct {
 	deliverFn func()
 	scratch   mem.Response
 
+	// unit is the sequencer's schedule-exploration ordering domain: a
+	// chooser may interleave different sequencers' deliveries but never
+	// reorder one sequencer's own (the respQ FIFO pairing above).
+	unit uint32
+
 	lat *stats.LatencySet
 
 	issued, completed uint64
@@ -56,6 +61,7 @@ func newSequencer(k *sim.Kernel, cu int, tcp *TCP, respLatency sim.Tick, bugs Bu
 		heldReleases: make(map[int][]*mem.Request),
 		outstanding:  make(map[uint64]*mem.Request),
 		lat:          stats.NewLatencySet(fmt.Sprintf("cu%d", cu)),
+		unit:         k.NewUnit(),
 	}
 	s.deliverFn = s.deliverNext
 	tcp.seq = s
@@ -116,9 +122,19 @@ func (s *Sequencer) Issue(req *mem.Request) {
 
 // respond delivers a completed request back to the core after the L1
 // response latency, applying acquire semantics at delivery time.
+//
+// The delivery event advertises the response's line footprint to an
+// attached schedule chooser — except for acquires (delivery flash-
+// invalidates the whole L1) and releases (retirement updates every
+// claimed variable's reference state), whose effects are not confined
+// to one line and so must stay dependent with everything.
 func (s *Sequencer) respond(req *mem.Request, data uint32) {
 	s.respQ = append(s.respQ, pendingResp{req: req, data: data})
-	s.k.Schedule(s.respLatency, s.deliverFn)
+	tag := sim.MakeUnitTag(sim.CompSequencer, s.unit)
+	if !req.Acquire && !req.Release {
+		tag = sim.MakeLineTag(sim.CompSequencer, s.unit, uint64(mem.LineAddr(req.Addr, s.tcp.lineSize())))
+	}
+	s.k.ScheduleTagged(s.respLatency, tag, s.deliverFn)
 }
 
 // deliverNext completes the oldest queued response. FIFO matching is

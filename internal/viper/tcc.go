@@ -504,7 +504,7 @@ func (c *TCC) send(cu int, msg *tccMsg) {
 		}
 		c.sendFns[cu] = fn
 	}
-	c.toTCP.To(cu).SendMsg(fn, msg)
+	c.toTCP.To(cu).SendMsgLine(fn, msg, uint64(msg.line))
 }
 
 // AuditAgainstStore compares every valid L2 line against the backing

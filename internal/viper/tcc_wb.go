@@ -357,7 +357,7 @@ func (c *TCCWB) send(cu int, msg *tccMsg) {
 		}
 		c.sendFns[cu] = fn
 	}
-	c.toTCP.To(cu).SendMsg(fn, msg)
+	c.toTCP.To(cu).SendMsgLine(fn, msg, uint64(msg.line))
 }
 
 // wbSnapshot captures one write-back L2 slice. wbTBEs are never

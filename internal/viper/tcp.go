@@ -405,7 +405,7 @@ func (t *TCP) send(msg *tcpMsg) {
 		fn = func(a any) { l2.FromTCP(a.(*tcpMsg)) }
 		t.sendFns[si] = fn
 	}
-	t.toTCC[si].SendMsg(fn, msg)
+	t.toTCC[si].SendMsgLine(fn, msg, uint64(msg.line))
 }
 
 func (t *TCP) readWord(e *cache.Line, a mem.Addr) uint32 {

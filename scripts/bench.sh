@@ -11,8 +11,9 @@
 # microbenchmarks (internal/sim), the end-to-end memops/s benchmarks
 # (repo root), the hot-path microbenchmarks for the reference
 # memory (internal/mem) and the verification engine
-# (internal/checker), and the campaign fork / replay-bisection
-# benchmarks (repo root). Everything go test prints still goes to
+# (internal/checker), the campaign fork / replay-bisection
+# benchmarks (repo root), and the schedule-exploration benchmarks
+# (internal/explore). Everything go test prints still goes to
 # stderr, so the JSON on -o (or stdout) stays machine-readable.
 #
 # -compare renders a regression table between two summaries produced by
@@ -39,6 +40,7 @@ new = json.load(open(new_path))["benchmarks"]
 known = [
     ("ns/op", False), ("B/op", False), ("allocs/op", False),
     ("memops/s", True), ("seeds/sec", True), ("events/memop", False),
+    ("schedules/sec", True), ("prune-ratio", False), ("violations", False),
 ]
 rows = []
 for name in sorted(set(old) | set(new)):
@@ -72,7 +74,7 @@ fi
 
 out=""
 benchtime="0.5s"
-pattern='EventLoop|Speed_|StoreAccess|Checker|Campaign|Replay'
+pattern='EventLoop|Speed_|StoreAccess|Checker|Campaign|Replay|Explore'
 while getopts "o:t:b:" opt; do
   case "$opt" in
     o) out="$OPTARG" ;;
@@ -84,7 +86,7 @@ done
 
 cd "$(dirname "$0")/.."
 
-raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./ ./internal/sim/ ./internal/mem/ ./internal/checker/ ./internal/campaignd/)
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./ ./internal/sim/ ./internal/mem/ ./internal/checker/ ./internal/campaignd/ ./internal/explore/)
 echo "$raw" >&2
 
 # Record the core count: the campaignd worker-scaling gate only applies
